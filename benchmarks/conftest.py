@@ -1,0 +1,47 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding experiment from :mod:`repro.harness.experiments` exactly
+once (the simulations are deterministic — repetition would only re-measure
+Python overhead), prints the same rows/series the paper reports, and saves
+the text under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir, capsys):
+    """Print an experiment's text block; persist text + JSON to results/."""
+
+    def _record(name: str, result: dict):
+        import json
+
+        from repro.harness.report import jsonable
+
+        text = result["text"]
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        payload = {k: v for k, v in result.items() if k not in ("text", "profile")}
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(jsonable(payload), indent=1, default=repr)
+        )
+        return result
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """pytest-benchmark wrapper for deterministic single-shot experiments."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

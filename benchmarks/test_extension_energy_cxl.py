@@ -1,0 +1,106 @@
+"""Extensions — energy accounting and the CXL generalization.
+
+Two forward-looking artifacts the paper gestures at but does not measure:
+
+* **Energy** (§IV-C argues from it): per-step Joules for each CPU policy on
+  the Optane platform.  Sentinel must spend less dynamic energy than the
+  static policies — serving traffic from DRAM is cheaper per byte, and its
+  migration surcharge is bounded.
+* **CXL** (the post-Optane capacity tier): the same experiment on a
+  CXL-attached expander.  Sentinel's mechanisms are device-agnostic, so the
+  ordering must carry over unchanged.
+"""
+
+from conftest import run_once
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_policy
+from repro.mem.energy import OPTANE_ENERGY, estimate_step_energy
+from repro.mem.platforms import CXL_HM
+
+MODEL = "resnet32"
+BATCH = 256
+POLICIES = ("slow-only", "first-touch", "ial", "autotm", "sentinel", "fast-only")
+
+
+def run_energy():
+    records = {}
+    rows = []
+    for policy in POLICIES:
+        fraction = None if policy in ("slow-only", "fast-only") else 0.2
+        metrics = run_policy(
+            policy, model=MODEL, batch_size=BATCH, fast_fraction=fraction
+        )
+        energy = estimate_step_energy(metrics, OPTANE_ENERGY)
+        records[policy] = {"metrics": metrics, "energy": energy}
+        rows.append(
+            (
+                policy,
+                f"{metrics.step_time:.4f}",
+                f"{energy.dynamic:.2f}",
+                f"{energy.migration:.2f}",
+                f"{energy.total:.2f}",
+            )
+        )
+    text = format_table(
+        ("policy", "step (s)", "dynamic J", "migration J", "total J"),
+        rows,
+        title=f"Energy per step — {MODEL}@{BATCH}, Optane platform",
+    )
+    return {"records": records, "text": text}
+
+
+def run_cxl():
+    records = {}
+    rows = []
+    for policy in POLICIES:
+        fraction = None if policy in ("slow-only", "fast-only") else 0.2
+        metrics = run_policy(
+            policy,
+            model=MODEL,
+            batch_size=BATCH,
+            platform=CXL_HM,
+            fast_fraction=fraction,
+        )
+        records[policy] = metrics
+        rows.append((policy, f"{metrics.step_time:.4f}"))
+    base = records["slow-only"].step_time
+    rows = [(name, step, f"{base / float(step):.2f}x") for name, step in rows]
+    text = format_table(
+        ("policy", "step (s)", "speedup"),
+        rows,
+        title=f"CXL generalization — {MODEL}@{BATCH}, fast = 20% of peak",
+    )
+    return {"records": records, "text": text}
+
+
+def test_extension_energy(benchmark, record_experiment):
+    result = run_once(benchmark, run_energy)
+    record_experiment("extension_energy", result)
+    records = result["records"]
+
+    sentinel = records["sentinel"]["energy"]
+    # Sentinel's dynamic energy beats every static CPU policy's.
+    for policy in ("slow-only", "first-touch"):
+        assert sentinel.dynamic < records[policy]["energy"].dynamic, policy
+    # Total energy (including background power over the faster step) is the
+    # lowest among the managed policies.
+    for policy in ("slow-only", "first-touch", "ial", "autotm"):
+        assert sentinel.total <= records[policy]["energy"].total * 1.02, policy
+
+
+def test_extension_cxl(benchmark, record_experiment):
+    result = run_once(benchmark, run_cxl)
+    record_experiment("extension_cxl", result)
+    records = result["records"]
+
+    # The Optane ordering carries over to CXL unchanged.
+    sentinel = records["sentinel"].step_time
+    assert sentinel < records["ial"].step_time
+    assert sentinel < records["autotm"].step_time
+    assert sentinel < records["first-touch"].step_time
+    assert records["fast-only"].step_time <= sentinel * 1.001
+    # CXL's milder slow tier narrows the slow-only gap but does not
+    # eliminate it.
+    ratio = records["slow-only"].step_time / records["fast-only"].step_time
+    assert 1.3 < ratio < 8.0

@@ -1,0 +1,33 @@
+"""E9 — Figure 11: minimum fast memory for fast-only parity vs ResNet depth.
+
+The paper's scaling claim: as ResNet grows (peak memory grows quickly), the
+fast memory Sentinel needs for parity grows much more slowly — deeper
+models have proportionally more migration opportunity per byte of saved
+state.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig11_resnet_scaling
+
+
+def test_fig11(benchmark, record_experiment):
+    result = run_once(
+        benchmark, fig11_resnet_scaling, depths=(20, 32, 56, 110), batch_size=512
+    )
+    record_experiment("fig11_resnet_scaling", result)
+
+    records = result["records"]
+    # Peak memory grows with depth.
+    peaks = [r["peak_bytes"] for r in records]
+    assert peaks == sorted(peaks)
+
+    # The required fast memory grows strictly slower than the peak: the
+    # deepest model's min-fast/peak ratio is below the shallowest's.
+    first_ratio = records[0]["min_fast_bytes"] / records[0]["peak_bytes"]
+    last_ratio = records[-1]["min_fast_bytes"] / records[-1]["peak_bytes"]
+    assert last_ratio <= first_ratio * 1.01
+
+    # And in absolute terms the required fast memory is far below peak for
+    # the deepest variant.
+    assert records[-1]["min_fast_bytes"] < 0.8 * records[-1]["peak_bytes"]

@@ -1,0 +1,46 @@
+"""E11 — Figure 12: GPU training throughput, normalized by Unified Memory.
+
+Paper claims (averages over models/batches): Sentinel-GPU achieves
+1.1-7.8x over UM, +2x over vDNN, +65% over SwapAdvisor, +17% over AutoTM,
++16% over Capuchin.  We assert the ordering — Sentinel on top, UM at the
+bottom — on the capacity-stressed batches where policies differ.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.harness.experiments import GPU_BATCHES, fig12_gpu_throughput
+
+
+def test_fig12(benchmark, record_experiment):
+    result = run_once(benchmark, fig12_gpu_throughput)
+    record_experiment("fig12_gpu_throughput", result)
+
+    records = result["records"]
+    sentinel_vs = {policy: [] for policy in ("unified-memory", "capuchin", "swapadvisor", "autotm", "vdnn")}
+    for (model, batch), row in records.items():
+        sentinel = row["sentinel-gpu"]
+        assert sentinel is not None and sentinel > 0
+        # Sentinel never loses to UM.
+        assert sentinel >= row["unified-memory"] * 0.98, (model, batch)
+        for policy, ratios in sentinel_vs.items():
+            if row.get(policy):
+                ratios.append(sentinel / row[policy])
+
+    # On average over the sweep, Sentinel leads every baseline.
+    for policy, ratios in sentinel_vs.items():
+        assert ratios, policy
+        assert statistics.mean(ratios) > 1.0, policy
+
+    # The UM advantage is large on oversubscribed batches (paper: up to 7.8x).
+    biggest = [
+        records[(model, batches[-1])]
+        for model, batches in GPU_BATCHES.items()
+    ]
+    um_ratios = [
+        row["sentinel-gpu"] / row["unified-memory"]
+        for row in biggest
+        if row["unified-memory"]
+    ]
+    assert max(um_ratios) > 2.0

@@ -1,0 +1,36 @@
+"""E3 — Figure 5: performance vs migration interval length (ResNet-32).
+
+The paper reports a 21% spread over interval lengths 5-11 with an interior
+optimum at 8 (on their layer annotation).  We sweep the interval length at
+a constrained fast-memory size and assert the shape: the choice matters (a
+measurable spread) and the optimizer's pick is at or near the best measured
+length.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig5_interval_sweep
+from repro.harness.runner import run_policy
+
+
+def test_fig5_interval_sweep(benchmark, record_experiment):
+    result = run_once(
+        benchmark,
+        fig5_interval_sweep,
+        model="resnet32",
+        fast_fraction=0.2,
+        lengths=tuple(range(1, 13)),
+    )
+    record_experiment("fig5_interval_sweep", result)
+
+    points = dict(result["points"])
+    # The interval length is a real knob: the spread across candidates is
+    # measurable (paper: 21% between lengths 5 and 11).
+    assert result["variance"] > 0.03
+
+    # The model-chosen interval length performs within a few percent of the
+    # best length found by exhaustive measurement — the point of Eq. 1/2 is
+    # to avoid that exhaustive search.
+    chosen = run_policy("sentinel", model="resnet32", fast_fraction=0.2)
+    best_time = result["best"][1]
+    assert chosen.step_time <= best_time * 1.08

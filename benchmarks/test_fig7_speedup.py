@@ -1,0 +1,43 @@
+"""E4 — Figure 7: speedup over slow-only at fast = 20% of peak.
+
+The paper's headline CPU result: Sentinel approaches the fast-memory-only
+ceiling (9% average gap) while consistently beating IAL (+37% avg) and
+AutoTM (+17% avg).  We assert the ordering and rough factors.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.harness.experiments import fig7_speedup
+
+
+def test_fig7(benchmark, record_experiment):
+    result = run_once(benchmark, fig7_speedup)
+    record_experiment("fig7_speedup", result)
+
+    sentinel_gaps = []
+    for model, row in result["records"].items():
+        # Ordering: Sentinel fastest among the managed policies, fast-only
+        # remains the ceiling.
+        assert row["sentinel"] <= row["ial"] * 1.02, model
+        assert row["sentinel"] <= row["autotm"] * 1.02, model
+        assert row["fast_time"] <= row["sentinel"], model
+        # Everyone beats slow-only.
+        for policy in ("ial", "autotm", "sentinel"):
+            assert row[policy] < row["slow_time"], (model, policy)
+        sentinel_gaps.append(row["sentinel"] / row["fast_time"])
+
+    # Average gap to fast-only stays moderate (paper: 1.09; simulator
+    # substrate tolerance: < 1.6).
+    assert statistics.mean(sentinel_gaps) < 1.6
+
+    # IAL and AutoTM trail Sentinel on average (paper: 37% / 17%).
+    ial_gap = statistics.mean(
+        row["ial"] / row["sentinel"] for row in result["records"].values()
+    )
+    autotm_gap = statistics.mean(
+        row["autotm"] / row["sentinel"] for row in result["records"].values()
+    )
+    assert ial_gap > 1.05
+    assert autotm_gap > 1.05

@@ -1,0 +1,24 @@
+"""E7 — Figure 9: memory bandwidth during ResNet-32 training, IAL vs Sentinel.
+
+The paper: Sentinel drives ~7.3x more fast-memory traffic than IAL and less
+slow-memory traffic — the signature of serving the working set from DRAM.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig9_bandwidth
+
+
+def test_fig9(benchmark, record_experiment):
+    result = run_once(benchmark, fig9_bandwidth)
+    record_experiment("fig9_bandwidth", result)
+
+    sentinel = result["records"]["sentinel"]
+    ial = result["records"]["ial"]
+
+    # Sentinel serves more traffic from fast memory than IAL...
+    assert result["fast_ratio"] > 1.2
+    # ...and pushes less onto slow memory.
+    assert sentinel["slow_bw"] < ial["slow_bw"]
+    # Fast-memory bandwidth dominates slow for Sentinel (paper's plot shape).
+    assert sentinel["fast_bw"] > sentinel["slow_bw"]

@@ -1,0 +1,41 @@
+"""E10 — Table V: maximum batch size on fixed GPU memory.
+
+Paper claims: Sentinel-GPU trains ~4.18x larger batches than plain
+TensorFlow, ~1.9x larger than vDNN, ~1.1x larger than SwapAdvisor, and is
+comparable to AutoTM and Capuchin (all three migrate aggressively); vDNN
+fails outright on LSTM and BERT.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table5_max_batch
+
+
+def test_table5(benchmark, record_experiment):
+    result = run_once(benchmark, table5_max_batch)
+    record_experiment("table5_maxbatch", result)
+
+    records = result["records"]
+
+    for model, row in records.items():
+        sentinel = row["sentinel-gpu"]
+        plain = row["fast-only"]
+        assert sentinel >= 2 * max(1, plain), model  # paper: 4.18x average
+
+        if model in ("lstm", "bert-large"):
+            assert row["vdnn"] is None, "vDNN cannot run recurrent models"
+        else:
+            assert row["vdnn"] is not None
+            assert sentinel >= row["vdnn"], model  # paper: 1.9x on CNNs
+
+        # AutoTM and Capuchin offload as aggressively as Sentinel: their
+        # batch ceilings are comparable (paper: "achieve a comparable
+        # maximum batch size").  Capuchin's recomputation lets it *discard*
+        # memory entirely, buying it an edge on activation-dominated
+        # models, so the band is asymmetric.
+        for policy in ("autotm", "capuchin"):
+            assert row[policy] >= plain, (model, policy)
+            assert sentinel >= 0.6 * row[policy], (model, policy)
+
+        # SwapAdvisor optimizes throughput, not memory: it trails Sentinel.
+        assert sentinel >= 0.9 * row["swapadvisor"], model

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Dynamic input shapes without re-profiling every step (paper §IV-E).
+
+A language model sees variable sequence lengths; each length is a different
+dataflow graph.  Sentinel bucketizes the observed lengths (at most 10
+buckets), profiles each bucket once, and dispatches every step to its
+bucket's managed runtime — the profiling cost stays a handful of steps no
+matter how many millions of steps follow.
+
+Usage::
+
+    python examples/dynamic_graphs.py
+"""
+
+import random
+
+from repro.core.buckets import BucketedSentinel, bucketize
+from repro.core.runtime import SentinelConfig
+from repro.harness import format_table
+from repro.mem import OPTANE_HM
+from repro.models.lstm import build_lstm
+
+
+def main() -> None:
+    rng = random.Random(42)
+    # A day of traffic: sequence lengths skewed toward short requests.
+    observed = [rng.choice((8, 8, 8, 12, 16, 16, 24, 40, 48)) for _ in range(500)]
+    bounds = bucketize(observed)
+    print(f"observed {len(set(observed))} distinct lengths -> buckets {bounds}\n")
+
+    trainer = BucketedSentinel(
+        OPTANE_HM,
+        builder=lambda seq: build_lstm(batch_size=16, seq=max(2, seq)),
+        bucket_bounds=bounds,
+        config=SentinelConfig(warmup_steps=1),
+    )
+
+    durations = {}
+    for step, seq_len in enumerate(observed[:60]):
+        result = trainer.run_step(seq_len)
+        bucket = trainer.bucket_for(seq_len)
+        durations.setdefault(bucket, []).append(result.duration)
+
+    rows = []
+    for bound in trainer.bounds:
+        series = durations.get(bound, [])
+        if not series:
+            rows.append((bound, 0, "-", "-"))
+            continue
+        rows.append(
+            (
+                bound,
+                len(series),
+                f"{max(series) * 1e3:.1f}",
+                f"{series[-1] * 1e3:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ("bucket (seq len)", "steps", "first/profiled step (ms)", "steady step (ms)"),
+            rows,
+            title="Per-bucket steps: one expensive profiled step, then managed",
+        )
+    )
+    print(
+        f"\nbuckets profiled: {trainer.profiled_buckets}; total overhead "
+        f"steps: {trainer.overhead_steps():.0f} — amortized over millions of "
+        "training steps, <1% (paper §VII-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

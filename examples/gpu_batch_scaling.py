@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""How much larger can each GPU memory manager train? (Table V's question.)
+
+Searches the maximum feasible batch size per policy on the simulated V100
+(16 GB HBM + host memory over PCIe), then measures throughput at a shared
+capacity-stressing batch.
+
+Usage::
+
+    python examples/gpu_batch_scaling.py [model]
+"""
+
+import sys
+
+from repro.baselines import UnsupportedModelError
+from repro.harness import format_table, max_batch_size, run_policy
+from repro.harness.experiments import GPU_BATCHES
+from repro.mem import GPU_HM
+
+POLICIES = (
+    ("fast-only", "plain TensorFlow"),
+    ("unified-memory", "CUDA Unified Memory"),
+    ("vdnn", "vDNN"),
+    ("autotm", "AutoTM"),
+    ("swapadvisor", "SwapAdvisor"),
+    ("capuchin", "Capuchin"),
+    ("sentinel-gpu", "Sentinel-GPU"),
+)
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet200"
+
+    from repro.harness.runner import OOM_ERRORS
+
+    rows = []
+    stress_batch = GPU_BATCHES.get(model, (None, None, 32))[-1]
+    for policy, label in POLICIES:
+        try:
+            if policy == "unified-memory":
+                best = "(host-bound)"  # paper: UM's ceiling is host memory
+            else:
+                best = max_batch_size(policy, model, GPU_HM, limit=1 << 15)
+        except UnsupportedModelError:
+            rows.append((label, "x", "x", "x"))
+            continue
+        try:
+            metrics = run_policy(
+                policy, model=model, batch_size=stress_batch, platform=GPU_HM
+            )
+            rows.append(
+                (label, best, f"{metrics.throughput:.1f}", f"{metrics.stall_time:.2f}")
+            )
+        except OOM_ERRORS:
+            # The stress batch exceeds this policy's ceiling (that is the
+            # point of the max-batch column).
+            rows.append((label, best, "oom", "oom"))
+
+    print(
+        format_table(
+            ("policy", "max batch", f"samples/s @ batch {stress_batch}", "exposed (s)"),
+            rows,
+            title=f"{model} on simulated 16 GB V100 + host DRAM",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Inside the migration-interval optimizer (Eq. 1 and Eq. 2, Figure 4/5).
+
+For one model at a constrained fast-memory size, show what the optimizer
+sees: per-candidate feasibility under the space constraint, the estimated
+exposed migration time, and — for the chosen interval length — the
+per-interval demand against capacity.
+
+Usage::
+
+    python examples/interval_planner_demo.py [model] [fast_fraction]
+"""
+
+import sys
+
+from repro.core import DynamicProfiler, choose_interval_length
+from repro.core.interval import evaluate_interval_length
+from repro.harness import format_table
+from repro.harness.report import format_bars, mib
+from repro.mem import OPTANE_HM
+from repro.models import build_model
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet32"
+    fraction = float(sys.argv[2]) if len(sys.argv) > 2 else 0.16
+
+    graph = build_model(model)
+    capacity = int(graph.peak_memory_bytes() * fraction)
+    profile = DynamicProfiler(OPTANE_HM).run(graph).profile
+    bandwidth = OPTANE_HM.promote_bandwidth
+
+    rows = []
+    for mil in range(1, 13):
+        plan = evaluate_interval_length(profile, mil, capacity, bandwidth)
+        rows.append(
+            (
+                mil,
+                "yes" if plan.feasible else "NO",
+                f"{mib(plan.reserved_short_bytes):.1f}",
+                f"{mib(max(plan.tensor_bytes)):.0f}",
+                f"{plan.estimated_exposure * 1e3:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ("MIL", "Eq.1 feasible", "RS MiB", "worst interval MiB", "est. exposure ms"),
+            rows,
+            title=f"{model}: candidate interval lengths at fast = "
+            f"{fraction:.0%} of peak ({mib(capacity):.0f} MiB)",
+        )
+    )
+
+    chosen = choose_interval_length(profile, capacity, bandwidth)
+    print(
+        f"\nchosen MIL = {chosen.interval_length} "
+        f"({chosen.num_intervals} intervals per step)\n"
+    )
+    print(
+        format_bars(
+            "per-interval long-lived demand (MiB) — capacity line is "
+            f"{mib(capacity - chosen.reserved_short_bytes):.0f}",
+            [
+                (f"I{i}", mib(demand))
+                for i, demand in enumerate(chosen.tensor_bytes)
+            ][:24],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

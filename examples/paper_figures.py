@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` without the assertion
+layer: runs each experiment and prints (and optionally saves) the outputs.
+
+Usage::
+
+    python examples/paper_figures.py [output_dir]
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.harness import experiments as E
+
+ARTIFACTS = (
+    ("observations", E.characterization),
+    ("table3", E.table3_models),
+    ("fig5", E.fig5_interval_sweep),
+    ("fig7", E.fig7_speedup),
+    ("table4", E.table4_migrated),
+    ("fig8", E.fig8_large_batch),
+    ("fig9", E.fig9_bandwidth),
+    ("fig10", E.fig10_sensitivity),
+    ("fig11", E.fig11_resnet_scaling),
+    ("table5", E.table5_max_batch),
+    ("fig12", E.fig12_gpu_throughput),
+    ("fig13", E.fig13_breakdown),
+)
+
+
+def main() -> None:
+    out_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name, function in ARTIFACTS:
+        started = time.time()
+        result = function()
+        elapsed = time.time() - started
+        print(f"\n{'=' * 72}\n[{name}] ({elapsed:.1f}s)\n")
+        print(result["text"])
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(result["text"] + "\n")
+    print(f"\nDone — {len(ARTIFACTS)} artifacts regenerated.")
+
+
+if __name__ == "__main__":
+    main()

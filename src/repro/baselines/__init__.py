@@ -1,0 +1,50 @@
+"""Every comparison point of the paper's evaluation, implemented.
+
+CPU (Optane) baselines — §VII-B:
+
+* slow-only / fast-only bounds,
+* first-touch NUMA (Linux default),
+* Memory Mode (DRAM as a hardware cache of PMM),
+* IAL — the improved FIFO active-list kernel approach of [19],
+* AutoTM — offline placement with synchronous (exposed) movement [7].
+
+GPU baselines — §VII-C:
+
+* Unified Memory (on-demand page migration on fault) [37],
+* vDNN (conv-input offload; cannot handle recurrent graphs) [6],
+* SwapAdvisor (genetic-algorithm swap planning) [8],
+* Capuchin (swap with recomputation fallback) [9].
+
+All implement :class:`repro.dnn.policy.PlacementPolicy`; see
+:data:`repro.baselines.registry.POLICIES` for construction by name.
+"""
+
+from repro.baselines.simple import (
+    FastOnlyPolicy,
+    FirstTouchNUMAPolicy,
+    MemoryModePolicy,
+    SlowOnlyPolicy,
+)
+from repro.baselines.ial import IALPolicy
+from repro.baselines.autotm import AutoTMPolicy
+from repro.baselines.um import UnifiedMemoryPolicy
+from repro.baselines.vdnn import UnsupportedModelError, VDNNPolicy
+from repro.baselines.swapadvisor import SwapAdvisorPolicy
+from repro.baselines.capuchin import CapuchinPolicy
+from repro.baselines.registry import POLICIES, make_policy
+
+__all__ = [
+    "SlowOnlyPolicy",
+    "FastOnlyPolicy",
+    "FirstTouchNUMAPolicy",
+    "MemoryModePolicy",
+    "IALPolicy",
+    "AutoTMPolicy",
+    "UnifiedMemoryPolicy",
+    "VDNNPolicy",
+    "UnsupportedModelError",
+    "SwapAdvisorPolicy",
+    "CapuchinPolicy",
+    "POLICIES",
+    "make_policy",
+]

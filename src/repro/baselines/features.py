@@ -1,0 +1,161 @@
+"""Table I: the qualitative feature comparison, as data.
+
+The paper's Table I compares state-of-the-art heterogeneous-memory managers
+along six design dimensions.  Keeping the matrix in code (a) renders the
+table from the same registry that builds the policies, and (b) lets tests
+assert that each implementation actually *has* the property the row claims
+(e.g. "graph agnostic" policies must not import tensor kinds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class FeatureRow:
+    """One system's design properties (paper Table I columns)."""
+
+    policy: str
+    dynamic_profiling: bool
+    minimizes_fast_memory: bool
+    graph_agnostic: bool
+    counts_memory_accesses: bool
+    avoids_false_sharing: bool
+    cpu: bool
+    gpu: bool
+
+
+FEATURES: Dict[str, FeatureRow] = {
+    row.policy: row
+    for row in (
+        FeatureRow(
+            policy="first-touch",
+            dynamic_profiling=False,
+            minimizes_fast_memory=False,
+            graph_agnostic=True,
+            counts_memory_accesses=False,
+            avoids_false_sharing=False,
+            cpu=True,
+            gpu=False,
+        ),
+        FeatureRow(
+            policy="memory-mode",
+            dynamic_profiling=False,
+            minimizes_fast_memory=False,
+            graph_agnostic=True,
+            counts_memory_accesses=False,
+            avoids_false_sharing=False,
+            cpu=True,
+            gpu=False,
+        ),
+        FeatureRow(
+            policy="ial",
+            dynamic_profiling=True,  # reference sampling at runtime
+            minimizes_fast_memory=False,
+            graph_agnostic=True,
+            counts_memory_accesses=False,  # binary referenced/not per scan
+            avoids_false_sharing=False,
+            cpu=True,
+            gpu=False,
+        ),
+        FeatureRow(
+            policy="autotm",
+            dynamic_profiling=False,  # compile-time (static) profiling
+            minimizes_fast_memory=True,
+            graph_agnostic=True,
+            counts_memory_accesses=False,
+            avoids_false_sharing=False,
+            cpu=True,
+            gpu=True,
+        ),
+        FeatureRow(
+            policy="unified-memory",
+            dynamic_profiling=False,
+            minimizes_fast_memory=False,
+            graph_agnostic=True,
+            counts_memory_accesses=False,
+            avoids_false_sharing=False,
+            cpu=False,
+            gpu=True,
+        ),
+        FeatureRow(
+            policy="vdnn",
+            dynamic_profiling=False,
+            minimizes_fast_memory=False,  # conv feature maps only
+            graph_agnostic=False,  # needs to know which layers are convs
+            counts_memory_accesses=False,
+            avoids_false_sharing=False,
+            cpu=False,
+            gpu=True,
+        ),
+        FeatureRow(
+            policy="swapadvisor",
+            dynamic_profiling=True,  # GA over measured runs
+            minimizes_fast_memory=False,  # optimizes time, not memory
+            graph_agnostic=True,
+            counts_memory_accesses=False,
+            avoids_false_sharing=False,
+            cpu=False,
+            gpu=True,
+        ),
+        FeatureRow(
+            policy="capuchin",
+            dynamic_profiling=True,
+            minimizes_fast_memory=True,
+            graph_agnostic=True,
+            counts_memory_accesses=False,  # checks references, not counts
+            avoids_false_sharing=False,
+            cpu=False,
+            gpu=True,
+        ),
+        FeatureRow(
+            policy="sentinel",
+            dynamic_profiling=True,
+            minimizes_fast_memory=True,
+            graph_agnostic=True,
+            counts_memory_accesses=True,
+            avoids_false_sharing=True,
+            cpu=True,
+            gpu=False,
+        ),
+        FeatureRow(
+            policy="sentinel-gpu",
+            dynamic_profiling=True,
+            minimizes_fast_memory=True,
+            graph_agnostic=True,
+            counts_memory_accesses=True,
+            avoids_false_sharing=True,
+            cpu=False,
+            gpu=True,
+        ),
+    )
+}
+
+COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("dynamic_profiling", "dyn. profiling"),
+    ("minimizes_fast_memory", "min. fast mem"),
+    ("graph_agnostic", "graph agnostic"),
+    ("counts_memory_accesses", "counts accesses"),
+    ("avoids_false_sharing", "no false sharing"),
+    ("cpu", "CPU"),
+    ("gpu", "GPU"),
+)
+
+
+def feature_table() -> str:
+    """Render Table I."""
+    from repro.harness.report import format_table
+
+    rows: List[Tuple] = []
+    for row in FEATURES.values():
+        rows.append(
+            (row.policy,)
+            + tuple("yes" if getattr(row, field) else "-" for field, _ in COLUMNS)
+        )
+    return format_table(
+        ("system",) + tuple(label for _, label in COLUMNS),
+        rows,
+        title="Table I — design-dimension comparison",
+    )

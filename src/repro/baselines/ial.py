@@ -1,0 +1,141 @@
+"""IAL: the improved active-list tiered-memory manager of [19].
+
+The kernel approach Sentinel compares against on CPU: pages promoted to
+DRAM when referenced repeatedly and tracked on a FIFO active list; when
+DRAM fills, the oldest promoted pages are demoted back to PMM.  It is
+application-agnostic, which is precisely its weakness on DNN training:
+
+* it promotes *short-lived* pages that will be dead before the promotion
+  even completes (bandwidth waste — the paper's Figure 9 shows IAL leaving
+  most traffic on slow memory),
+* page-level decisions suffer false sharing under arena allocation,
+* promotion is reactive — a page earns its way up only after paying slow
+  accesses, where Sentinel's profile-driven prefetch pays none.
+
+IAL runs on the :class:`~repro.dnn.arena.ArenaAllocator` (the TensorFlow
+default): pages persist across steps, so a page promoted while hosting one
+step's tensor is still DRAM-resident when the arena hands the same chunk to
+the next step's tensor.  That page-reuse persistence — not any tensor-level
+knowledge — is what lets the kernel approach perform at all here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.dnn.alloc import Allocator, TensorMapping
+from repro.dnn.arena import ArenaAllocator
+from repro.dnn.graph import Graph
+from repro.dnn.ops import TensorAccess
+from repro.dnn.policy import AccessCharge, PlacementPolicy
+from repro.dnn.tensor import Tensor
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.page import PageTableEntry
+
+
+class IALPolicy(PlacementPolicy):
+    """FIFO active-list promotion/demotion over persistent arena pages."""
+
+    name = "ial"
+    requires_residency = False
+
+    #: keep a slice of fast memory free so promotions are always admissible
+    HEADROOM_FRACTION = 0.05
+
+    #: references a run needs before it is promoted: the active list requires
+    #: a page on the inactive list to be referenced again (and scans sample
+    #: references), so early streaming passes do not promote
+    PROMOTION_THRESHOLD = 1
+
+    def __init__(self) -> None:
+        super().__init__()
+        # FIFO of promoted runs: insertion order = promotion order.
+        self._active: "OrderedDict[int, PageTableEntry]" = OrderedDict()
+        self._touch_counts: dict = {}
+        self._scan_queue: "OrderedDict[int, PageTableEntry]" = OrderedDict()
+
+    def bind(self, machine: Machine, graph: Graph) -> None:
+        super().bind(machine, graph)
+        self._active.clear()
+        self._touch_counts.clear()
+        self._scan_queue.clear()
+
+    def make_allocator(self) -> Allocator:
+        assert self.machine is not None
+        return ArenaAllocator(self.machine, self.place)
+
+    def place(self, tensor: Tensor, now: float) -> DeviceKind:
+        # Fresh arena slabs land on PMM; DRAM residency is earned through
+        # the active list (and persists with the pages).
+        return DeviceKind.SLOW
+
+    # ------------------------------------------------------------ promotion
+
+    def _note_candidate(self, run: PageTableEntry) -> None:
+        if run.device is not DeviceKind.SLOW or run.in_flight or run.pinned:
+            return
+        count = self._touch_counts.get(run.vpn, 0) + 1
+        self._touch_counts[run.vpn] = count
+        if count >= self.PROMOTION_THRESHOLD and run.vpn not in self._scan_queue:
+            self._scan_queue[run.vpn] = run
+
+    def charge_access(
+        self, tensor: Tensor, mapping: TensorMapping, access: TensorAccess, now: float
+    ) -> AccessCharge:
+        charge = super().charge_access(tensor, mapping, access, now)
+        # Reference-triggered candidacy, like the kernel's NUMA-balancing
+        # hint faults: every touched slow run becomes a promotion candidate,
+        # regardless of how useful promoting it will be — that obliviousness
+        # is the baseline's defining behaviour.
+        for share in mapping.shares:
+            self._note_candidate(share.run)
+        self._drain_scan_queue(now)
+        return charge
+
+    def on_layer_end(self, layer, now: float) -> float:
+        self._drain_scan_queue(now)
+        return 0.0
+
+    def _drain_scan_queue(self, now: float) -> None:
+        machine = self.machine
+        assert machine is not None
+        if not self._scan_queue:
+            return
+        page_size = machine.page_size
+        headroom = int(machine.fast.capacity * self.HEADROOM_FRACTION)
+        for vpn, run in list(self._scan_queue.items()):
+            del self._scan_queue[vpn]
+            if (
+                vpn not in machine.page_table
+                or run.device is not DeviceKind.SLOW
+                or run.in_flight
+            ):
+                continue
+            nbytes = run.npages * page_size
+            self._evict_to_fit(nbytes + headroom, now)
+            if not machine.fast.fits(nbytes):
+                continue  # eviction still draining; rediscovered next touch
+            _, scheduled, _ = machine.migration.promote([run], now, tag="ial")
+            for promoted in scheduled:
+                self._active[promoted.vpn] = promoted
+                self._touch_counts.pop(promoted.vpn, None)
+
+    def _evict_to_fit(self, nbytes: int, now: float) -> None:
+        """Demote FIFO-oldest active runs until ``nbytes`` could fit."""
+        machine = self.machine
+        assert machine is not None
+        victims = []
+        projected_free = machine.fast.free
+        while projected_free < nbytes and self._active:
+            vpn, run = self._active.popitem(last=False)
+            if (
+                vpn not in machine.page_table
+                or run.device is not DeviceKind.FAST
+                or run.in_flight
+            ):
+                continue
+            victims.append(run)
+            projected_free += run.npages * machine.page_size
+        if victims:
+            machine.migration.demote(victims, now, tag="ial-evict")

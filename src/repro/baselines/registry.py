@@ -1,0 +1,66 @@
+"""Policy registry: construct any evaluated memory manager by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.baselines.autotm import AutoTMPolicy
+from repro.baselines.capuchin import CapuchinPolicy
+from repro.baselines.ial import IALPolicy
+from repro.baselines.simple import (
+    FastOnlyPolicy,
+    FirstTouchNUMAPolicy,
+    MemoryModePolicy,
+    SlowOnlyPolicy,
+)
+from repro.baselines.swapadvisor import SwapAdvisorPolicy
+from repro.baselines.um import UnifiedMemoryPolicy
+from repro.baselines.vdnn import VDNNPolicy
+from repro.core.gpu import SentinelGPUPolicy
+from repro.core.runtime import SentinelConfig, SentinelPolicy
+from repro.dnn.policy import PlacementPolicy
+
+PolicyFactory = Callable[[], PlacementPolicy]
+
+#: name -> (factory, platforms it applies to)
+POLICIES: Dict[str, PolicyFactory] = {
+    "slow-only": SlowOnlyPolicy,
+    "fast-only": FastOnlyPolicy,
+    "first-touch": FirstTouchNUMAPolicy,
+    "memory-mode": MemoryModePolicy,
+    "ial": IALPolicy,
+    "autotm": AutoTMPolicy,
+    "unified-memory": UnifiedMemoryPolicy,
+    "vdnn": VDNNPolicy,
+    "swapadvisor": SwapAdvisorPolicy,
+    "capuchin": CapuchinPolicy,
+    "sentinel": SentinelPolicy,
+    "sentinel-gpu": SentinelGPUPolicy,
+}
+
+#: policies meaningful only on the GPU platform (residency semantics)
+GPU_ONLY = frozenset(
+    {"unified-memory", "vdnn", "swapadvisor", "capuchin", "sentinel-gpu"}
+)
+
+#: policies meaningful only on the CPU/Optane platform
+CPU_ONLY = frozenset({"first-touch", "memory-mode", "ial", "sentinel"})
+
+
+def make_policy(
+    name: str, sentinel_config: Optional[SentinelConfig] = None
+) -> PlacementPolicy:
+    """Build a policy by registry name.
+
+    ``sentinel_config`` customizes the two Sentinel variants (warm-up steps,
+    ablation switches, pinned interval length); it is ignored for baselines.
+    """
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+    if name in ("sentinel", "sentinel-gpu") and sentinel_config is not None:
+        return factory(sentinel_config)  # type: ignore[call-arg]
+    return factory()

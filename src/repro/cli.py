@@ -1,0 +1,324 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``        — one (model, policy) simulation, metrics printed as a table.
+* ``compare``    — every applicable policy on one model (the quickstart).
+* ``profile``    — Sentinel's tensor-level dynamic profile of a model.
+* ``sweep``      — Sentinel across fast-memory fractions (Figure 10 style).
+* ``maxbatch``   — maximum feasible batch per policy on the GPU platform.
+* ``experiment`` — regenerate one of the paper's tables/figures by id.
+* ``models``     — list the model zoo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines.registry import CPU_ONLY, GPU_ONLY, POLICIES
+from repro.baselines.vdnn import UnsupportedModelError
+from repro.harness.report import format_table, gib, mib
+from repro.harness.runner import OOM_ERRORS, max_batch_size, run_policy
+from repro.mem.platforms import GPU_HM, OPTANE_HM, Platform
+from repro.models.zoo import MODELS
+
+EXPERIMENTS = {
+    "obs": "characterization",
+    "table3": "table3_models",
+    "fig5": "fig5_interval_sweep",
+    "fig7": "fig7_speedup",
+    "table4": "table4_migrated",
+    "fig8": "fig8_large_batch",
+    "fig9": "fig9_bandwidth",
+    "fig10": "fig10_sensitivity",
+    "fig11": "fig11_resnet_scaling",
+    "table5": "table5_max_batch",
+    "fig12": "fig12_gpu_throughput",
+    "fig13": "fig13_breakdown",
+}
+
+
+def _platform(name: str) -> Platform:
+    if name == "optane":
+        return OPTANE_HM
+    if name == "gpu":
+        return GPU_HM
+    raise argparse.ArgumentTypeError(f"unknown platform {name!r} (optane|gpu)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sentinel (HPCA 2021) reproduction on a simulated "
+        "heterogeneous-memory machine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one policy on one model")
+    run.add_argument("model", choices=sorted(MODELS))
+    run.add_argument("policy", choices=sorted(POLICIES))
+    run.add_argument("--batch", type=int, default=None)
+    run.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    run.add_argument(
+        "--fast-fraction",
+        type=float,
+        default=None,
+        help="fast memory as a fraction of the model's peak (paper: 0.2)",
+    )
+
+    compare = sub.add_parser("compare", help="all applicable policies on one model")
+    compare.add_argument("model", choices=sorted(MODELS))
+    compare.add_argument("--batch", type=int, default=None)
+    compare.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    compare.add_argument("--fast-fraction", type=float, default=0.2)
+
+    profile = sub.add_parser("profile", help="Sentinel's dynamic profile of a model")
+    profile.add_argument("model", choices=sorted(MODELS))
+    profile.add_argument("--batch", type=int, default=None)
+    profile.add_argument("--top", type=int, default=10, help="hot tensors to list")
+
+    sweep = sub.add_parser("sweep", help="Sentinel vs fast-memory fraction")
+    sweep.add_argument("model", choices=sorted(MODELS))
+    sweep.add_argument("--batch", type=int, default=None)
+    sweep.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=(0.2, 0.3, 0.4, 0.6),
+    )
+
+    maxbatch = sub.add_parser("maxbatch", help="max feasible batch per GPU policy")
+    maxbatch.add_argument("model", choices=sorted(MODELS))
+    maxbatch.add_argument(
+        "--policies",
+        nargs="+",
+        default=["fast-only", "vdnn", "autotm", "swapadvisor", "capuchin", "sentinel-gpu"],
+        choices=sorted(POLICIES),
+    )
+    maxbatch.add_argument("--limit", type=int, default=1 << 15)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure by id"
+    )
+    experiment.add_argument("which", choices=sorted(EXPERIMENTS))
+
+    grid = sub.add_parser("grid", help="free-form policy x model sweep")
+    grid.add_argument("--policies", nargs="+", default=["slow-only", "ial", "autotm", "sentinel", "fast-only"], choices=sorted(POLICIES))
+    grid.add_argument("--models", nargs="+", default=["resnet32", "lstm", "dcgan"], choices=sorted(MODELS))
+    grid.add_argument("--fast-fraction", type=float, default=0.2)
+    grid.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    grid.add_argument("--value", default="step_time", help="RunMetrics field to tabulate")
+
+    sub.add_parser("models", help="list the model zoo")
+    sub.add_parser("features", help="print Table I (design comparison)")
+    return parser
+
+
+# ------------------------------------------------------------------ commands
+
+def _cmd_run(args) -> int:
+    metrics = run_policy(
+        args.policy,
+        model=args.model,
+        batch_size=args.batch,
+        platform=args.platform,
+        fast_fraction=args.fast_fraction,
+    )
+    rows = [
+        ("step time (s)", f"{metrics.step_time:.4f}"),
+        ("throughput (samples/s)", f"{metrics.throughput:.1f}"),
+        ("compute time (s)", f"{metrics.compute_time:.4f}"),
+        ("exposed stall (s)", f"{metrics.stall_time:.4f}"),
+        ("migrated (MiB)", f"{mib(metrics.migrated_bytes):.0f}"),
+        ("fast traffic (MiB)", f"{mib(metrics.bytes_fast):.0f}"),
+        ("slow traffic (MiB)", f"{mib(metrics.bytes_slow):.0f}"),
+        ("peak fast use (GiB)", f"{gib(metrics.peak_fast):.2f}"),
+    ]
+    rows += [(f"extras.{key}", f"{value:g}") for key, value in metrics.extras.items()]
+    print(
+        format_table(
+            ("metric", "value"),
+            rows,
+            title=f"{args.model} / {args.policy} (batch {metrics.batch_size})",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    gpu = args.platform is GPU_HM
+    skip = CPU_ONLY if gpu else GPU_ONLY
+    order = [name for name in POLICIES if name not in skip]
+    rows = []
+    baseline: Optional[float] = None
+    for name in order:
+        fraction = None if name in ("slow-only", "fast-only") else args.fast_fraction
+        try:
+            metrics = run_policy(
+                name,
+                model=args.model,
+                batch_size=args.batch,
+                platform=args.platform,
+                fast_fraction=fraction,
+            )
+        except UnsupportedModelError:
+            rows.append((name, "x", "x", "x"))
+            continue
+        except OOM_ERRORS:
+            # Below the policy's feasible fast-memory size (e.g. under
+            # Sentinel's §IV-E lower bound on a residency platform).
+            rows.append((name, "oom", "oom", "oom"))
+            continue
+        if baseline is None:
+            baseline = metrics.step_time
+        rows.append(
+            (
+                name,
+                f"{metrics.step_time:.4f}",
+                f"{baseline / metrics.step_time:.2f}x",
+                f"{mib(metrics.migrated_bytes):.0f}",
+            )
+        )
+    print(
+        format_table(
+            ("policy", "step (s)", "speedup", "migrated MiB"),
+            rows,
+            title=f"{args.model} on {'GPU' if gpu else 'Optane'} platform, "
+            f"fast = {args.fast_fraction:.0%} of peak",
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.core import DynamicProfiler
+    from repro.models import build_model
+
+    graph = build_model(args.model, batch_size=args.batch)
+    run = DynamicProfiler(OPTANE_HM).run(graph)
+    profile = run.profile
+    hot = sorted(profile.tensors.values(), key=lambda t: -t.total_touches)
+    rows = [
+        (t.name, t.nbytes, t.total_touches, "pre" if t.preallocated else t.lifetime_layers)
+        for t in hot[: args.top]
+    ]
+    print(
+        format_table(
+            ("tensor", "bytes", "accesses", "lifetime (layers)"),
+            rows,
+            title=f"{graph.name}: hottest tensors "
+            f"({len(profile.tensors)} total, {profile.fault_count} faults, "
+            f"lower bound {mib(profile.fast_memory_lower_bound()):.0f} MiB)",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    fast = run_policy("fast-only", model=args.model, batch_size=args.batch)
+    rows = []
+    for fraction in args.fractions:
+        metrics = run_policy(
+            "sentinel", model=args.model, batch_size=args.batch, fast_fraction=fraction
+        )
+        rows.append(
+            (
+                f"{fraction:.0%}",
+                f"{metrics.step_time:.4f}",
+                f"{metrics.step_time / fast.step_time:.2f}x",
+                f"{mib(metrics.migrated_bytes):.0f}",
+            )
+        )
+    rows.append(("fast-only", f"{fast.step_time:.4f}", "1.00x", "0"))
+    print(
+        format_table(
+            ("fast memory", "step (s)", "vs fast-only", "migrated MiB"),
+            rows,
+            title=f"Sentinel sensitivity — {args.model}",
+        )
+    )
+    return 0
+
+
+def _cmd_maxbatch(args) -> int:
+    rows = []
+    for policy in args.policies:
+        try:
+            best = max_batch_size(policy, args.model, GPU_HM, limit=args.limit)
+            rows.append((policy, best))
+        except UnsupportedModelError:
+            rows.append((policy, "x"))
+    print(
+        format_table(
+            ("policy", "max batch"),
+            rows,
+            title=f"{args.model} on {gib(GPU_HM.fast.capacity):.0f} GiB GPU memory",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.harness import experiments
+
+    function = getattr(experiments, EXPERIMENTS[args.which])
+    result = function()
+    print(result["text"])
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    from repro.harness.sweeps import sweep
+
+    result = sweep(
+        policies=args.policies,
+        models=args.models,
+        fast_fractions=(args.fast_fraction,),
+        platform=args.platform,
+    )
+    print(result.to_table(value=args.value))
+    failures = [p for p in result if not p.ok]
+    if failures:
+        print(
+            "\nfailed points: "
+            + ", ".join(f"{p.policy}/{p.model} ({p.failure})" for p in failures)
+        )
+    return 0
+
+
+def _cmd_features(args) -> int:
+    from repro.baselines.features import feature_table
+
+    print(feature_table())
+    return 0
+
+
+def _cmd_models(args) -> int:
+    rows = [
+        (spec.name, spec.small_batch, spec.large_batch, spec.description)
+        for spec in MODELS.values()
+    ]
+    print(format_table(("model", "batch(S)", "batch(L)", "description"), rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "profile": _cmd_profile,
+        "sweep": _cmd_sweep,
+        "maxbatch": _cmd_maxbatch,
+        "experiment": _cmd_experiment,
+        "models": _cmd_models,
+        "features": _cmd_features,
+        "grid": _cmd_grid,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

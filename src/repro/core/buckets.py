@@ -1,0 +1,184 @@
+"""Dynamic graphs and control dependencies (paper §IV-E).
+
+Frameworks with dynamic shapes generate a different dataflow graph per
+input size.  Sentinel's answer is *bucketed profiling*: input sizes are
+grouped into at most :data:`MAX_BUCKETS` buckets, each bucket's graph is
+profiled once, and training steps are dispatched to their bucket's managed
+runtime.  Control flow inside a static graph is handled the same way — the
+runtime fingerprints the dataflow (:meth:`repro.dnn.graph.Graph.signature`)
+and triggers a fresh profile whenever an unseen signature appears.
+
+:class:`BucketedSentinel` orchestrates per-bucket executors over a shared
+machine.  Each bucket pays Sentinel's usual warm-up + profiling steps the
+first time it runs; afterwards its steps are fully managed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.runtime import SentinelConfig, SentinelPolicy
+from repro.dnn.executor import Executor, StepResult
+from repro.dnn.graph import Graph
+from repro.mem.machine import Machine
+from repro.mem.platforms import Platform
+
+#: The paper bucketizes input sizes into "a small number of buckets
+#: (at most 10)".
+MAX_BUCKETS = 10
+
+
+def bucketize(sizes: Sequence[int], max_buckets: int = MAX_BUCKETS) -> List[int]:
+    """Choose bucket boundaries (upper bounds) for observed input sizes.
+
+    Quantile-spaced over the distinct sizes, so skewed distributions still
+    get resolution where the mass is.  Returns sorted, distinct bounds; an
+    input is served by the smallest bucket whose bound covers it.
+    """
+    if not sizes:
+        raise ValueError("need at least one observed input size")
+    if max_buckets <= 0:
+        raise ValueError(f"need at least one bucket, got {max_buckets!r}")
+    distinct = sorted(set(sizes))
+    if len(distinct) <= max_buckets:
+        return distinct
+    bounds = []
+    for index in range(1, max_buckets + 1):
+        position = round(index * (len(distinct) - 1) / max_buckets)
+        bounds.append(distinct[position])
+    return sorted(set(bounds))
+
+
+@dataclass
+class _Bucket:
+    """One bucket's graph, runtime, and bookkeeping."""
+
+    bound: int
+    graph: Graph
+    policy: SentinelPolicy
+    executor: Executor
+    steps_run: int = 0
+
+
+class BucketedSentinel:
+    """Sentinel across dynamic input sizes, one managed runtime per bucket.
+
+    Args:
+        platform: the heterogeneous-memory machine description.
+        builder: ``builder(input_size) -> Graph`` for a bucket's padded size.
+        bucket_bounds: bucket upper bounds (see :func:`bucketize`).
+        fast_capacity: fast-tier size shared by all buckets.
+        config: Sentinel configuration applied to every bucket.
+
+    Each bucket owns an executor bound to the shared machine's platform; a
+    fresh machine instance per bucket keeps capacity accounting exact for
+    the bucket's steps (the paper's runtime similarly re-plans per graph).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        builder: Callable[[int], Graph],
+        bucket_bounds: Sequence[int],
+        fast_capacity: Optional[int] = None,
+        config: Optional[SentinelConfig] = None,
+    ) -> None:
+        if not bucket_bounds:
+            raise ValueError("need at least one bucket bound")
+        if len(bucket_bounds) > MAX_BUCKETS:
+            raise ValueError(
+                f"at most {MAX_BUCKETS} buckets (paper §IV-E); got "
+                f"{len(bucket_bounds)}"
+            )
+        self.platform = platform
+        self.builder = builder
+        self.fast_capacity = fast_capacity
+        self.config = config if config is not None else SentinelConfig()
+        self._bounds = sorted(set(int(b) for b in bucket_bounds))
+        self._buckets: Dict[int, _Bucket] = {}
+        #: graph signatures that have been profiled (control-flow tracking)
+        self._known_signatures: Dict[Tuple, int] = {}
+        self.reprofiles = 0
+
+    # ------------------------------------------------------------- dispatch
+
+    @property
+    def bounds(self) -> List[int]:
+        return list(self._bounds)
+
+    def bucket_for(self, input_size: int) -> int:
+        """Bound of the bucket serving ``input_size`` (inputs are padded up)."""
+        if input_size <= 0:
+            raise ValueError(f"input size must be positive, got {input_size!r}")
+        index = bisect.bisect_left(self._bounds, input_size)
+        if index == len(self._bounds):
+            raise ValueError(
+                f"input size {input_size} exceeds the largest bucket "
+                f"({self._bounds[-1]}); re-bucketize with the new size"
+            )
+        return self._bounds[index]
+
+    def _materialize(self, bound: int) -> _Bucket:
+        bucket = self._buckets.get(bound)
+        if bucket is not None:
+            return bucket
+        graph = self.builder(bound)
+        machine = Machine.for_platform(self.platform, fast_capacity=self.fast_capacity)
+        policy = SentinelPolicy(
+            SentinelConfig(**{**self.config.__dict__})
+        )
+        executor = Executor(graph, machine, policy)
+        bucket = _Bucket(bound=bound, graph=graph, policy=policy, executor=executor)
+        self._buckets[bound] = bucket
+        signature = graph.signature()
+        if signature not in self._known_signatures:
+            self._known_signatures[signature] = bound
+            self.reprofiles += 1
+        return bucket
+
+    # ------------------------------------------------------------ execution
+
+    def run_step(self, input_size: int) -> StepResult:
+        """Run one training step for an input of ``input_size``."""
+        bucket = self._materialize(self.bucket_for(input_size))
+        bucket.steps_run += 1
+        return bucket.executor.run_step()
+
+    def run_graph(self, graph: Graph) -> StepResult:
+        """Run a step of an externally-built graph (control-flow variants).
+
+        An unseen dataflow signature triggers profiling for that variant
+        (the §IV-E rule: "whenever a new dataflow is encountered, Sentinel
+        triggers profiling and makes migration decisions again").
+        """
+        signature = graph.signature()
+        bound = self._known_signatures.get(signature)
+        if bound is None:
+            bound = -len(self._known_signatures) - 1  # synthetic key
+            machine = Machine.for_platform(
+                self.platform, fast_capacity=self.fast_capacity
+            )
+            policy = SentinelPolicy(SentinelConfig(**{**self.config.__dict__}))
+            executor = Executor(graph, machine, policy)
+            self._buckets[bound] = _Bucket(
+                bound=bound, graph=graph, policy=policy, executor=executor
+            )
+            self._known_signatures[signature] = bound
+            self.reprofiles += 1
+        bucket = self._buckets[bound]
+        bucket.steps_run += 1
+        return bucket.executor.run_step()
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def profiled_buckets(self) -> int:
+        """Buckets (or control-flow variants) that have a runtime."""
+        return len(self._buckets)
+
+    def overhead_steps(self) -> float:
+        """Total profiling + trial steps across all buckets — the quantity
+        the paper amortizes over millions of training steps."""
+        return sum(b.policy.overhead_steps for b in self._buckets.values())

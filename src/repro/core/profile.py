@@ -1,0 +1,252 @@
+"""The tensor-level profile Sentinel's decisions are driven by.
+
+A :class:`Profile` is what one profiling step produces: for every tensor,
+its size, lifetime in layers, and the number of main-memory accesses —
+attributed per layer thanks to the OS/runtime coordination (the fault
+handler counts, the runtime snapshots the counters at each ``add_layer()``
+boundary).  Everything Sentinel does afterwards — co-allocation grouping,
+short-lived pool sizing (``RS``), interval planning (``Tensor(MIL)``,
+``T(MIL)``), hotness-ordered migration — is a pure function of this object,
+so it is deliberately a plain data structure with query helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TensorProfile:
+    """Measured characteristics of one tensor."""
+
+    tid: int
+    name: str
+    nbytes: int
+    alloc_layer: int
+    free_layer: Optional[int]
+    preallocated: bool
+    #: main-memory accesses per layer, as counted by the fault handler and
+    #: attributed by the runtime's layer snapshots
+    touches_by_layer: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_touches(self) -> int:
+        return sum(self.touches_by_layer.values())
+
+    @property
+    def lifetime_layers(self) -> Optional[int]:
+        if self.preallocated or self.free_layer is None:
+            return None
+        return self.free_layer - self.alloc_layer + 1
+
+    @property
+    def short_lived(self) -> bool:
+        lifetime = self.lifetime_layers
+        return lifetime is not None and lifetime <= 1
+
+    @property
+    def long_lived(self) -> bool:
+        return not self.short_lived
+
+    def access_layers(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.touches_by_layer))
+
+    def lifetime_key(self) -> Tuple[int, Optional[int]]:
+        """Co-allocation grouping key: tensors sharing it live in the exact
+        same layers (paper §IV-B rule 2/3)."""
+        return (self.alloc_layer, self.free_layer)
+
+    def next_touch_after(self, layer: int) -> Optional[int]:
+        """First layer strictly after ``layer`` that touches the tensor."""
+        later = [l for l in self.touches_by_layer if l > layer]
+        return min(later) if later else None
+
+    def touched_in(self, first_layer: int, last_layer: int) -> bool:
+        return any(
+            first_layer <= l <= last_layer for l in self.touches_by_layer
+        )
+
+
+@dataclass
+class Profile:
+    """One profiling step's output for a whole graph."""
+
+    graph_name: str
+    signature: Tuple
+    num_layers: int
+    page_size: int
+    tensors: Dict[int, TensorProfile]
+    #: per-layer estimated execution time with operands in fast memory
+    #: (compute/fast-bandwidth roofline) — the T(MIL) building block
+    layer_fast_times: List[float]
+    #: per-layer peak bytes of live short-lived tensors — the RS building block
+    layer_short_lived_bytes: List[int]
+    #: wall time of the profiling step itself (includes fault overhead)
+    profiling_step_time: float = 0.0
+    #: protection faults taken during profiling
+    fault_count: int = 0
+    #: peak mapped bytes under page-aligned profiling allocation
+    profiled_peak_bytes: int = 0
+    #: peak packed (requested) bytes — the paper's "peak memory consumption"
+    packed_peak_bytes: int = 0
+
+    # ------------------------------------------------------------- queries
+
+    def tensor(self, tid: int) -> TensorProfile:
+        return self.tensors[tid]
+
+    def short_lived_tensors(self) -> List[TensorProfile]:
+        return [t for t in self.tensors.values() if t.short_lived]
+
+    def long_lived_tensors(self) -> List[TensorProfile]:
+        return [t for t in self.tensors.values() if t.long_lived]
+
+    @property
+    def memory_overhead(self) -> float:
+        """Profiling-phase footprint increase (paper: at most ~2.4%)."""
+        if self.packed_peak_bytes == 0:
+            return 0.0
+        return self.profiled_peak_bytes / self.packed_peak_bytes - 1.0
+
+    def reserved_short_bytes(self, interval: Sequence[int]) -> int:
+        """RS for one interval: peak live short-lived bytes over its layers."""
+        return max((self.layer_short_lived_bytes[l] for l in interval), default=0)
+
+    def rs(self, interval_length: int) -> int:
+        """RS(MIL): the short-lived reservation the pool needs (Eq. 1/2).
+
+        The pool is reserved at each interval's start and shrunk as pages
+        die, so what matters is the worst interval's peak — near-constant in
+        MIL, as the paper observes.
+        """
+        from repro.core.interval import partition_layers
+
+        return max(
+            (
+                self.reserved_short_bytes(interval)
+                for interval in partition_layers(self.num_layers, interval_length)
+            ),
+            default=0,
+        )
+
+    def long_lived_bytes_touched_in(self, first_layer: int, last_layer: int) -> int:
+        """Bytes of long-lived tensors accessed within a layer range —
+        the migration demand ``Tensor`` of one interval."""
+        return sum(
+            t.nbytes
+            for t in self.tensors.values()
+            if t.long_lived and t.touched_in(first_layer, last_layer)
+        )
+
+    def interval_fast_time(self, interval: Sequence[int]) -> float:
+        """T for one interval: training time with operands in fast memory."""
+        return sum(self.layer_fast_times[l] for l in interval)
+
+    def fast_memory_lower_bound(self) -> int:
+        """The paper's lower bound on fast memory size (§IV-E).
+
+        Peak consumption of short-lived tensors (the reservation must hold
+        them — migrating them is the pathological case §IV-C exists to
+        prevent) plus the largest long-lived tensor (which must fit in fast
+        memory while being used).  Below this bound the runtime degrades
+        sharply (paper: easily >20% loss).
+        """
+        short_peak = max(self.layer_short_lived_bytes, default=0)
+        largest_long = max(
+            (t.nbytes for t in self.tensors.values() if t.long_lived), default=0
+        )
+        return short_peak + largest_long
+
+    # -------------------------------------------------------- serialization
+
+    def to_json(self) -> str:
+        """Serialize the profile (what the paper's runtime would persist so
+        re-runs of the same model skip the profiling step entirely)."""
+        import json
+
+        payload = {
+            "graph_name": self.graph_name,
+            "signature": _signature_to_jsonable(self.signature),
+            "num_layers": self.num_layers,
+            "page_size": self.page_size,
+            "layer_fast_times": self.layer_fast_times,
+            "layer_short_lived_bytes": self.layer_short_lived_bytes,
+            "profiling_step_time": self.profiling_step_time,
+            "fault_count": self.fault_count,
+            "profiled_peak_bytes": self.profiled_peak_bytes,
+            "packed_peak_bytes": self.packed_peak_bytes,
+            "tensors": [
+                {
+                    "tid": t.tid,
+                    "name": t.name,
+                    "nbytes": t.nbytes,
+                    "alloc_layer": t.alloc_layer,
+                    "free_layer": t.free_layer,
+                    "preallocated": t.preallocated,
+                    "touches_by_layer": {
+                        str(layer): count
+                        for layer, count in t.touches_by_layer.items()
+                    },
+                }
+                for t in self.tensors.values()
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Profile":
+        """Inverse of :meth:`to_json`.
+
+        The signature round-trips as nested tuples so
+        :meth:`repro.dnn.graph.Graph.signature` comparisons keep working.
+        """
+        import json
+
+        payload = json.loads(text)
+        tensors = {}
+        for record in payload["tensors"]:
+            tensors[record["tid"]] = TensorProfile(
+                tid=record["tid"],
+                name=record["name"],
+                nbytes=record["nbytes"],
+                alloc_layer=record["alloc_layer"],
+                free_layer=record["free_layer"],
+                preallocated=record["preallocated"],
+                touches_by_layer={
+                    int(layer): count
+                    for layer, count in record["touches_by_layer"].items()
+                },
+            )
+        return cls(
+            graph_name=payload["graph_name"],
+            signature=_signature_from_jsonable(payload["signature"]),
+            num_layers=payload["num_layers"],
+            page_size=payload["page_size"],
+            tensors=tensors,
+            layer_fast_times=list(payload["layer_fast_times"]),
+            layer_short_lived_bytes=list(payload["layer_short_lived_bytes"]),
+            profiling_step_time=payload["profiling_step_time"],
+            fault_count=payload["fault_count"],
+            profiled_peak_bytes=payload["profiled_peak_bytes"],
+            packed_peak_bytes=payload["packed_peak_bytes"],
+        )
+
+    def hotness_rank(self) -> Dict[int, int]:
+        """tid -> rank by descending access count (0 = hottest)."""
+        ordered = sorted(
+            self.tensors.values(), key=lambda t: (-t.total_touches, t.tid)
+        )
+        return {t.tid: rank for rank, t in enumerate(ordered)}
+
+
+def _signature_to_jsonable(value):
+    if isinstance(value, tuple):
+        return {"t": [_signature_to_jsonable(item) for item in value]}
+    return value
+
+
+def _signature_from_jsonable(value):
+    if isinstance(value, dict) and "t" in value:
+        return tuple(_signature_from_jsonable(item) for item in value["t"])
+    return value

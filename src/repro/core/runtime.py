@@ -1,0 +1,663 @@
+"""The Sentinel runtime policy (paper §IV, §VI).
+
+Lifecycle across training steps, exactly as implemented in the paper:
+
+1. **Warm-up** — the first ``warmup_steps`` (10) steps run untouched:
+   TensorFlow-default packed allocation, everything on slow memory.
+2. **Profiling** — step 11 runs with page-aligned allocation and poisoned
+   PTEs; the embedded :class:`~repro.core.profiler.ProfileCollector`
+   attributes every main-memory access to a tensor and a layer.
+3. **Managed** — from step 12 on:
+
+   * allocation is *reorganized*: short-lived tensors co-allocate per
+     layer, long-lived tensors co-allocate per exact lifetime, preallocated
+     tensors never share pages (§IV-B);
+   * short-lived tensors are placed in a reserved fast-memory pool and
+     never migrate (§IV-C);
+   * long-lived tensors are prefetched one migration interval ahead in
+     descending access-count order, and eagerly demoted mid-interval once
+     the remaining layers no longer need them (§IV-D);
+   * the interval length comes from the Eq. 1/Eq. 2 performance model, and
+     Case 3 (migration not done when the interval starts) is resolved by
+     the paper's test-and-trial: one step waiting, one step leaving the
+     tensors in slow memory, keep the faster choice.
+
+Every mechanism can be disabled independently through
+:class:`SentinelConfig`, which is how the Figure 13 ablation
+("direct migration" / "+ determined MI" / "all") is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.interval import IntervalPlan, choose_interval_length, evaluate_interval_length
+from repro.core.profile import Profile
+from repro.core.profiler import ProfileCollector
+from repro.dnn.alloc import Allocator, GroupedAllocator, TensorMapping
+from repro.dnn.graph import Graph, Layer
+from repro.dnn.policy import PlacementPolicy, fits_fast
+from repro.dnn.tensor import Tensor
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.page import PageTableEntry
+from repro.sim.channel import Transfer
+
+#: Policy lifecycle modes.
+WARMUP = "warmup"
+PROFILING = "profiling"
+MANAGED = "managed"
+
+
+@dataclass
+class SentinelConfig:
+    """Feature switches and tunables for the Sentinel policy.
+
+    The defaults are full Sentinel; the Figure 13 ablations are:
+
+    * direct migration — ``interval_opt=False, reserve_short=False,
+      co_allocate=False``
+    * "w/ det. MI"    — ``interval_opt=True, reserve_short=False,
+      co_allocate=False``
+    * "w/ all"        — the defaults
+    """
+
+    warmup_steps: int = 10
+    co_allocate: bool = True
+    reserve_short: bool = True
+    interval_opt: bool = True
+    #: pin the interval length (Figure 5 sweeps); overrides the optimizer
+    fixed_interval_length: Optional[int] = None
+    #: CPU Case-3 handling; GPU forces waiting regardless
+    test_and_trial: bool = True
+    max_interval_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.warmup_steps < 0:
+            raise ValueError(f"warmup steps must be >= 0: {self.warmup_steps!r}")
+        if self.fixed_interval_length is not None and self.fixed_interval_length <= 0:
+            raise ValueError(
+                f"fixed interval length must be positive: "
+                f"{self.fixed_interval_length!r}"
+            )
+
+
+@dataclass
+class _Case3State:
+    """Test-and-trial bookkeeping for one interval index (§IV-D)."""
+
+    status: str = "trial_wait"  # trial_wait -> trial_leave -> decided
+    choice: str = "wait"
+    wait_step: Optional[int] = None
+    leave_step: Optional[int] = None
+    wait_duration: Optional[float] = None
+    leave_duration: Optional[float] = None
+
+
+class SentinelPolicy(PlacementPolicy):
+    """Sentinel on CPU-style heterogeneous memory (DRAM + Optane)."""
+
+    name = "sentinel"
+    requires_residency: Optional[bool] = False
+
+    def __init__(self, config: Optional[SentinelConfig] = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else SentinelConfig()
+        self.mode = WARMUP
+        self.profile: Optional[Profile] = None
+        self.plan: Optional[IntervalPlan] = None
+        self.allocator: Optional[Allocator] = None
+        self._collector: Optional[ProfileCollector] = None
+        self._mappings: Dict[int, TensorMapping] = {}
+        self._current_layer = 0
+        self._step = -1
+        self._step_start = 0.0
+        self._step_durations: Dict[int, float] = {}
+        self._short_fast_bytes = 0
+        self._alloc_demand = 0
+        self._alloc_demand_by_layer: List[int] = []
+        self._prefetch: Dict[int, List[Transfer]] = {}
+        self._pending_prefetch: Dict[int, List[PageTableEntry]] = {}
+        self._skip_prefetch: Set[int] = set()
+        self._case3: Dict[int, _Case3State] = {}
+        self._trial_active: Optional[int] = None
+        #: overhead accounting for Table III
+        self.profiling_steps_used = 0
+        self.trial_steps_used = 0
+        self.case2_occurrences = 0
+        self.case3_occurrences = 0
+
+    # ----------------------------------------------------------- allocation
+
+    def make_allocator(self) -> Allocator:
+        assert self.machine is not None
+        self.allocator = GroupedAllocator(self.machine, self.place, self._group_of)
+        return self.allocator
+
+    def _group_of(self, tensor: Tensor):
+        """Sentinel's co-allocation rules (paper §IV-B).
+
+        Preallocated tensors never share pages in any phase; during
+        profiling nothing shares (tensor-level counting); once managed,
+        short-lived tensors share per layer and long-lived tensors share
+        per exact lifetime; long and short never mix.
+        """
+        if tensor.preallocated:
+            return None
+        if self.mode == PROFILING:
+            return None
+        if self.mode == WARMUP or not self.config.co_allocate:
+            return "arena"
+        if tensor.short_lived:
+            return ("short", tensor.alloc_layer)
+        return ("long", tensor.alloc_layer, tensor.free_layer)
+
+    def place(self, tensor: Tensor, now: float) -> DeviceKind:
+        """Placement of fresh runs; slow until managed, then §IV-C/D rules."""
+        machine = self.machine
+        assert machine is not None
+        if self.mode != MANAGED:
+            return DeviceKind.SLOW
+        if tensor.short_lived:
+            if self.config.reserve_short:
+                # The reservation guarantees room (RS >= the pool's peak);
+                # falling through to slow would mean a misconfigured machine
+                # below the paper's lower bound on fast memory.
+                if fits_fast(machine, tensor.nbytes):
+                    return DeviceKind.FAST
+                return DeviceKind.SLOW
+            return (
+                DeviceKind.FAST
+                if fits_fast(machine, tensor.nbytes)
+                else DeviceKind.SLOW
+            )
+        # A long-lived tensor is created by the op running *right now*: its
+        # writes and in-layer reads are imminent, so it belongs in fast
+        # whenever there is room at all — the eager-eviction pass is
+        # responsible for keeping that room available, and the short-lived
+        # reservation is protected from *prefetch*, not from the working
+        # set (both are "tensors needed by upcoming operations", §IV-D).
+        if fits_fast(machine, tensor.nbytes):
+            return DeviceKind.FAST
+        return DeviceKind.SLOW
+
+    def _reservation_headroom(self) -> int:
+        """Fast-memory bytes held back for upcoming short-lived tensors."""
+        if not self.config.reserve_short or self.plan is None:
+            return 0
+        return max(0, self.plan.reserved_short_bytes - self._short_fast_bytes)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def on_step_start(self, step: int, now: float) -> float:
+        self._step = step
+        self._step_start = now
+        self._current_layer = 0
+        warmup = self.config.warmup_steps
+        if step < warmup:
+            self.mode = WARMUP
+        elif step == warmup:
+            self._begin_profiling()
+        elif self.profile is None:
+            self._finish_profiling()
+        return 0.0
+
+    def _begin_profiling(self) -> None:
+        machine = self.machine
+        assert machine is not None
+        self.mode = PROFILING
+        self.profiling_steps_used += 1
+        self._collector = ProfileCollector()
+        machine.page_table.poison_all()
+        machine.tlb.flush_all()
+        # Preallocated tensors are already mapped; register them so their
+        # counters are attributed from the first layer on.
+        for mapping in self._mappings.values():
+            self._collector.on_alloc(mapping.tensor, mapping)
+
+    def _finish_profiling(self) -> None:
+        machine = self.machine
+        graph = self.graph
+        assert machine is not None and graph is not None
+        assert self._collector is not None
+        self.profile = self._collector.finalize(graph, machine)
+        self._collector = None
+        self.plan = self._make_plan()
+        # Per-layer demand of fresh long-lived allocations: the space the
+        # eviction pass must keep free so new tensors can land in fast.
+        demand = [0] * self.profile.num_layers
+        for record in self.profile.tensors.values():
+            if record.preallocated or record.short_lived:
+                continue
+            if 0 <= record.alloc_layer < len(demand):
+                demand[record.alloc_layer] += record.nbytes
+        self._alloc_demand_by_layer = demand
+        self._alloc_demand = max(demand, default=0)
+        self.mode = MANAGED
+
+    def _make_plan(self) -> IntervalPlan:
+        machine = self.machine
+        assert machine is not None and self.profile is not None
+        bandwidth = machine.platform.promote_bandwidth
+        capacity = machine.fast.capacity
+        if self.config.fixed_interval_length is not None:
+            return evaluate_interval_length(
+                self.profile, self.config.fixed_interval_length, capacity, bandwidth
+            )
+        if not self.config.interval_opt:
+            # "Direct migration": react one layer ahead, no modelling.
+            return evaluate_interval_length(self.profile, 1, capacity, bandwidth)
+        return choose_interval_length(
+            self.profile,
+            capacity,
+            bandwidth,
+            max_interval_length=self.config.max_interval_length,
+        )
+
+    def on_step_end(self, step: int, now: float) -> float:
+        machine = self.machine
+        assert machine is not None
+        duration = now - self._step_start
+        self._step_durations[step] = duration
+        if self.mode == PROFILING:
+            machine.page_table.unpoison_all()
+        self._settle_trials(step)
+        self._prefetch.clear()
+        self._pending_prefetch.clear()
+        return 0.0
+
+    # ---------------------------------------------------------------- hooks
+
+    def on_alloc(self, tensor: Tensor, mapping: TensorMapping, now: float) -> None:
+        self._mappings[tensor.tid] = mapping
+        if self.mode == PROFILING and self._collector is not None:
+            for share in mapping.shares:
+                share.run.poisoned = True
+            assert self.machine is not None
+            self.machine.tlb.flush_all()
+            self._collector.on_alloc(tensor, mapping)
+        if (
+            self.mode == MANAGED
+            and tensor.short_lived
+            and mapping.shares
+            and mapping.shares[0].run.device is DeviceKind.FAST
+        ):
+            self._short_fast_bytes += tensor.nbytes
+            if self.config.reserve_short:
+                # §IV-C: the pool's pages are pinned — "tensors in this
+                # space are never considered for migration".  The engine
+                # refuses to move pinned runs, making the guarantee
+                # structural rather than a policy convention.
+                for share in mapping.shares:
+                    share.run.pinned = True
+
+    def on_free(self, tensor: Tensor, mapping: TensorMapping, now: float) -> None:
+        self._mappings.pop(tensor.tid, None)
+        if self.mode == PROFILING and self._collector is not None:
+            self._collector.on_free(tensor, mapping, self._current_layer)
+        if (
+            self.mode == MANAGED
+            and tensor.short_lived
+            and mapping.shares
+            and mapping.shares[0].run.device is DeviceKind.FAST
+        ):
+            self._short_fast_bytes = max(0, self._short_fast_bytes - tensor.nbytes)
+
+    def on_layer_start(self, layer: Layer, now: float) -> float:
+        self._current_layer = layer.index
+        if self.mode != MANAGED or self.plan is None:
+            return 0.0
+        if layer.index % self.plan.interval_length != 0:
+            return 0.0
+        interval = self.plan.interval_of_layer(layer.index)
+        stall = self._handle_interval_boundary(interval, now)
+        return stall
+
+    def charge_access(self, tensor, mapping, access, now: float):
+        charge = super().charge_access(tensor, mapping, access, now)
+        if (
+            self.mode == MANAGED
+            and not self.residency
+            and charge.bytes_slow
+            and self.profile is not None
+        ):
+            self._promote_on_access(tensor, mapping, now)
+        return charge
+
+    def _promote_on_access(self, tensor, mapping, now: float) -> None:
+        """CPU miss path: a long-lived tensor being used from slow memory
+        (prefetch could not fit it in time — Case 2 fallout) is promoted
+        asynchronously so its remaining passes run at DRAM speed.  This is
+        the access-count-ordered use of leftover fast memory §IV-D calls
+        for when "certain tensors are left out in slow memory"."""
+        record = self.profile.tensors.get(tensor.tid)
+        if record is None or record.short_lived:
+            return
+        if record.next_touch_after(self._current_layer - 1) is None:
+            return  # never used again; moving it would be pure waste
+        machine = self.machine
+        headroom = self._reservation_headroom()
+        runs = [
+            share.run
+            for share in mapping.shares
+            if share.run.device is DeviceKind.SLOW
+            and not share.run.in_flight
+            and share.run.initialized
+        ]
+        for run in runs:
+            nbytes = run.npages * machine.page_size
+            if machine.fast.free - headroom < nbytes:
+                break
+            machine.migration.promote([run], now, tag="on-access", urgent=True)
+
+    def on_layer_end(self, layer: Layer, now: float) -> float:
+        if self.mode == PROFILING and self._collector is not None:
+            self._collector.on_layer_end(layer.index)
+        self._current_layer = layer.index + 1
+        if self.mode == MANAGED and self.plan is not None:
+            self._evict_unneeded(layer.index, now)
+            if self._pending_prefetch:
+                self._retry_pending_prefetch(
+                    self.plan.interval_of_layer(layer.index), now
+                )
+        return 0.0
+
+    # --------------------------------------------------- interval machinery
+
+    def _handle_interval_boundary(self, interval: int, now: float) -> float:
+        """Case detection for this interval, prefetch for the next one.
+
+        The current interval is re-checked first: under memory overcommit a
+        tensor prefetched earlier can have been displaced again by
+        on-demand eviction, and promoting it now is strictly better than
+        stalling when its layer reaches it.
+        """
+        stall = self._resolve_case3(interval, now)
+        self._issue_prefetch(interval, now + stall, lookahead=False)
+        next_interval = interval + 1
+        if next_interval < self.plan.num_intervals:
+            self._issue_prefetch(next_interval, now + stall)
+        return stall
+
+    def _resolve_case3(self, interval: int, now: float) -> float:
+        """If this interval's prefetch is unfinished, apply §IV-D Case 3."""
+        pending = [
+            t for t in self._prefetch.get(interval, ()) if t.finish > now
+        ]
+        if not pending:
+            return 0.0
+        self.case3_occurrences += 1
+        if not self.config.test_and_trial:
+            return self._wait_for(pending, now)
+
+        state = self._case3.get(interval)
+        if state is None:
+            if self._trial_active is not None and self._trial_active != interval:
+                # Serialize trials so step-duration comparisons stay clean.
+                return self._wait_for(pending, now)
+            state = _Case3State(wait_step=self._step)
+            self._case3[interval] = state
+            self._trial_active = interval
+            self.trial_steps_used += 1
+            return self._wait_for(pending, now)
+        if state.status == "decided" and state.choice == "wait":
+            return self._wait_for(pending, now)
+        if state.status == "trial_wait" and state.wait_step == self._step:
+            return self._wait_for(pending, now)
+        # 'leave': let the interval run against slow copies.
+        return 0.0
+
+    def _wait_for(self, pending: List[Transfer], now: float) -> float:
+        assert self.machine is not None
+        finish = max(t.finish for t in pending)
+        stall = max(0.0, finish - now)
+        self.machine.migration.sync(finish)
+        return stall
+
+    def _issue_prefetch(
+        self, interval: int, now: float, lookahead: bool = True
+    ) -> None:
+        """Promote the long-lived tensors interval ``interval`` needs (§IV-D).
+
+        ``lookahead`` marks the normal one-interval-ahead call, which is
+        where the Case-3 test-and-trial state machine advances; re-issues
+        for the already-running interval only fill holes and must not
+        perturb the trial.
+        """
+        assert self.machine is not None and self.profile is not None
+        if interval in self._skip_prefetch:
+            return
+        state = self._case3.get(interval)
+        if state is not None:
+            if state.status == "trial_wait" and state.wait_step is not None:
+                if lookahead and self._step > state.wait_step:
+                    # Second trial step: try leaving the tensors in slow.
+                    state.status = "trial_leave"
+                    state.leave_step = self._step
+                    self.trial_steps_used += 1
+                    return
+            elif state.status == "trial_leave" and state.leave_step == self._step:
+                return
+            elif state.status == "decided" and state.choice == "leave":
+                return
+        layers = self.plan.layers_of(interval)
+        first, last = layers[0], layers[-1]
+        candidates = []
+        for tid, mapping in self._mappings.items():
+            record = self.profile.tensors.get(tid)
+            if record is None or record.short_lived:
+                continue
+            if record.touched_in(first, last):
+                candidates.append((record.total_touches, tid, mapping))
+        # Hottest first: if fast memory runs out mid-prefetch, what is left
+        # behind in slow memory is the coldest data (paper §IV-D).
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        runs: List[PageTableEntry] = []
+        seen: Set[int] = set()
+        for _, _, mapping in candidates:
+            for share in mapping.shares:
+                if share.run.vpn not in seen:
+                    seen.add(share.run.vpn)
+                    runs.append(share.run)
+        if not runs:
+            return
+        transfers, skipped = self._promote_with_headroom(
+            runs, now, self._reservation_headroom()
+        )
+        if skipped:
+            self.case2_occurrences += 1
+            # Retry as eager eviction frees space during upcoming layers.
+            self._pending_prefetch[interval] = skipped
+        if transfers:
+            self._prefetch.setdefault(interval, []).extend(transfers)
+
+    def _retry_pending_prefetch(self, current_interval: int, now: float) -> None:
+        """Drain deferred prefetches once mid-interval demotions freed room."""
+        for interval in sorted(self._pending_prefetch):
+            if interval < current_interval:
+                del self._pending_prefetch[interval]
+                continue
+            runs = [
+                run
+                for run in self._pending_prefetch[interval]
+                if run.vpn in self.machine.page_table
+                and run.device is DeviceKind.SLOW
+                and not run.in_flight
+            ]
+            if not runs:
+                del self._pending_prefetch[interval]
+                continue
+            transfers, skipped = self._promote_with_headroom(
+                runs, now, self._reservation_headroom()
+            )
+            if transfers:
+                self._prefetch.setdefault(interval, []).extend(transfers)
+            if skipped:
+                self._pending_prefetch[interval] = skipped
+                break  # still no room; later intervals can wait
+            del self._pending_prefetch[interval]
+
+    def _promote_with_headroom(self, runs: List[PageTableEntry], now: float, headroom: int):
+        """Promote runs one submission each (so the hottest arrive first and
+        accesses can proceed as soon as *their* data lands, not when the
+        whole batch does), keeping ``headroom`` bytes of fast memory free
+        for the short-lived reservation."""
+        machine = self.machine
+        assert machine is not None
+        page_size = machine.page_size
+        # Keep room for the reservation *and* the layers' fresh allocations:
+        # prefetched data that displaces the working set costs more than it
+        # saves.
+        budget = machine.fast.free - max(0, headroom) - self._upcoming_alloc_demand(1)
+        transfers: List[Transfer] = []
+        skipped: List[PageTableEntry] = []
+        for run in runs:
+            if run.device is DeviceKind.FAST or run.in_flight:
+                continue
+            nbytes = run.npages * page_size
+            if nbytes > budget:
+                skipped.append(run)
+                continue
+            transfer, scheduled, more_skipped = machine.migration.promote(
+                [run], now, tag="prefetch"
+            )
+            skipped.extend(more_skipped)
+            if transfer is not None:
+                transfers.append(transfer)
+                budget -= nbytes
+        return transfers, skipped
+
+    def _space_deficit(self, now: float) -> int:
+        """Fast-memory bytes that must still be vacated.
+
+        Demand = the next interval's prefetch bytes still sitting on slow
+        memory (exactly what the migration-in thread must land before that
+        interval starts), the short-lived reservation, and room for the
+        next layer's fresh allocations; supply = current free space plus
+        demotions already in flight (their frames free when the copies
+        land).
+        """
+        machine = self.machine
+        assert machine is not None and self.profile is not None
+        page_size = machine.page_size
+        prefetch_remaining = 0
+        next_interval = self.plan.interval_of_layer(self._current_layer) + 1
+        if next_interval < self.plan.num_intervals:
+            layers = self.plan.layers_of(next_interval)
+            first, last = layers[0], layers[-1]
+            for tid, mapping in self._mappings.items():
+                record = self.profile.tensors.get(tid)
+                if record is None or record.short_lived:
+                    continue
+                if record.touched_in(first, last):
+                    prefetch_remaining += mapping.bytes_on(DeviceKind.SLOW, now)
+        slack = max(machine.fast.capacity // 20, self._upcoming_alloc_demand())
+        if not self.residency:
+            # Demotion runs on an otherwise-idle helper thread on CPU:
+            # vacating a few layers further ahead costs nothing on the
+            # critical path and keeps allocations landing in DRAM.
+            slack += self._upcoming_alloc_demand(4)
+        demand = prefetch_remaining + self._reservation_headroom() + slack
+        inflight_demotes = sum(
+            run.npages * page_size
+            for run in machine.page_table.entries()
+            if run.migrating_to is DeviceKind.SLOW
+        )
+        return demand - machine.fast.free - inflight_demotes
+
+    def _upcoming_alloc_demand(self, lookahead: int = 2) -> int:
+        """Fresh long-lived allocation bytes of the next ``lookahead``
+        layers — the room eviction must keep open right now (the global
+        maximum would hold back far too much on deep, uneven models)."""
+        if not self._alloc_demand_by_layer:
+            return self._alloc_demand
+        start = self._current_layer
+        window = self._alloc_demand_by_layer[start : start + lookahead]
+        return sum(window)
+
+    def _evict_unneeded(self, layer_index: int, now: float) -> None:
+        """Mid-interval eager demotion (§IV-D, prevents Case 2).
+
+        Long-lived tensors that no layer up to the end of the *next*
+        interval touches again are demotion candidates; the coldest
+        (farthest next use) leave first, and only as many as the projected
+        space deficit requires — migrating out data that would have fit
+        only to fetch it back later wastes the channel both ways.
+        """
+        assert self.machine is not None and self.profile is not None
+        deficit = self._space_deficit(now)
+        if deficit <= 0:
+            return
+        plan = self.plan
+        interval = plan.interval_of_layer(layer_index)
+        horizon = min(
+            self.profile.num_layers - 1,
+            (interval + 2) * plan.interval_length - 1,
+        )
+        infinity = self.profile.num_layers + 1
+        evictable: Dict[int, int] = {}  # tid -> next touch (or infinity)
+        for tid, mapping in self._mappings.items():
+            record = self.profile.tensors.get(tid)
+            if record is None:
+                continue
+            if record.short_lived and self.config.reserve_short:
+                # The reserved pool pins short-lived tensors in fast memory
+                # (§IV-C); without the reservation (ablation) they compete
+                # like everything else.
+                continue
+            if mapping.bytes_on(DeviceKind.FAST, now) == 0:
+                continue
+            next_touch = record.next_touch_after(layer_index)
+            if next_touch is None or next_touch > horizon:
+                evictable[tid] = next_touch if next_touch is not None else infinity
+        if not evictable:
+            return
+        ordered = sorted(evictable, key=lambda tid: (-evictable[tid], tid))
+        runs: List[PageTableEntry] = []
+        seen: Set[int] = set()
+        page_size = self.machine.page_size
+        chosen_bytes = 0
+        assert self.allocator is not None
+        for tid in ordered:
+            if chosen_bytes >= deficit:
+                break
+            for share in self._mappings[tid].shares:
+                run = share.run
+                if run.vpn in seen or run.device is not DeviceKind.FAST:
+                    continue
+                seen.add(run.vpn)
+                users = self.allocator.users_of(run)
+                if users and not users.issubset(evictable.keys()):
+                    continue  # page shared with a still-needed tensor
+                runs.append(run)
+                chosen_bytes += run.npages * page_size
+        if runs:
+            self.machine.migration.demote(runs, now, tag="evict")
+
+    # --------------------------------------------------------------- trials
+
+    def _settle_trials(self, step: int) -> None:
+        for interval, state in self._case3.items():
+            if state.status == "trial_wait" and state.wait_step == step:
+                state.wait_duration = self._step_durations[step]
+            elif state.status == "trial_leave" and state.leave_step == step:
+                state.leave_duration = self._step_durations[step]
+                assert state.wait_duration is not None
+                state.choice = (
+                    "wait"
+                    if state.wait_duration <= state.leave_duration
+                    else "leave"
+                )
+                state.status = "decided"
+                if state.choice == "leave":
+                    self._skip_prefetch.add(interval)
+                if self._trial_active == interval:
+                    self._trial_active = None
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def overhead_steps(self) -> float:
+        """Profiling + trial steps (Table III's overhead accounting)."""
+        return self.profiling_steps_used + self.trial_steps_used

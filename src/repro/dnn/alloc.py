@@ -1,0 +1,236 @@
+"""Tensor-to-page allocators.
+
+Three allocation policies appear in the paper:
+
+* **Packed** (:class:`PackedAllocator`) — the TensorFlow-default behaviour a
+  BFC-style arena produces: consecutive allocations fill pages back to back,
+  so small tensors of unrelated lifetime and hotness share pages.  This is
+  the source of the page-level false sharing the paper measures
+  (Observation 3) and is the allocator every baseline runs on.
+* **Page-aligned** (:class:`PageAlignedAllocator`) — one tensor per page
+  (run), used during Sentinel's profiling step so page-level access counts
+  are tensor-level access counts.  Costs a little memory for the one step.
+* **Grouped** (:class:`GroupedAllocator`) — Sentinel's post-profiling data
+  reorganization: tensors only share pages within a caller-defined group
+  (same-layer short-lived tensors; long-lived tensors with identical
+  lifetime, ordered by hotness), so a page's contents always migrate for the
+  same reason.
+
+All allocators map tensors onto page *runs* (see :mod:`repro.mem.page`) and
+keep per-run occupancy so a run is unmapped exactly when its last resident
+byte is freed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.dnn.tensor import Tensor
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.page import PageTableEntry
+
+#: Chooses the tier for a fresh run holding (at least part of) ``tensor``.
+PlaceFn = Callable[[Tensor, float], DeviceKind]
+
+#: Maps a tensor to its co-allocation group; ``None`` means "never share".
+GroupFn = Callable[[Tensor], Optional[Hashable]]
+
+
+@dataclass
+class RunShare:
+    """Part of a tensor resident in one page run."""
+
+    run: PageTableEntry
+    nbytes: int
+
+
+@dataclass
+class TensorMapping:
+    """Where a tensor's bytes live: a list of run shares in address order."""
+
+    tensor: Tensor
+    shares: List[RunShare] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.shares)
+
+    def runs(self) -> List[PageTableEntry]:
+        return [s.run for s in self.shares]
+
+    def bytes_on(self, device: DeviceKind, now: float) -> int:
+        """Tensor bytes whose effective residency is ``device`` at ``now``."""
+        return sum(
+            s.nbytes for s in self.shares if s.run.effective_device(now) is device
+        )
+
+
+class AllocationError(RuntimeError):
+    """Raised on allocator misuse (double alloc, free of unknown tensor...)."""
+
+
+@dataclass
+class _OpenPage:
+    """A partially-filled single-page run accepting further small tensors."""
+
+    run: PageTableEntry
+    used: int
+
+
+class Allocator:
+    """Base allocator: group-keyed page packing over the machine's page table.
+
+    Subclasses only choose the grouping function.  ``group_of`` returning a
+    key packs tensors of that key together (sharing pages); returning
+    ``None`` gives the tensor dedicated page-aligned runs.
+    """
+
+    def __init__(self, machine: Machine, place: PlaceFn) -> None:
+        self.machine = machine
+        self.place = place
+        self._mappings: Dict[int, TensorMapping] = {}
+        self._run_users: Dict[int, Set[int]] = {}
+        self._open: Dict[Hashable, _OpenPage] = {}
+        #: bytes requested by tensors currently live (packed footprint)
+        self.live_tensor_bytes = 0
+        #: pages currently mapped on behalf of this allocator
+        self.live_page_bytes = 0
+        self.peak_tensor_bytes = 0
+        self.peak_page_bytes = 0
+
+    # ------------------------------------------------------------- grouping
+
+    def group_of(self, tensor: Tensor) -> Optional[Hashable]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ interface
+
+    def mapping(self, tensor: Tensor) -> Optional[TensorMapping]:
+        return self._mappings.get(tensor.tid)
+
+    def live_mappings(self) -> Iterable[TensorMapping]:
+        return self._mappings.values()
+
+    def alloc(self, tensor: Tensor, now: float) -> TensorMapping:
+        if tensor.tid in self._mappings:
+            raise AllocationError(f"tensor {tensor.name!r} is already allocated")
+        page_size = self.machine.page_size
+        mapping = TensorMapping(tensor=tensor)
+        remaining = tensor.nbytes
+        group = self.group_of(tensor)
+
+        if group is not None:
+            remaining = self._fill_open_page(tensor, group, remaining, mapping)
+
+        if remaining > 0:
+            whole_pages = remaining // page_size
+            tail = remaining - whole_pages * page_size
+            if whole_pages > 0:
+                run = self._map_run(tensor, whole_pages, now)
+                self._attach(run, tensor, whole_pages * page_size, mapping)
+            if tail > 0:
+                run = self._map_run(tensor, 1, now)
+                self._attach(run, tensor, tail, mapping)
+                if group is not None:
+                    # Leave the tail page open for the next group member —
+                    # this is where packed allocation creates false sharing.
+                    self._open[group] = _OpenPage(run=run, used=tail)
+
+        self._mappings[tensor.tid] = mapping
+        self.live_tensor_bytes += tensor.nbytes
+        self.peak_tensor_bytes = max(self.peak_tensor_bytes, self.live_tensor_bytes)
+        return mapping
+
+    def free(self, tensor: Tensor, now: float) -> TensorMapping:
+        mapping = self._mappings.pop(tensor.tid, None)
+        if mapping is None:
+            raise AllocationError(f"tensor {tensor.name!r} is not allocated")
+        page_size = self.machine.page_size
+        for share in mapping.shares:
+            users = self._run_users[share.run.vpn]
+            users.discard(tensor.tid)
+            if not users:
+                self._forget_open(share.run)
+                del self._run_users[share.run.vpn]
+                self.live_page_bytes -= share.run.npages * page_size
+                self.machine.unmap_run(share.run, now)
+        self.live_tensor_bytes -= tensor.nbytes
+        return mapping
+
+    # -------------------------------------------------------------- helpers
+
+    def _fill_open_page(
+        self, tensor: Tensor, group: Hashable, remaining: int, mapping: TensorMapping
+    ) -> int:
+        page_size = self.machine.page_size
+        open_page = self._open.get(group)
+        if open_page is None:
+            return remaining
+        room = page_size - open_page.used
+        if room <= 0 or open_page.run.vpn not in self._run_users:
+            del self._open[group]
+            return remaining
+        take = min(room, remaining)
+        self._attach(open_page.run, tensor, take, mapping)
+        open_page.used += take
+        if open_page.used >= page_size:
+            del self._open[group]
+        return remaining - take
+
+    def _map_run(self, tensor: Tensor, npages: int, now: float) -> PageTableEntry:
+        device = self.place(tensor, now)
+        run = self.machine.map_run(npages, device)
+        self.live_page_bytes += npages * self.machine.page_size
+        self.peak_page_bytes = max(self.peak_page_bytes, self.live_page_bytes)
+        return run
+
+    def _attach(
+        self, run: PageTableEntry, tensor: Tensor, nbytes: int, mapping: TensorMapping
+    ) -> None:
+        mapping.shares.append(RunShare(run=run, nbytes=nbytes))
+        self._run_users.setdefault(run.vpn, set()).add(tensor.tid)
+
+    def _forget_open(self, run: PageTableEntry) -> None:
+        for key, open_page in list(self._open.items()):
+            if open_page.run.vpn == run.vpn:
+                del self._open[key]
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def fragmentation_overhead(self) -> float:
+        """Peak page footprint relative to peak packed tensor footprint - 1."""
+        if self.peak_tensor_bytes == 0:
+            return 0.0
+        return self.peak_page_bytes / self.peak_tensor_bytes - 1.0
+
+    def users_of(self, run: PageTableEntry) -> Set[int]:
+        """Tensor ids currently resident in ``run`` (empty set if none)."""
+        return set(self._run_users.get(run.vpn, ()))
+
+
+class PackedAllocator(Allocator):
+    """TensorFlow-default packing: everything shares one allocation stream."""
+
+    def group_of(self, tensor: Tensor) -> Optional[Hashable]:
+        return "arena"
+
+
+class PageAlignedAllocator(Allocator):
+    """One tensor per page run — Sentinel's profiling-phase allocator."""
+
+    def group_of(self, tensor: Tensor) -> Optional[Hashable]:
+        return None
+
+
+class GroupedAllocator(Allocator):
+    """Sentinel's reorganized allocation: share pages only within a group."""
+
+    def __init__(self, machine: Machine, place: PlaceFn, group_fn: GroupFn) -> None:
+        super().__init__(machine, place)
+        self._group_fn = group_fn
+
+    def group_of(self, tensor: Tensor) -> Optional[Hashable]:
+        return self._group_fn(tensor)

@@ -1,0 +1,177 @@
+"""A BFC-style arena allocator with cross-step page reuse.
+
+TensorFlow's best-fit-with-coalescing allocator grabs pages from the OS
+once and recycles them: a freed chunk goes onto a free list and is handed
+to the next allocation that fits.  Two consequences matter for the paper:
+
+* **page reuse across steps** — the same OS pages back the same (or
+  different!) tensors step after step, so their NUMA placement and kernel
+  page heat persist.  This is why first-touch and active-list policies see
+  stable page behaviour despite tensors being logically reallocated every
+  step, and it is the mechanism behind our IAL baseline's warm placement.
+* **false sharing in time** — a page's access counters accumulate over
+  *successive tenants*, so a page that once hosted a hot tensor keeps
+  looking hot while holding a cold one (Observation 3's page-level
+  misclassification).
+
+The arena requests page runs from the machine like any allocator, but only
+returns them when :meth:`ArenaAllocator.release_all` is called — freed
+chunks go to a size-bucketed free list instead.  Chunk splitting mirrors
+BFC: a larger free chunk is split, the remainder re-listed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dnn.alloc import Allocator, RunShare, TensorMapping
+from repro.dnn.tensor import Tensor
+from repro.mem.machine import Machine
+from repro.mem.page import PageTableEntry
+
+#: Free chunks are binned by power-of-two size class, BFC style.
+_MIN_BIN = 8  # 256-byte class
+
+
+def _size_class(nbytes: int) -> int:
+    return max(_MIN_BIN, math.ceil(math.log2(max(1, nbytes))))
+
+
+@dataclass
+class _Chunk:
+    """A contiguous byte range inside an arena-owned page run."""
+
+    run: PageTableEntry
+    offset: int
+    nbytes: int
+    tenant: Optional[int] = None  # tid currently resident
+
+    @property
+    def free(self) -> bool:
+        return self.tenant is None
+
+
+class ArenaAllocator(Allocator):
+    """Best-fit arena: pages persist, chunks are recycled across steps."""
+
+    #: allocate fresh runs in slabs of this many pages to limit run count
+    SLAB_PAGES = 16
+
+    def __init__(self, machine: Machine, place) -> None:
+        super().__init__(machine, place)
+        self._bins: Dict[int, List[_Chunk]] = {}
+        self._chunks_by_tid: Dict[int, List[_Chunk]] = {}
+        #: every run the arena ever mapped (released only by release_all)
+        self._owned_runs: List[PageTableEntry] = []
+
+    # --------------------------------------------------------------- lookup
+
+    def group_of(self, tensor: Tensor):  # pragma: no cover - not used
+        raise NotImplementedError("the arena has its own placement logic")
+
+    def _take_free_chunk(self, nbytes: int) -> Optional[_Chunk]:
+        """Best-fit search: smallest free chunk that holds ``nbytes``."""
+        for size_class in range(_size_class(nbytes), 64):
+            bin_chunks = self._bins.get(size_class)
+            if not bin_chunks:
+                continue
+            best_index = None
+            for index, chunk in enumerate(bin_chunks):
+                if chunk.nbytes >= nbytes and (
+                    best_index is None
+                    or chunk.nbytes < bin_chunks[best_index].nbytes
+                ):
+                    best_index = index
+            if best_index is not None:
+                return bin_chunks.pop(best_index)
+        return None
+
+    def _list_free(self, chunk: _Chunk) -> None:
+        chunk.tenant = None
+        self._bins.setdefault(_size_class(chunk.nbytes), []).append(chunk)
+
+    def _grow(self, nbytes: int, now: float, tensor: Tensor) -> _Chunk:
+        """Map a fresh slab from the machine and carve the chunk from it."""
+        page_size = self.machine.page_size
+        npages = max(self.SLAB_PAGES, math.ceil(nbytes / page_size))
+        run = self._map_run(tensor, npages, now)
+        self._owned_runs.append(run)
+        chunk = _Chunk(run=run, offset=0, nbytes=npages * page_size)
+        return chunk
+
+    # ------------------------------------------------------------ interface
+
+    def alloc(self, tensor: Tensor, now: float) -> TensorMapping:
+        if tensor.tid in self._mappings:
+            from repro.dnn.alloc import AllocationError
+
+            raise AllocationError(f"tensor {tensor.name!r} is already allocated")
+        chunk = self._take_free_chunk(tensor.nbytes)
+        if chunk is None:
+            chunk = self._grow(tensor.nbytes, now, tensor)
+        # BFC split: keep what we need, re-list the remainder.
+        if chunk.nbytes > tensor.nbytes:
+            remainder = _Chunk(
+                run=chunk.run,
+                offset=chunk.offset + tensor.nbytes,
+                nbytes=chunk.nbytes - tensor.nbytes,
+            )
+            self._list_free(remainder)
+            chunk = _Chunk(run=chunk.run, offset=chunk.offset, nbytes=tensor.nbytes)
+        chunk.tenant = tensor.tid
+        self._chunks_by_tid.setdefault(tensor.tid, []).append(chunk)
+
+        mapping = TensorMapping(
+            tensor=tensor, shares=[RunShare(run=chunk.run, nbytes=tensor.nbytes)]
+        )
+        self._mappings[tensor.tid] = mapping
+        self._run_users.setdefault(chunk.run.vpn, set()).add(tensor.tid)
+        self.live_tensor_bytes += tensor.nbytes
+        self.peak_tensor_bytes = max(self.peak_tensor_bytes, self.live_tensor_bytes)
+        return mapping
+
+    def free(self, tensor: Tensor, now: float) -> TensorMapping:
+        from repro.dnn.alloc import AllocationError
+
+        mapping = self._mappings.pop(tensor.tid, None)
+        if mapping is None:
+            raise AllocationError(f"tensor {tensor.name!r} is not allocated")
+        for chunk in self._chunks_by_tid.pop(tensor.tid, ()):
+            self._list_free(chunk)
+        for share in mapping.shares:
+            users = self._run_users.get(share.run.vpn)
+            if users is not None:
+                users.discard(tensor.tid)
+        self.live_tensor_bytes -= tensor.nbytes
+        # Pages stay with the arena — that is the point.
+        return mapping
+
+    def release_all(self, now: float) -> None:
+        """Return every slab to the machine (arena teardown)."""
+        page_size = self.machine.page_size
+        for run in self._owned_runs:
+            if run.vpn in self.machine.page_table:
+                self.live_page_bytes -= run.npages * page_size
+                self.machine.unmap_run(run, now)
+        self._owned_runs.clear()
+        self._bins.clear()
+        self._chunks_by_tid.clear()
+        self._run_users.clear()
+        self._mappings.clear()
+        self.live_tensor_bytes = 0
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def arena_bytes(self) -> int:
+        """Bytes of pages the arena currently owns."""
+        return sum(
+            run.npages * self.machine.page_size for run in self._owned_runs
+        )
+
+    def chunk_count(self) -> int:
+        return sum(len(chunks) for chunks in self._bins.values()) + sum(
+            len(chunks) for chunks in self._chunks_by_tid.values()
+        )

@@ -1,0 +1,255 @@
+"""The training-step executor.
+
+Runs a :class:`~repro.dnn.graph.Graph` against a
+:class:`~repro.mem.machine.Machine` under a
+:class:`~repro.dnn.policy.PlacementPolicy`, producing a
+:class:`StepResult` per step with the timing/traffic breakdown the
+experiments report.
+
+Timing model per op::
+
+    op_time = max(compute_time, memory_time) + stall + fault_overhead
+
+``compute_time`` is FLOPs over the platform's effective throughput;
+``memory_time`` prices each access against the tier its pages occupy
+(roofline-style overlap of compute and memory streams); ``stall`` is
+exposed migration time (waiting for residency / Case-3 waits); ``fault``
+is profiling-fault handling, nonzero only while Sentinel profiles.
+
+Tensor lifecycle follows the paper's TensorFlow observations: preallocated
+tensors (weights, inputs, globals) are mapped once before the first step and
+persist; every other tensor is allocated at its first access and freed at
+the end of the last layer that touches it, *every step* — which is what lets
+Sentinel re-organize them across steps without creating wild pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dnn.alloc import Allocator, TensorMapping
+from repro.dnn.graph import Graph, Layer
+from repro.dnn.policy import PlacementPolicy
+from repro.dnn.tensor import Tensor
+from repro.mem.machine import Machine
+from repro.sim.clock import Clock
+
+
+class StepObserver:
+    """Hooks for instrumentation (the profiler is one of these)."""
+
+    def on_step_start(self, step: int, now: float) -> None:
+        pass
+
+    def on_tensor_allocated(
+        self, tensor: Tensor, mapping: TensorMapping, now: float
+    ) -> None:
+        pass
+
+    def on_tensor_freed(
+        self, tensor: Tensor, mapping: TensorMapping, now: float
+    ) -> None:
+        pass
+
+    def on_layer_end(self, layer: Layer, now: float) -> None:
+        pass
+
+    def on_step_end(self, step: int, result: "StepResult") -> None:
+        pass
+
+
+@dataclass
+class StepResult:
+    """Timing and traffic breakdown of one training step."""
+
+    step: int
+    start_time: float
+    end_time: float
+    compute_time: float = 0.0
+    mem_time: float = 0.0
+    stall_time: float = 0.0
+    fault_time: float = 0.0
+    bytes_fast: int = 0
+    bytes_slow: int = 0
+    promoted_bytes: int = 0
+    demoted_bytes: int = 0
+    peak_fast: int = 0
+    peak_slow: int = 0
+    layer_spans: List[Tuple[int, float, float]] = field(default_factory=list)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def migrated_bytes(self) -> int:
+        return self.promoted_bytes + self.demoted_bytes
+
+    @property
+    def exposed_overhead(self) -> float:
+        """Time on the critical path not spent computing."""
+        return self.stall_time + self.fault_time
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a step cannot be executed (placement contract violated)."""
+
+
+class Executor:
+    """Executes training steps of one graph under one policy."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        machine: Machine,
+        policy: PlacementPolicy,
+        allocator: Optional[Allocator] = None,
+        observers: Sequence[StepObserver] = (),
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.graph = graph
+        self.machine = machine
+        self.policy = policy
+        self.observers = list(observers)
+        self.tracer = tracer
+        self.clock = Clock()
+        policy.bind(machine, graph)
+        self.allocator = allocator if allocator is not None else policy.make_allocator()
+        self._steps_run = 0
+        self._frees_by_layer = self._index_frees(graph)
+        self._preallocate()
+
+    @staticmethod
+    def _index_frees(graph: Graph) -> Dict[int, List[Tensor]]:
+        frees: Dict[int, List[Tensor]] = {}
+        for tensor in graph.step_tensors():
+            assert tensor.free_layer is not None
+            frees.setdefault(tensor.free_layer, []).append(tensor)
+        return frees
+
+    def _preallocate(self) -> None:
+        now = self.clock.now
+        for tensor in self.graph.preallocated():
+            mapping = self.allocator.alloc(tensor, now)
+            self.policy.on_alloc(tensor, mapping, now)
+            for observer in self.observers:
+                observer.on_tensor_allocated(tensor, mapping, now)
+
+    # ------------------------------------------------------------ execution
+
+    def run_step(self) -> StepResult:
+        """Execute one training step and return its breakdown."""
+        step = self._steps_run
+        clock = self.clock
+        policy = self.policy
+        machine = self.machine
+        allocator = self.allocator
+
+        machine.fast.reset_peak()
+        machine.slow.reset_peak()
+        promoted0 = machine.stats.counter("migration.promoted_bytes").value
+        demoted0 = machine.stats.counter("migration.demoted_bytes").value
+
+        result = StepResult(step=step, start_time=clock.now, end_time=clock.now)
+        for observer in self.observers:
+            observer.on_step_start(step, clock.now)
+        self._charge_stall(result, policy.on_step_start(step, clock.now))
+
+        for layer in self.graph.layers:
+            layer_start = clock.now
+            stall = policy.on_layer_start(layer, clock.now)
+            self._charge_stall(result, stall)
+
+            for op in layer.ops:
+                self._ensure_allocated(op, clock.now)
+                compute_time = op.flops / machine.platform.compute_throughput
+                mem_time = 0.0
+                stall_time = 0.0
+                fault_time = 0.0
+                for access in op.accesses:
+                    mapping = allocator.mapping(access.tensor)
+                    if mapping is None:
+                        raise ExecutionError(
+                            f"op {op.name!r} touches unallocated tensor "
+                            f"{access.tensor.name!r}"
+                        )
+                    charge = policy.charge_access(
+                        access.tensor, mapping, access, clock.now
+                    )
+                    if self.tracer is not None:
+                        self.tracer.record(step, layer, op, access, charge, clock.now)
+                    mem_time += charge.mem_time
+                    stall_time += charge.stall
+                    fault_time += charge.fault
+                    result.bytes_fast += charge.bytes_fast
+                    result.bytes_slow += charge.bytes_slow
+                op_time = max(compute_time, mem_time) + stall_time + fault_time
+                result.compute_time += compute_time
+                result.mem_time += mem_time
+                result.stall_time += stall_time
+                result.fault_time += fault_time
+                clock.advance(op_time)
+                machine.migration.sync(clock.now)
+
+            self._free_layer_tensors(layer)
+            stall = policy.on_layer_end(layer, clock.now)
+            self._charge_stall(result, stall)
+            for observer in self.observers:
+                observer.on_layer_end(layer, clock.now)
+            result.layer_spans.append((layer.index, layer_start, clock.now))
+
+        stall = policy.on_step_end(step, clock.now)
+        self._charge_stall(result, stall)
+        machine.migration.sync(clock.now)
+
+        result.end_time = clock.now
+        result.promoted_bytes = int(
+            machine.stats.counter("migration.promoted_bytes").value - promoted0
+        )
+        result.demoted_bytes = int(
+            machine.stats.counter("migration.demoted_bytes").value - demoted0
+        )
+        result.peak_fast = machine.fast.peak_used
+        result.peak_slow = machine.slow.peak_used
+        for observer in self.observers:
+            observer.on_step_end(step, result)
+        self._steps_run += 1
+        return result
+
+    def run_steps(self, count: int) -> List[StepResult]:
+        if count <= 0:
+            raise ValueError(f"step count must be positive, got {count!r}")
+        return [self.run_step() for _ in range(count)]
+
+    # -------------------------------------------------------------- helpers
+
+    def _charge_stall(self, result: StepResult, stall: float) -> None:
+        if stall < 0:
+            raise ExecutionError(f"policy returned negative stall {stall!r}")
+        if stall:
+            result.stall_time += stall
+            self.clock.advance(stall)
+
+    def _ensure_allocated(self, op, now: float) -> None:
+        for access in op.accesses:
+            tensor = access.tensor
+            if tensor.preallocated:
+                continue
+            if self.allocator.mapping(tensor) is None:
+                mapping = self.allocator.alloc(tensor, now)
+                self.policy.on_alloc(tensor, mapping, now)
+                for observer in self.observers:
+                    observer.on_tensor_allocated(tensor, mapping, now)
+
+    def _free_layer_tensors(self, layer: Layer) -> None:
+        now = self.clock.now
+        for tensor in self._frees_by_layer.get(layer.index, ()):
+            mapping = self.allocator.mapping(tensor)
+            if mapping is None:
+                continue  # tensor skipped this step (control flow)
+            for observer in self.observers:
+                observer.on_tensor_freed(tensor, mapping, now)
+            self.policy.on_free(tensor, mapping, now)
+            self.allocator.free(tensor, now)

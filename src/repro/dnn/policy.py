@@ -1,0 +1,225 @@
+"""The placement-policy interface every memory manager implements.
+
+A :class:`PlacementPolicy` is the pluggable brain of a simulation run: it
+decides where fresh allocations land (:meth:`place`), reacts to the
+executor's layer/step lifecycle hooks (where Sentinel runs its interval
+logic), and prices every memory access (:meth:`charge_access`) against the
+current page placement — including stalling for residency on GPU-style
+platforms, where a kernel cannot start until its operand pages are in fast
+memory.
+
+The default :meth:`charge_access` implements the machine's physics; policies
+normally override only placement/migration decisions and inherit the
+pricing.  The Memory-Mode baseline overrides pricing too, routing accesses
+through the simulated hardware DRAM cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dnn.alloc import Allocator, PackedAllocator, TensorMapping
+from repro.dnn.graph import Graph, Layer
+from repro.dnn.ops import TensorAccess
+from repro.dnn.tensor import Tensor
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.page import PageTableEntry
+
+
+@dataclass
+class AccessCharge:
+    """Time and traffic cost of one op access under the current placement."""
+
+    mem_time: float = 0.0
+    stall: float = 0.0
+    fault: float = 0.0
+    bytes_fast: int = 0
+    bytes_slow: int = 0
+
+    def merge(self, other: "AccessCharge") -> None:
+        self.mem_time += other.mem_time
+        self.stall += other.stall
+        self.fault += other.fault
+        self.bytes_fast += other.bytes_fast
+        self.bytes_slow += other.bytes_slow
+
+
+class ResidencyError(RuntimeError):
+    """Raised when fast memory cannot hold a tensor that must be resident."""
+
+
+def fits_fast(machine: "Machine", nbytes: int) -> bool:
+    """Whether a fresh allocation of ``nbytes`` fits in fast memory.
+
+    Allocators hand out whole pages (plus a possibly-shared tail page), so
+    the capacity check must use the page-rounded size — checking the raw
+    byte count admits allocations that overflow by up to a page.
+    """
+    page = machine.page_size
+    rounded = page * (-(-nbytes // page))
+    return machine.fast.fits(rounded)
+
+
+class PlacementPolicy:
+    """Base class for all memory-management policies."""
+
+    #: Human-readable policy name (used in experiment tables).
+    name = "base"
+
+    #: Override the platform's residency requirement (None = inherit).
+    requires_residency: Optional[bool] = None
+
+    def __init__(self) -> None:
+        self.machine: Optional[Machine] = None
+        self.graph: Optional[Graph] = None
+        self.residency = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def bind(self, machine: Machine, graph: Graph) -> None:
+        """Attach the policy to a machine and workload before execution."""
+        self.machine = machine
+        self.graph = graph
+        if self.requires_residency is None:
+            self.residency = machine.platform.residency_required
+        else:
+            self.residency = self.requires_residency
+
+    def make_allocator(self) -> Allocator:
+        """Allocator this policy runs on (TensorFlow-default packing)."""
+        assert self.machine is not None, "bind() must run before make_allocator()"
+        return PackedAllocator(self.machine, self.place)
+
+    # ----------------------------------------------------------- decisions
+
+    def place(self, tensor: Tensor, now: float) -> DeviceKind:
+        """Tier for a fresh run of ``tensor``; default everything on slow.
+
+        (The paper's starting condition: "Before the training happens,
+        tensors are allocated in slow memory.")
+        """
+        return DeviceKind.SLOW
+
+    # Lifecycle hooks; returned floats are stall seconds the executor adds
+    # to the critical path at that point.
+
+    def on_step_start(self, step: int, now: float) -> float:
+        return 0.0
+
+    def on_layer_start(self, layer: Layer, now: float) -> float:
+        return 0.0
+
+    def on_layer_end(self, layer: Layer, now: float) -> float:
+        return 0.0
+
+    def on_step_end(self, step: int, now: float) -> float:
+        return 0.0
+
+    def on_alloc(self, tensor: Tensor, mapping: TensorMapping, now: float) -> None:
+        pass
+
+    def on_free(self, tensor: Tensor, mapping: TensorMapping, now: float) -> None:
+        pass
+
+    # ----------------------------------------------------------- accounting
+
+    def charge_access(
+        self, tensor: Tensor, mapping: TensorMapping, access: TensorAccess, now: float
+    ) -> AccessCharge:
+        """Price one op access under the current placement."""
+        machine = self.machine
+        assert machine is not None
+        page_size = machine.page_size
+        charge = AccessCharge()
+        for share in mapping.shares:
+            run = share.run
+            # Bytes of this access that fall on this share, pro-rated.
+            nbytes = access.nbytes * share.nbytes // tensor.nbytes
+            if nbytes <= 0 and share.nbytes > 0:
+                nbytes = min(share.nbytes, access.nbytes)
+            if nbytes <= 0:
+                continue
+            stall = 0.0
+            if self.residency:
+                stall = self.ensure_resident(run, now + charge.stall)
+                device = DeviceKind.FAST
+            else:
+                device = run.effective_device(now)
+            pages = min(run.npages, max(1, math.ceil(nbytes / page_size)))
+            charge.fault += machine.fault_handler.on_access_pass(
+                run, pages, access.is_write, passes=access.passes
+            )
+            charge.mem_time += access.passes * machine.access_time(
+                device, nbytes, access.is_write
+            )
+            if access.is_write:
+                run.initialized = True
+            charge.stall += stall
+            total = nbytes * access.passes
+            if device is DeviceKind.FAST:
+                charge.bytes_fast += total
+            else:
+                charge.bytes_slow += total
+        return charge
+
+    # ------------------------------------------------------------ residency
+
+    def ensure_resident(self, run: PageTableEntry, now: float) -> float:
+        """Make ``run`` resident on fast memory; returns stall seconds.
+
+        Default behaviour is on-demand: promote immediately and stall until
+        the copy lands, evicting via :meth:`evict_for` when fast memory is
+        full.  Prefetching policies override the *scheduling* (so the run is
+        usually resident already) and inherit this as their miss path.
+        """
+        machine = self.machine
+        assert machine is not None
+        if run.device is DeviceKind.FAST and not run.in_flight:
+            return 0.0
+        if run.in_flight:
+            if run.migrating_to is DeviceKind.FAST:
+                stall = max(0.0, run.available_at - now)
+                machine.migration.sync(now + stall)
+                return stall
+            # Demotion racing an access: wait it out, then promote back.
+            wait = max(0.0, run.available_at - now)
+            machine.migration.sync(now + wait)
+            return wait + self.ensure_resident(run, now + wait)
+        nbytes = run.npages * machine.page_size
+        if not machine.fast.fits(nbytes):
+            wait = self.evict_for(nbytes, now)
+            now += wait
+        else:
+            wait = 0.0
+        if not run.initialized:
+            # A never-written buffer has no contents to copy: back it with
+            # device frames directly (cudaMalloc semantics), no transfer.
+            if machine.migration.materialize(run, now):
+                return wait
+        transfer, scheduled, skipped = machine.migration.promote(
+            [run], now, urgent=True
+        )
+        if skipped or transfer is None:
+            raise ResidencyError(
+                f"cannot promote run {run.vpn} ({nbytes} bytes): fast memory full "
+                f"({machine.fast.free} free) and evict_for() made no room"
+            )
+        stall = max(0.0, transfer.finish - now)
+        machine.migration.sync(transfer.finish)
+        return wait + stall
+
+    def evict_for(self, nbytes: int, now: float) -> float:
+        """Free at least ``nbytes`` of fast memory; returns stall seconds.
+
+        The base policy has no eviction scheme — subclasses that can face
+        residency misses must provide one.
+        """
+        raise ResidencyError(
+            f"{self.name}: fast memory full and policy defines no eviction"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

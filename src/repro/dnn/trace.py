@@ -1,0 +1,175 @@
+"""Structured access traces of simulated training steps.
+
+A :class:`Tracer` attached to an :class:`~repro.dnn.executor.Executor`
+records one row per (op, tensor access) with its pricing outcome — which
+tier served it, how long it took, whether it stalled.  Traces are what the
+paper's characterization figures (1 and 2) are drawn from, and they make
+policy behaviour inspectable offline: where did the slow accesses happen,
+which layers migrated, what did an interval boundary cost.
+
+The trace is plain data: filter it, aggregate it, or dump it to CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One op access and how the memory system served it."""
+
+    step: int
+    layer_index: int
+    layer_name: str
+    op_name: str
+    tensor_name: str
+    tensor_kind: str
+    nbytes: int
+    passes: int
+    is_write: bool
+    mem_time: float
+    stall: float
+    fault_time: float
+    bytes_fast: int
+    bytes_slow: int
+    when: float
+
+    @property
+    def served_from(self) -> str:
+        """Dominant tier for this access ("fast", "slow", or "mixed")."""
+        if self.bytes_slow == 0:
+            return "fast"
+        if self.bytes_fast == 0:
+            return "slow"
+        return "mixed"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` rows during execution.
+
+    Args:
+        max_records: safety cap; recording stops (and ``truncated`` is set)
+            once reached, so tracing a huge run cannot exhaust memory.
+    """
+
+    def __init__(self, max_records: int = 1_000_000) -> None:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records!r}")
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.truncated = False
+
+    # ------------------------------------------------------------ recording
+
+    def record(
+        self,
+        step: int,
+        layer,
+        op,
+        access,
+        charge,
+        when: float,
+    ) -> None:
+        if len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        self.records.append(
+            TraceRecord(
+                step=step,
+                layer_index=layer.index,
+                layer_name=layer.name,
+                op_name=op.name,
+                tensor_name=access.tensor.name,
+                tensor_kind=access.tensor.kind.value,
+                nbytes=access.nbytes,
+                passes=access.passes,
+                is_write=access.is_write,
+                mem_time=charge.mem_time,
+                stall=charge.stall,
+                fault_time=charge.fault,
+                bytes_fast=charge.bytes_fast,
+                bytes_slow=charge.bytes_slow,
+                when=when,
+            )
+        )
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.truncated = False
+
+    # ------------------------------------------------------------- analysis
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_layer(self) -> Dict[int, List[TraceRecord]]:
+        grouped: Dict[int, List[TraceRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.layer_index, []).append(record)
+        return grouped
+
+    def slow_time_by_kind(self) -> Dict[str, float]:
+        """Memory time of slow-served bytes, grouped by tensor kind —
+        the first question when debugging a policy's placement."""
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            if record.bytes_slow:
+                totals[record.tensor_kind] = (
+                    totals.get(record.tensor_kind, 0.0) + record.mem_time
+                )
+        return totals
+
+    def traffic(self) -> Tuple[int, int]:
+        """(fast_bytes, slow_bytes) across the trace."""
+        fast = sum(r.bytes_fast for r in self.records)
+        slow = sum(r.bytes_slow for r in self.records)
+        return fast, slow
+
+    def stall_events(self, threshold: float = 0.0) -> List[TraceRecord]:
+        """Accesses that stalled longer than ``threshold`` seconds."""
+        return [r for r in self.records if r.stall > threshold]
+
+    def hottest_tensors(self, top: int = 10) -> List[Tuple[str, int]]:
+        """Tensor names by number of recorded access events."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.tensor_name] = counts.get(record.tensor_name, 0) + 1
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:top]
+
+    # --------------------------------------------------------------- export
+
+    FIELDS = (
+        "step",
+        "layer_index",
+        "layer_name",
+        "op_name",
+        "tensor_name",
+        "tensor_kind",
+        "nbytes",
+        "passes",
+        "is_write",
+        "mem_time",
+        "stall",
+        "fault_time",
+        "bytes_fast",
+        "bytes_slow",
+        "when",
+    )
+
+    def to_csv(self) -> str:
+        """The trace as CSV text (header + one row per record)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.FIELDS)
+        for record in self.records:
+            writer.writerow(getattr(record, field) for field in self.FIELDS)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())

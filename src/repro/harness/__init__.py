@@ -1,0 +1,26 @@
+"""Experiment harness: run (model x policy x platform) and report.
+
+* :mod:`repro.harness.runner` — single-run orchestration and the
+  maximum-batch-size search.
+* :mod:`repro.harness.report` — plain-text tables/series matching the
+  paper's figures and tables.
+* :mod:`repro.harness.experiments` — one entry point per paper artifact
+  (Figure 5..13, Table III..V); the benchmarks are thin wrappers over these.
+"""
+
+from repro.harness.runner import RunMetrics, max_batch_size, run_policy
+from repro.harness.report import format_bars, format_series, format_table, jsonable
+from repro.harness.sweeps import SweepPoint, SweepResult, sweep
+
+__all__ = [
+    "RunMetrics",
+    "run_policy",
+    "max_batch_size",
+    "format_table",
+    "format_series",
+    "format_bars",
+    "jsonable",
+    "sweep",
+    "SweepResult",
+    "SweepPoint",
+]

@@ -1,0 +1,101 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[Tuple[object, float]], unit: str = ""
+) -> str:
+    """Render an (x, y) series as the figure data it regenerates."""
+    lines = [f"{name}{f' ({unit})' if unit else ''}:"]
+    for x, y in points:
+        lines.append(f"  {_cell(x):>12} -> {y:.4g}")
+    return "\n".join(lines)
+
+
+def format_bars(
+    name: str,
+    points: Sequence[Tuple[object, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render an (label, value) series as a horizontal ASCII bar chart.
+
+    The figure-regenerating benchmarks use this for quick visual shape
+    checks in the saved text outputs.
+    """
+    if not points:
+        return f"{name}: (no data)"
+    peak = max(value for _, value in points)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max(len(_cell(label)) for label, _ in points)
+    lines = [f"{name}{f' ({unit})' if unit else ''}:"]
+    for label, value in points:
+        bar = "#" * max(0, round(value * scale))
+        lines.append(f"  {_cell(label):>{label_width}} | {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def jsonable(value: object):
+    """Recursively convert experiment results to JSON-serializable data.
+
+    Dataclasses become dicts, tuples become lists, non-string dict keys are
+    stringified, and anything exotic (profiles, graphs) falls back to repr.
+    """
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def mib(nbytes: float) -> float:
+    """Bytes to MiB, for table cells."""
+    return nbytes / (1024.0**2)
+
+
+def gib(nbytes: float) -> float:
+    """Bytes to GiB, for table cells."""
+    return nbytes / (1024.0**3)

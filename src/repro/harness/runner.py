@@ -1,0 +1,210 @@
+"""Single-experiment orchestration.
+
+:func:`run_policy` is the workhorse: build a machine sized for the
+experiment (the paper's "fast memory = X% of the model's peak consumption"),
+attach a policy, run enough steps to pass Sentinel's warm-up/profiling/trial
+phases, and measure the steady state.
+
+:func:`max_batch_size` reproduces Table V's methodology: largest batch a
+policy can train given fixed device memory, found by exponential probe +
+binary search on "does a training step complete without running out of
+memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.baselines.registry import make_policy
+from repro.baselines.vdnn import UnsupportedModelError
+from repro.core.runtime import SentinelConfig, SentinelPolicy
+from repro.dnn.executor import Executor
+from repro.dnn.graph import Graph
+from repro.dnn.policy import ResidencyError
+from repro.mem.devices import DeviceFullError
+from repro.mem.machine import Machine
+from repro.mem.platforms import Platform
+from repro.models.zoo import build_model
+
+#: Warm-up steps for experiments: Sentinel's behaviour before profiling is
+#: policy-free (slow placement), so two steps are enough to exercise the
+#: phase machinery without inflating simulation time.  The paper's 10 are
+#: TensorFlow hardware-detection steps with no memory-management role.
+EXPERIMENT_WARMUP_STEPS = 2
+
+#: Steps run after the managed phase begins, the last of which is measured.
+STEADY_STEPS = 4
+
+
+@dataclass
+class RunMetrics:
+    """Steady-state measurements of one (model, policy, machine) run."""
+
+    model: str
+    policy: str
+    batch_size: int
+    fast_capacity: int
+    step_time: float
+    throughput: float  # samples / second
+    compute_time: float
+    mem_time: float
+    stall_time: float
+    fault_time: float
+    promoted_bytes: int
+    demoted_bytes: int
+    bytes_fast: int
+    bytes_slow: int
+    peak_fast: int
+    peak_slow: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def migrated_bytes(self) -> int:
+        return self.promoted_bytes + self.demoted_bytes
+
+
+def _sentinel_config(overrides: Optional[SentinelConfig]) -> SentinelConfig:
+    if overrides is not None:
+        return overrides
+    return SentinelConfig(warmup_steps=EXPERIMENT_WARMUP_STEPS)
+
+
+def run_policy(
+    policy_name: str,
+    graph: Optional[Graph] = None,
+    model: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    scale: str = "small",
+    platform: Optional[Platform] = None,
+    fast_fraction: Optional[float] = None,
+    fast_capacity: Optional[int] = None,
+    steady_steps: int = STEADY_STEPS,
+    sentinel_config: Optional[SentinelConfig] = None,
+) -> RunMetrics:
+    """Run one policy on one workload and return steady-state metrics.
+
+    Exactly one of ``graph`` or ``model`` must be given.  Fast memory is
+    sized by ``fast_capacity`` (bytes), ``fast_fraction`` (of the graph's
+    peak packed consumption — the paper's convention), or left at the
+    platform's full size.
+    """
+    if (graph is None) == (model is None):
+        raise ValueError("provide exactly one of graph= or model=")
+    if graph is None:
+        graph = build_model(model, batch_size=batch_size, scale=scale)
+    if platform is None:
+        from repro.mem.platforms import OPTANE_HM
+
+        platform = OPTANE_HM
+    if fast_capacity is None and fast_fraction is not None:
+        if not 0 < fast_fraction:
+            raise ValueError(f"fast fraction must be positive: {fast_fraction!r}")
+        fast_capacity = max(
+            platform.page_size, int(graph.peak_memory_bytes() * fast_fraction)
+        )
+    machine = Machine.for_platform(platform, fast_capacity=fast_capacity)
+
+    policy = make_policy(policy_name, sentinel_config=_sentinel_config(sentinel_config))
+    executor = Executor(graph, machine, policy)
+
+    total_steps = steady_steps
+    if isinstance(policy, SentinelPolicy):
+        total_steps += policy.config.warmup_steps + 1
+    results = executor.run_steps(total_steps)
+    last = results[-1]
+
+    extras: Dict[str, float] = {}
+    if isinstance(policy, SentinelPolicy):
+        extras["profiling_steps"] = policy.profiling_steps_used
+        extras["trial_steps"] = policy.trial_steps_used
+        extras["case2"] = policy.case2_occurrences
+        extras["case3"] = policy.case3_occurrences
+        if policy.plan is not None:
+            extras["interval_length"] = policy.plan.interval_length
+            extras["reserved_short_bytes"] = policy.plan.reserved_short_bytes
+        if policy.profile is not None:
+            extras["profiling_step_time"] = results[
+                policy.config.warmup_steps
+            ].duration
+            extras["memory_overhead"] = policy.profile.memory_overhead
+    recompute = getattr(policy, "recompute_time", None)
+    if recompute is not None:
+        extras["recompute_time"] = recompute
+
+    return RunMetrics(
+        model=graph.name,
+        policy=policy_name,
+        batch_size=graph.batch_size,
+        fast_capacity=machine.fast.capacity,
+        step_time=last.duration,
+        throughput=graph.batch_size / last.duration if last.duration > 0 else 0.0,
+        compute_time=last.compute_time,
+        mem_time=last.mem_time,
+        stall_time=last.stall_time,
+        fault_time=last.fault_time,
+        promoted_bytes=last.promoted_bytes,
+        demoted_bytes=last.demoted_bytes,
+        bytes_fast=last.bytes_fast,
+        bytes_slow=last.bytes_slow,
+        peak_fast=last.peak_fast,
+        peak_slow=last.peak_slow,
+        extras=extras,
+    )
+
+
+OOM_ERRORS = (DeviceFullError, ResidencyError)
+
+
+def batch_feasible(
+    policy_name: str,
+    model: str,
+    batch_size: int,
+    platform: Platform,
+    sentinel_config: Optional[SentinelConfig] = None,
+) -> bool:
+    """Whether one training step completes without running out of memory."""
+    try:
+        run_policy(
+            policy_name,
+            model=model,
+            batch_size=batch_size,
+            platform=platform,
+            steady_steps=1,
+            sentinel_config=sentinel_config,
+        )
+        return True
+    except OOM_ERRORS:
+        return False
+
+
+def max_batch_size(
+    policy_name: str,
+    model: str,
+    platform: Platform,
+    start: int = 1,
+    limit: int = 1 << 16,
+    sentinel_config: Optional[SentinelConfig] = None,
+) -> int:
+    """Largest feasible batch size (Table V's metric); 0 if even ``start``
+    fails, raising :class:`UnsupportedModelError` through for policies whose
+    domain knowledge rejects the model outright (vDNN on recurrent graphs).
+    """
+    if not batch_feasible(policy_name, model, start, platform, sentinel_config):
+        return 0
+    low = start
+    high = start
+    while high < limit and batch_feasible(
+        policy_name, model, high * 2, platform, sentinel_config
+    ):
+        low = high * 2
+        high = low
+    high = min(limit, high * 2)
+    # Binary search in (low, high): low is feasible, high is not (or limit).
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if batch_feasible(policy_name, model, mid, platform, sentinel_config):
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,136 @@
+"""Composable parameter sweeps over (policy, model, machine) space.
+
+The per-figure experiments in :mod:`repro.harness.experiments` are fixed
+shapes; research use wants free-form grids: "every policy on these three
+models at these fast fractions".  :func:`sweep` runs the cartesian product,
+tolerates per-point failures (unsupported models, OOM) by recording them,
+and renders comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.vdnn import UnsupportedModelError
+from repro.harness.report import format_table
+from repro.harness.runner import OOM_ERRORS, RunMetrics, run_policy
+from repro.mem.platforms import OPTANE_HM, Platform
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point and its outcome."""
+
+    policy: str
+    model: str
+    batch_size: Optional[int]
+    fast_fraction: Optional[float]
+    metrics: Optional[RunMetrics]  # None if the point failed
+    failure: Optional[str] = None  # "unsupported" | "oom"
+
+    @property
+    def ok(self) -> bool:
+        return self.metrics is not None
+
+
+@dataclass
+class SweepResult:
+    """All grid points, with query and rendering helpers."""
+
+    points: List[SweepPoint]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def where(self, **criteria) -> List[SweepPoint]:
+        """Points matching every given field value."""
+        out = []
+        for point in self.points:
+            if all(getattr(point, key) == value for key, value in criteria.items()):
+                out.append(point)
+        return out
+
+    def best_policy(self, model: str, fast_fraction: Optional[float] = None) -> str:
+        """Fastest successful policy for a model (at one fraction if given)."""
+        candidates = [
+            p
+            for p in self.points
+            if p.model == model
+            and p.ok
+            and (fast_fraction is None or p.fast_fraction == fast_fraction)
+        ]
+        if not candidates:
+            raise ValueError(f"no successful points for model {model!r}")
+        return min(candidates, key=lambda p: p.metrics.step_time).policy
+
+    def to_table(self, value: str = "step_time") -> str:
+        """Models x policies matrix of a metric (first fraction per pair)."""
+        models = sorted({p.model for p in self.points})
+        policies = sorted({p.policy for p in self.points})
+        rows = []
+        for model in models:
+            cells: List[object] = [model]
+            for policy in policies:
+                match = next(
+                    (p for p in self.points if p.model == model and p.policy == policy),
+                    None,
+                )
+                if match is None:
+                    cells.append("-")
+                elif not match.ok:
+                    cells.append(match.failure)
+                else:
+                    cells.append(f"{getattr(match.metrics, value):.4g}")
+            rows.append(tuple(cells))
+        return format_table(("model",) + tuple(policies), rows, title=f"sweep: {value}")
+
+
+def sweep(
+    policies: Sequence[str],
+    models: Sequence[str],
+    fast_fractions: Sequence[Optional[float]] = (0.2,),
+    batch_sizes: Optional[Dict[str, int]] = None,
+    platform: Platform = OPTANE_HM,
+) -> SweepResult:
+    """Run the cartesian product and collect every outcome.
+
+    Policies named ``slow-only``/``fast-only`` ignore the fraction (their
+    machines are unconstrained); failures become recorded points rather
+    than exceptions, so a single infeasible corner does not kill a grid.
+    """
+    if not policies or not models:
+        raise ValueError("need at least one policy and one model")
+    points: List[SweepPoint] = []
+    for model in models:
+        batch = (batch_sizes or {}).get(model)
+        for policy in policies:
+            for fraction in fast_fractions:
+                effective = (
+                    None if policy in ("slow-only", "fast-only") else fraction
+                )
+                try:
+                    metrics = run_policy(
+                        policy,
+                        model=model,
+                        batch_size=batch,
+                        platform=platform,
+                        fast_fraction=effective,
+                    )
+                    points.append(
+                        SweepPoint(policy, model, batch, effective, metrics)
+                    )
+                except UnsupportedModelError:
+                    points.append(
+                        SweepPoint(policy, model, batch, effective, None, "unsupported")
+                    )
+                except OOM_ERRORS:
+                    points.append(
+                        SweepPoint(policy, model, batch, effective, None, "oom")
+                    )
+                if policy in ("slow-only", "fast-only"):
+                    break  # fraction-independent: one point suffices
+    return SweepResult(points=points)

@@ -1,0 +1,130 @@
+"""Optane "Memory Mode": DRAM as a hardware-managed cache in front of PMM.
+
+In Memory Mode the DRAM is invisible to software; the memory controller uses
+it as a cache of PMM at near-page granularity.  We model it as a byte-budget
+LRU cache over page runs: an access to a run that is resident proceeds at
+DRAM speed; a miss stalls for the fill from PMM (and for writing back the
+dirty bytes of whatever was evicted to make room).  All of this is
+synchronous — hardware cache fills sit on the load's critical path — which
+is why Memory Mode loses to Sentinel's proactive, overlapped migration for
+working sets larger than DRAM.
+
+Runs larger than the entire cache bypass it and are served from PMM
+directly (a hardware cache cannot hold them; keeping them out also models
+the controller's thrash behaviour conservatively).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.mem.devices import MemoryDevice
+
+
+@dataclass
+class _Line:
+    nbytes: int
+    dirty_bytes: int = 0
+
+
+class DRAMCache:
+    """Byte-budget LRU cache of slow memory, fronted by the fast device."""
+
+    def __init__(
+        self,
+        fast: MemoryDevice,
+        slow: MemoryDevice,
+        page_size: int,
+        fill_bandwidth: float = 0.0,
+        writeback_bandwidth: float = 0.0,
+    ) -> None:
+        """``fill_bandwidth``/``writeback_bandwidth`` let the cache stream
+        at the device's *sequential* rate (the memory controller fetches
+        whole lines back to back) instead of the effective rate op-level
+        accesses see; zero falls back to the slow device's model."""
+        if page_size <= 0:
+            raise ValueError(f"page size must be positive, got {page_size!r}")
+        self.fast = fast
+        self.slow = slow
+        self.page_size = page_size
+        self.fill_bandwidth = fill_bandwidth
+        self.writeback_bandwidth = writeback_bandwidth
+        # A hardware page cache is far from fully associative: conflict
+        # misses waste part of the nominal capacity.
+        self.capacity = int(fast.capacity * 0.75)
+        self._lines: "OrderedDict[int, _Line]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.writeback_bytes = 0
+
+    def resident(self, run_id: int) -> bool:
+        return run_id in self._lines
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    def _fill_time(self, nbytes: int) -> float:
+        if self.fill_bandwidth > 0:
+            return nbytes / self.fill_bandwidth
+        return self.slow.access_time(nbytes, is_write=False)
+
+    def _writeback_time(self, nbytes: int) -> float:
+        if self.writeback_bandwidth > 0:
+            return nbytes / self.writeback_bandwidth
+        return self.slow.access_time(nbytes, is_write=True)
+
+    def _evict_until(self, needed: int) -> float:
+        """Evict LRU lines until ``needed`` bytes fit; returns writeback time."""
+        cost = 0.0
+        while self._used + needed > self.capacity and self._lines:
+            _, line = self._lines.popitem(last=False)
+            self._used -= line.nbytes
+            if line.dirty_bytes:
+                cost += self._writeback_time(line.dirty_bytes)
+                self.writeback_bytes += line.dirty_bytes
+        return cost
+
+    def access(
+        self, run_id: int, run_bytes: int, touched_bytes: int, is_write: bool
+    ) -> float:
+        """Time to access ``touched_bytes`` of run ``run_id`` through the cache."""
+        if touched_bytes < 0 or run_bytes <= 0:
+            raise ValueError(
+                f"invalid access: run_bytes={run_bytes!r} touched={touched_bytes!r}"
+            )
+        if run_bytes > self.capacity:
+            # Uncacheable: served straight from PMM.
+            self.misses += 1
+            return self.slow.access_time(touched_bytes, is_write)
+        line = self._lines.get(run_id)
+        cost = 0.0
+        if line is None:
+            self.misses += 1
+            cost += self._evict_until(run_bytes)
+            # Fill what the access streams through; the first toucher of a
+            # run pays the PMM read on the critical path.
+            cost += self._fill_time(touched_bytes)
+            line = _Line(nbytes=run_bytes)
+            self._lines[run_id] = line
+            self._used += run_bytes
+        else:
+            self.hits += 1
+            self._lines.move_to_end(run_id)
+        if is_write:
+            line.dirty_bytes = min(run_bytes, line.dirty_bytes + touched_bytes)
+        cost += self.fast.access_time(touched_bytes, is_write)
+        return cost
+
+    def invalidate(self, run_id: int) -> None:
+        """Drop a run on free; dirty data is discarded (the run is dead)."""
+        line = self._lines.pop(run_id, None)
+        if line is not None:
+            self._used -= line.nbytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,138 @@
+"""Memory device models.
+
+A :class:`MemoryDevice` is a capacity-tracked store with asymmetric read and
+write bandwidths and a fixed access latency.  Timing is a simple linear
+model — ``latency + bytes / bandwidth`` — which is what matters for
+reproducing the paper's results: the *ratio* between fast and slow memory
+bandwidth determines who wins and by how much.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DeviceKind(enum.Enum):
+    """Which tier of the heterogeneous memory a page lives on."""
+
+    FAST = "fast"
+    SLOW = "slow"
+
+    def other(self) -> "DeviceKind":
+        return DeviceKind.SLOW if self is DeviceKind.FAST else DeviceKind.FAST
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a memory device.
+
+    Attributes:
+        name: human-readable label ("DDR4", "Optane PMM", "HBM2"...).
+        capacity: size in bytes.
+        read_bandwidth: sustained read bandwidth, bytes/second.
+        write_bandwidth: sustained write bandwidth, bytes/second.
+        latency: fixed per-access latency in seconds.
+    """
+
+    name: str
+    capacity: int
+    read_bandwidth: float
+    write_bandwidth: float
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"device capacity must be positive, got {self.capacity!r}")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError(f"device bandwidths must be positive: {self!r}")
+        if self.latency < 0:
+            raise ValueError(f"device latency must be non-negative: {self!r}")
+
+    def with_capacity(self, capacity: int) -> "DeviceSpec":
+        """A copy of this spec with a different capacity.
+
+        Experiments size fast memory as a fraction of each model's peak
+        consumption, so capacity is the one field that changes per run.
+        """
+        return DeviceSpec(
+            name=self.name,
+            capacity=int(capacity),
+            read_bandwidth=self.read_bandwidth,
+            write_bandwidth=self.write_bandwidth,
+            latency=self.latency,
+        )
+
+
+class DeviceFullError(RuntimeError):
+    """Raised when an allocation exceeds a device's remaining capacity."""
+
+
+class MemoryDevice:
+    """A capacity-tracked memory device instance."""
+
+    def __init__(self, spec: DeviceSpec, kind: DeviceKind) -> None:
+        self.spec = spec
+        self.kind = kind
+        self._used = 0
+        self._peak_used = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.spec.capacity
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated on the device."""
+        return self._used
+
+    @property
+    def peak_used(self) -> int:
+        """High-water mark of :attr:`used`."""
+        return self._peak_used
+
+    @property
+    def free(self) -> int:
+        return self.spec.capacity - self._used
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve ``nbytes``; raises :class:`DeviceFullError` if it doesn't fit."""
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate negative bytes {nbytes!r}")
+        if self._used + nbytes > self.spec.capacity:
+            raise DeviceFullError(
+                f"{self.spec.name}: allocation of {nbytes} bytes exceeds capacity "
+                f"({self._used}/{self.spec.capacity} used)"
+            )
+        self._used += nbytes
+        self._peak_used = max(self._peak_used, self._used)
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the device; over-release is a bookkeeping bug."""
+        if nbytes < 0:
+            raise ValueError(f"cannot release negative bytes {nbytes!r}")
+        if nbytes > self._used:
+            raise ValueError(
+                f"{self.spec.name}: releasing {nbytes} bytes but only "
+                f"{self._used} allocated"
+            )
+        self._used -= nbytes
+
+    def fits(self, nbytes: int) -> bool:
+        return self._used + nbytes <= self.spec.capacity
+
+    def access_time(self, nbytes: int, is_write: bool) -> float:
+        """Time to move ``nbytes`` to/from the device, latency included."""
+        if nbytes < 0:
+            raise ValueError(f"cannot access negative bytes {nbytes!r}")
+        bandwidth = self.spec.write_bandwidth if is_write else self.spec.read_bandwidth
+        return self.spec.latency + nbytes / bandwidth
+
+    def reset_peak(self) -> None:
+        self._peak_used = self._used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryDevice({self.spec.name!r}, kind={self.kind.value}, "
+            f"used={self._used}/{self.spec.capacity})"
+        )

@@ -1,0 +1,118 @@
+"""Memory-system energy accounting.
+
+The paper argues twice from energy: moving short-lived tensors "is highly
+inefficient in terms of both performance and energy efficiency" (§IV-C),
+and page-level false sharing "leads to memory bandwidth waste" (§I).  This
+module turns a run's traffic counters into Joules so those arguments are
+measurable: per-byte access energy for each tier, per-byte migration energy
+(a read on one side plus a write on the other), and background power
+integrated over the step.
+
+Per-byte numbers are published device characteristics (DRAM ~15 pJ/bit
+dynamic; Optane media writes several times costlier than reads); as with
+timing, the *ratios* carry the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Joules per byte (1 pJ/bit = 8e-12 J/B).
+PJ_PER_BIT = 8e-12
+
+
+@dataclass(frozen=True)
+class EnergySpec:
+    """Energy characteristics of a two-tier memory system.
+
+    Attributes:
+        fast_read / fast_write: dynamic energy per byte on the fast tier.
+        slow_read / slow_write: dynamic energy per byte on the slow tier.
+        fast_static_watts / slow_static_watts: background power, integrated
+            over the step duration.
+    """
+
+    fast_read: float
+    fast_write: float
+    slow_read: float
+    slow_write: float
+    fast_static_watts: float = 0.0
+    slow_static_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("fast_read", "fast_write", "slow_read", "slow_write"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def promote_per_byte(self) -> float:
+        """Slow-to-fast migration: read the slow copy, write the fast one."""
+        return self.slow_read + self.fast_write
+
+    @property
+    def demote_per_byte(self) -> float:
+        """Fast-to-slow migration: read fast, write slow."""
+        return self.fast_read + self.slow_write
+
+
+#: DDR4 + Optane PMM: DRAM ~15 pJ/bit; Optane reads ~2x DRAM, writes ~6x.
+OPTANE_ENERGY = EnergySpec(
+    fast_read=15 * PJ_PER_BIT,
+    fast_write=18 * PJ_PER_BIT,
+    slow_read=35 * PJ_PER_BIT,
+    slow_write=95 * PJ_PER_BIT,
+    fast_static_watts=4.0,
+    slow_static_watts=6.0,
+)
+
+#: HBM2 is very efficient per byte (~4 pJ/bit); host DRAM over PCIe adds
+#: the link's energy to every transferred byte.
+GPU_ENERGY = EnergySpec(
+    fast_read=4 * PJ_PER_BIT,
+    fast_write=4 * PJ_PER_BIT,
+    slow_read=25 * PJ_PER_BIT,
+    slow_write=28 * PJ_PER_BIT,
+    fast_static_watts=10.0,
+    slow_static_watts=8.0,
+)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent by one training step, by cause."""
+
+    fast_access: float
+    slow_access: float
+    migration: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        return self.fast_access + self.slow_access + self.migration + self.static
+
+    @property
+    def dynamic(self) -> float:
+        return self.fast_access + self.slow_access + self.migration
+
+
+def estimate_step_energy(metrics, spec: EnergySpec) -> EnergyBreakdown:
+    """Energy of one measured step (a :class:`~repro.harness.runner.RunMetrics`
+    or any object with the same traffic fields).
+
+    Access traffic is split half read / half write within each tier — ops
+    read inputs and write outputs in comparable volumes, and the per-tier
+    asymmetry (not the read/write split) dominates the comparison.
+    """
+    fast_access = metrics.bytes_fast * (spec.fast_read + spec.fast_write) / 2
+    slow_access = metrics.bytes_slow * (spec.slow_read + spec.slow_write) / 2
+    migration = (
+        metrics.promoted_bytes * spec.promote_per_byte
+        + metrics.demoted_bytes * spec.demote_per_byte
+    )
+    static = metrics.step_time * (spec.fast_static_watts + spec.slow_static_watts)
+    return EnergyBreakdown(
+        fast_access=fast_access,
+        slow_access=slow_access,
+        migration=migration,
+        static=static,
+    )

@@ -1,0 +1,120 @@
+"""The assembled heterogeneous-memory machine.
+
+:class:`Machine` wires a :class:`~repro.mem.platforms.Platform` description
+into live components — two devices, a page table, a TLB, the profiling fault
+handler, and the two-channel migration engine — and offers the composite
+operations (run mapping/unmapping, access-time lookup) the executor and
+placement policies need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.cache import DRAMCache
+from repro.mem.devices import DeviceKind, MemoryDevice
+from repro.mem.faults import FaultHandler
+from repro.mem.migration import MigrationEngine
+from repro.mem.page import PageTable, PageTableEntry
+from repro.mem.platforms import Platform
+from repro.mem.tlb import TLB
+from repro.sim.channel import BandwidthChannel
+from repro.sim.stats import StatsRegistry
+
+
+class Machine:
+    """A live instance of a heterogeneous-memory platform."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self.fast = MemoryDevice(platform.fast, DeviceKind.FAST)
+        self.slow = MemoryDevice(platform.slow, DeviceKind.SLOW)
+        self.page_table = PageTable(page_size=platform.page_size)
+        self.tlb = TLB()
+        self.fault_handler = FaultHandler(
+            self.page_table, self.tlb, fault_cost=platform.fault_cost
+        )
+        self.stats = StatsRegistry()
+        self.promote_channel = BandwidthChannel(
+            platform.promote_bandwidth,
+            name="promote",
+            latency=platform.migration_latency,
+        )
+        self.demote_channel = BandwidthChannel(
+            platform.demote_bandwidth,
+            name="demote",
+            latency=platform.migration_latency,
+        )
+        self.demand_channel = BandwidthChannel(
+            platform.promote_bandwidth,
+            name="demand-promote",
+            latency=platform.migration_latency,
+        )
+        self.migration = MigrationEngine(
+            self.page_table,
+            self.fast,
+            self.slow,
+            self.promote_channel,
+            self.demote_channel,
+            stats=self.stats,
+            demand_channel=self.demand_channel,
+        )
+        self._dram_cache: Optional[DRAMCache] = None
+
+    @classmethod
+    def for_platform(
+        cls, platform: Platform, fast_capacity: Optional[int] = None
+    ) -> "Machine":
+        """Build a machine, optionally resizing the fast tier.
+
+        Experiments size fast memory as a fraction of each model's peak
+        consumption (the paper's 20%-of-peak setting), so this is the common
+        entry point.
+        """
+        if fast_capacity is not None:
+            platform = platform.with_fast_capacity(fast_capacity)
+        return cls(platform)
+
+    @property
+    def page_size(self) -> int:
+        return self.page_table.page_size
+
+    def device(self, kind: DeviceKind) -> MemoryDevice:
+        return self.fast if kind is DeviceKind.FAST else self.slow
+
+    # ------------------------------------------------------------ allocation
+
+    def map_run(self, npages: int, kind: DeviceKind) -> PageTableEntry:
+        """Map a fresh run of ``npages`` on tier ``kind``, charging capacity."""
+        self.device(kind).allocate(npages * self.page_size)
+        return self.page_table.map_run(npages, kind)
+
+    def unmap_run(self, run: PageTableEntry, now: float) -> None:
+        """Free a run, settling any in-flight migration first."""
+        self.migration.release_run(run, now)
+        self.tlb.flush(run.vpn)
+        self.page_table.unmap(run.vpn)
+
+    # ---------------------------------------------------------------- timing
+
+    def access_time(self, kind: DeviceKind, nbytes: int, is_write: bool) -> float:
+        return self.device(kind).access_time(nbytes, is_write)
+
+    @property
+    def dram_cache(self) -> DRAMCache:
+        """Lazily-built Memory Mode cache (only the memory-mode policy uses it)."""
+        if self._dram_cache is None:
+            self._dram_cache = DRAMCache(
+                self.fast,
+                self.slow,
+                self.page_size,
+                fill_bandwidth=self.platform.promote_bandwidth,
+                writeback_bandwidth=self.platform.demote_bandwidth,
+            )
+        return self._dram_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.platform.name!r}, fast={self.fast.used}/"
+            f"{self.fast.capacity}, slow={self.slow.used}/{self.slow.capacity})"
+        )

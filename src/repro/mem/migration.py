@@ -1,0 +1,310 @@
+"""Asynchronous page migration, modelled on Sentinel's use of ``move_pages()``.
+
+Sentinel runs two helper threads — one migrating pages from slow to fast
+memory ("promote"), one in the opposite direction ("demote") — so the two
+directions proceed in parallel and overlap with training computation.  Each
+direction is a :class:`~repro.sim.channel.BandwidthChannel`; a migration's
+completion time is fixed at submission and the run's page-table entry
+records the in-flight destination and availability time.
+
+Capacity accounting:
+
+* promote — fast-tier space is reserved at submission (the destination
+  frames must exist before the copy starts) and the slow frames are released
+  at submission as well; the slow tier is the capacity-rich side, so holding
+  its frames for the copy duration would never change an admission decision.
+* demote — slow space is reserved at submission, but the *fast* frames are
+  only released when the copy completes (committed by :meth:`MigrationEngine.sync`),
+  because until then their bytes are still being read out.  This is what
+  makes the paper's Case 2 possible: evictions submitted too late do not
+  free fast memory in time for the next interval's prefetches.
+
+When a promotion request does not fully fit in fast memory the engine splits
+the boundary run and promotes the fitting prefix, so capacity is used down
+to page granularity; the skipped remainder is returned to the caller (the
+paper's Case 2 signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mem.devices import DeviceKind, MemoryDevice
+from repro.mem.page import PageTable, PageTableEntry
+from repro.sim.channel import BandwidthChannel, Transfer
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class MigrationRecord:
+    """A scheduled multi-run migration awaiting commit."""
+
+    transfer: Transfer
+    runs: List[PageTableEntry]
+    direction: DeviceKind  # destination tier
+
+
+class MigrationEngine:
+    """Schedules page-run migrations over the two helper channels."""
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        fast: MemoryDevice,
+        slow: MemoryDevice,
+        promote_channel: BandwidthChannel,
+        demote_channel: BandwidthChannel,
+        stats: Optional[StatsRegistry] = None,
+        demand_channel: Optional[BandwidthChannel] = None,
+    ) -> None:
+        self.page_table = page_table
+        self.fast = fast
+        self.slow = slow
+        self.promote_channel = promote_channel
+        self.demote_channel = demote_channel
+        #: priority lane for on-demand (residency-miss) fetches: demand
+        #: faults preempt prefetch DMA instead of queueing behind it
+        self.demand_channel = (
+            demand_channel if demand_channel is not None else promote_channel
+        )
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._pending: List[MigrationRecord] = []
+
+    # ------------------------------------------------------------------ sync
+
+    def sync(self, now: float) -> None:
+        """Commit every migration whose copy has finished by ``now``."""
+        if not self._pending:
+            return
+        still_pending: List[MigrationRecord] = []
+        for record in self._pending:
+            if record.transfer.done_by(now):
+                self._commit(record)
+            else:
+                still_pending.append(record)
+        self._pending = still_pending
+
+    def _commit(self, record: MigrationRecord) -> None:
+        page_size = self.page_table.page_size
+        for run in record.runs:
+            if run.in_flight:
+                run.commit_migration()
+                if record.direction is DeviceKind.SLOW:
+                    # Demotion: the fast frames are vacated only now.
+                    self.fast.release(run.npages * page_size)
+
+    # --------------------------------------------------------------- promote
+
+    def promote(
+        self,
+        runs: Sequence[PageTableEntry],
+        now: float,
+        tag: object = None,
+        urgent: bool = False,
+    ) -> Tuple[Optional[Transfer], List[PageTableEntry], List[PageTableEntry]]:
+        """Migrate ``runs`` slow -> fast, as many pages as fit.
+
+        Returns ``(transfer, scheduled, skipped)``.  Runs already on fast or
+        already in flight are silently dropped (the request is satisfied);
+        pinned runs and pages that do not fit are returned in ``skipped`` in
+        request order so the caller can retry — a non-empty ``skipped`` is
+        the paper's Case 2 signal.  A run straddling the capacity limit is
+        split so the fitting prefix still moves.
+        """
+        self.sync(now)
+        page_size = self.page_table.page_size
+        scheduled: List[PageTableEntry] = []
+        skipped: List[PageTableEntry] = []
+        seen: set = set()
+        for run in runs:
+            if run.vpn in seen:
+                continue
+            seen.add(run.vpn)
+            if run.device is DeviceKind.FAST or run.in_flight:
+                continue
+            if run.pinned:
+                skipped.append(run)
+                continue
+            free_pages = self.fast.free // page_size
+            if free_pages <= 0:
+                skipped.append(run)
+                continue
+            if run.npages > free_pages:
+                tail = self.page_table.split(run.vpn, free_pages)
+                skipped.append(tail)
+            nbytes = run.npages * page_size
+            self.fast.allocate(nbytes)
+            self.slow.release(nbytes)
+            scheduled.append(run)
+        if not scheduled:
+            return None, scheduled, skipped
+        total = sum(r.npages for r in scheduled) * page_size
+        channel = self.demand_channel if urgent else self.promote_channel
+        transfer = channel.submit(total, now, tag=tag)
+        for run in scheduled:
+            run.begin_migration(DeviceKind.FAST, transfer.finish)
+        self._pending.append(
+            MigrationRecord(transfer=transfer, runs=scheduled, direction=DeviceKind.FAST)
+        )
+        self.stats.counter("migration.promoted_bytes").add(total)
+        self.stats.timeline("migration.promote_bw").record_span(
+            transfer.start, transfer.finish, total
+        )
+        return transfer, scheduled, skipped
+
+    # ---------------------------------------------------------------- demote
+
+    def demote(
+        self, runs: Sequence[PageTableEntry], now: float, tag: object = None
+    ) -> Tuple[Optional[Transfer], List[PageTableEntry]]:
+        """Migrate ``runs`` fast -> slow; returns ``(transfer, scheduled)``.
+
+        The slow tier is assumed large enough for the whole model (as on the
+        paper's platforms); if it is not, the device raises and surfaces the
+        misconfiguration rather than silently dropping pages.
+        """
+        self.sync(now)
+        page_size = self.page_table.page_size
+        scheduled: List[PageTableEntry] = []
+        seen: set = set()
+        for run in runs:
+            if run.vpn in seen:
+                continue
+            seen.add(run.vpn)
+            if run.device is DeviceKind.SLOW or run.in_flight or run.pinned:
+                continue
+            self.slow.allocate(run.npages * page_size)
+            scheduled.append(run)
+        if not scheduled:
+            return None, scheduled
+        total = sum(r.npages for r in scheduled) * page_size
+        transfer = self.demote_channel.submit(total, now, tag=tag)
+        for run in scheduled:
+            run.begin_migration(DeviceKind.SLOW, transfer.finish)
+        self._pending.append(
+            MigrationRecord(transfer=transfer, runs=scheduled, direction=DeviceKind.SLOW)
+        )
+        self.stats.counter("migration.demoted_bytes").add(total)
+        self.stats.timeline("migration.demote_bw").record_span(
+            transfer.start, transfer.finish, total
+        )
+        return transfer, scheduled
+
+    # ------------------------------------------------------------- per-run
+
+    def promote_each(
+        self, runs: Sequence[PageTableEntry], now: float, tag: object = None
+    ) -> List[Transfer]:
+        """Promote runs as individual submissions.
+
+        Each run then has its own completion time, so an access racing the
+        queue waits only for *its* data — batching would make it wait for
+        the whole convoy.
+        """
+        transfers: List[Transfer] = []
+        for run in runs:
+            transfer, _, _ = self.promote([run], now, tag=tag)
+            if transfer is not None:
+                transfers.append(transfer)
+        return transfers
+
+    def demote_each(
+        self, runs: Sequence[PageTableEntry], now: float, tag: object = None
+    ) -> List[Transfer]:
+        """Demote runs as individual submissions (see :meth:`promote_each`)."""
+        transfers: List[Transfer] = []
+        for run in runs:
+            transfer, _ = self.demote([run], now, tag=tag)
+            if transfer is not None:
+                transfers.append(transfer)
+        return transfers
+
+    # ------------------------------------------------- discard / materialize
+
+    def discard(self, run: PageTableEntry, now: float) -> None:
+        """Drop a fast-resident run's contents without copying it out.
+
+        Used by recomputation schemes (Capuchin): the data is deleted, so
+        no migration bandwidth is spent and the fast frames free instantly;
+        the run's backing moves to the slow tier's accounting (it will be
+        re-materialized by recomputation, whose cost the caller charges).
+        """
+        self.sync(now)
+        page_size = self.page_table.page_size
+        if run.in_flight:
+            raise ValueError(f"cannot discard in-flight run {run.vpn}")
+        if run.device is not DeviceKind.FAST:
+            return
+        nbytes = run.npages * page_size
+        self.slow.allocate(nbytes)
+        self.fast.release(nbytes)
+        run.device = DeviceKind.SLOW
+        self.stats.counter("migration.discarded_bytes").add(nbytes)
+
+    def materialize(self, run: PageTableEntry, now: float) -> bool:
+        """Recreate a discarded run in fast memory without a copy.
+
+        Returns False if fast memory cannot hold it (the caller must evict
+        first).  The compute cost of recomputation is the caller's to
+        charge; only capacity accounting happens here.
+        """
+        self.sync(now)
+        page_size = self.page_table.page_size
+        if run.in_flight:
+            raise ValueError(f"cannot materialize in-flight run {run.vpn}")
+        if run.device is DeviceKind.FAST:
+            return True
+        nbytes = run.npages * page_size
+        if not self.fast.fits(nbytes):
+            return False
+        self.fast.allocate(nbytes)
+        self.slow.release(nbytes)
+        run.device = DeviceKind.FAST
+        self.stats.counter("migration.materialized_bytes").add(nbytes)
+        return True
+
+    # ------------------------------------------------------------- releasing
+
+    def release_run(self, run: PageTableEntry, now: float) -> None:
+        """Account for a run being freed (tensor deallocation).
+
+        An in-flight run is force-committed first — the channel time is
+        already spent and the copy's capacity effects must land before the
+        frames are returned.
+        """
+        page_size = self.page_table.page_size
+        if run.in_flight:
+            target = run.migrating_to
+            run.commit_migration()
+            if target is DeviceKind.SLOW:
+                self.fast.release(run.npages * page_size)
+            # Drop the run from its pending record so sync() won't
+            # double-commit it.
+            for record in self._pending:
+                if run in record.runs:
+                    record.runs.remove(run)
+                    break
+        if run.device is DeviceKind.FAST:
+            self.fast.release(run.npages * page_size)
+        else:
+            self.slow.release(run.npages * page_size)
+
+    # ----------------------------------------------------------------- query
+
+    def in_flight_bytes(self, now: float) -> int:
+        """Bytes still being copied at ``now`` (both directions)."""
+        self.sync(now)
+        page_size = self.page_table.page_size
+        return sum(
+            sum(r.npages for r in record.runs) * page_size
+            for record in self._pending
+            if not record.transfer.done_by(now)
+        )
+
+    def drain_time(self, now: float) -> float:
+        """Time at which every outstanding migration completes."""
+        self.sync(now)
+        if not self._pending:
+            return now
+        return max(now, max(r.transfer.finish for r in self._pending))

@@ -1,0 +1,49 @@
+"""First-touch NUMA placement.
+
+On the Optane platform DRAM and PMM are two NUMA nodes; Linux's default
+policy places a page on the node of the CPU that first touches it, spilling
+to the other node when the preferred one is full.  Training threads run on
+the DRAM node, so first-touch fills DRAM until it is exhausted and then
+spills everything else to PMM — with no later correction, which is why it
+performs poorly for working sets larger than DRAM (paper Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.mem.devices import DeviceFullError, DeviceKind, MemoryDevice
+
+
+class FirstTouchPolicy:
+    """Chooses an initial tier for new pages, first-touch style."""
+
+    def __init__(
+        self,
+        fast: MemoryDevice,
+        slow: MemoryDevice,
+        preferred: DeviceKind = DeviceKind.FAST,
+    ) -> None:
+        self.fast = fast
+        self.slow = slow
+        self.preferred = preferred
+        self.spilled_pages = 0
+
+    def _device(self, kind: DeviceKind) -> MemoryDevice:
+        return self.fast if kind is DeviceKind.FAST else self.slow
+
+    def choose(self, nbytes: int, page_size: int = 4096) -> DeviceKind:
+        """Tier for a new allocation of ``nbytes`` (page-rounded).
+
+        Raises :class:`DeviceFullError` if neither node can hold it.
+        """
+        nbytes = page_size * (-(-nbytes // page_size))
+        preferred = self._device(self.preferred)
+        if preferred.fits(nbytes):
+            return self.preferred
+        fallback = self._device(self.preferred.other())
+        if fallback.fits(nbytes):
+            self.spilled_pages += 1
+            return self.preferred.other()
+        raise DeviceFullError(
+            f"first-touch: {nbytes} bytes fit on neither node "
+            f"(fast {self.fast.free} free, slow {self.slow.free} free)"
+        )

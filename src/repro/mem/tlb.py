@@ -1,0 +1,53 @@
+"""A small TLB model.
+
+The TLB matters to Sentinel for one reason: a poisoned PTE only faults if its
+translation is *not* cached, so the fault handler must flush the entry after
+every counted access to keep counting.  We model a finite
+least-recently-used translation cache with per-entry flush, which is enough
+to reproduce that protocol and to charge TLB-miss costs during profiling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class TLB:
+    """Fixed-capacity LRU translation lookaside buffer."""
+
+    def __init__(self, capacity: int = 1536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"TLB capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def lookup(self, vpn: int) -> bool:
+        """Translate ``vpn``; returns True on hit.  Misses insert the entry."""
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[vpn] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def flush(self, vpn: int) -> None:
+        """Invalidate one entry (no-op if absent) — ``invlpg`` equivalent."""
+        self._entries.pop(vpn, None)
+
+    def flush_all(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,26 @@
+"""Synthetic model zoo.
+
+Builders for the five DNN families the paper evaluates (Table III):
+ResNet (CIFAR-style ResNet-32 and ImageNet-style ResNet-50/101/152/200),
+BERT (base/large), a 2-layer LSTM language model, MobileNet-v1, and DCGAN —
+plus a GPT-style decoder (weight-dominated, the regime the paper's intro
+motivates) and a seeded synthetic generator for property testing.
+
+Each builder produces a :class:`repro.dnn.Graph` for one training step whose
+tensor population reproduces the paper's characterization: many small
+short-lived temporaries per layer (Observation 1), a small set of very hot
+tensors against a long tail of cold ones (Observation 2), and interleaved
+long/short-lived allocations that create page-level false sharing under
+packed allocation (Observation 3).
+"""
+
+from repro.models.common import TrainStepBuilder, LayerCost
+from repro.models.zoo import MODELS, ModelSpec, build_model
+
+__all__ = [
+    "TrainStepBuilder",
+    "LayerCost",
+    "MODELS",
+    "ModelSpec",
+    "build_model",
+]

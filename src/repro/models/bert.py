@@ -1,0 +1,95 @@
+"""BERT encoder builders (base and large).
+
+Each transformer encoder layer is modelled as two managed layers — attention
+and feed-forward — because their memory behaviour differs: attention saves
+the (batch x heads x seq x seq) probability tensor for its backward pass
+(the big long-lived intermediate that dominates BERT's footprint at long
+sequence lengths), while the FFN saves the usual (batch x seq x 4H)
+activation.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import Graph
+from repro.models.common import FP32, LayerCost, TrainStepBuilder
+
+BERT_CONFIGS = {
+    "bert-base": dict(layers=12, hidden=768, heads=12, seq=128),
+    "bert-large": dict(layers=24, hidden=1024, heads=16, seq=384),
+}
+
+
+def build_bert(variant: str, batch_size: int) -> Graph:
+    """A BERT training step for ``variant`` in :data:`BERT_CONFIGS`."""
+    try:
+        config = BERT_CONFIGS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown BERT variant {variant!r}; choose from {sorted(BERT_CONFIGS)}"
+        ) from None
+    layers = config["layers"]
+    hidden = config["hidden"]
+    heads = config["heads"]
+    seq = config["seq"]
+
+    token_bytes = batch_size * seq * hidden * FP32
+    attn_matrix_bytes = batch_size * heads * seq * seq * FP32
+    input_bytes = batch_size * seq * 8  # token + segment ids
+
+    tb = TrainStepBuilder(variant, batch_size, input_bytes)
+    tb.metadata.update(
+        model_family="bert", layers=layers, hidden=hidden, seq=seq, recurrent=False
+    )
+
+    # Embedding lookup: the table is a big, sparsely-read weight.
+    vocab = 30522
+    tb.add_layer(
+        LayerCost(
+            name="embed",
+            weight_bytes=vocab * hidden * FP32,
+            out_bytes=token_bytes,
+            flops=2.0 * batch_size * seq * hidden,
+            small_temps=10,
+        )
+    )
+
+    for index in range(layers):
+        # Attention: QKV + output projections (4 H^2 weights); saves the
+        # attention probabilities, hence the large out/workspace sizes.
+        qkv_flops = 4 * 2.0 * batch_size * seq * hidden * hidden
+        attn_flops = 2 * 2.0 * batch_size * heads * seq * seq * (hidden // heads)
+        tb.add_layer(
+            LayerCost(
+                name=f"enc{index}.attn",
+                weight_bytes=4 * hidden * hidden * FP32,
+                out_bytes=token_bytes + attn_matrix_bytes,
+                flops=qkv_flops + attn_flops,
+                workspace_bytes=3 * token_bytes,  # packed Q,K,V scratch
+                small_temps=14,
+                saved_aux=2,
+            )
+        )
+        # Feed-forward: H -> 4H -> H.
+        tb.add_layer(
+            LayerCost(
+                name=f"enc{index}.ffn",
+                weight_bytes=2 * hidden * 4 * hidden * FP32,
+                out_bytes=token_bytes,
+                flops=2 * 2.0 * batch_size * seq * hidden * 4 * hidden,
+                workspace_bytes=batch_size * seq * 4 * hidden * FP32,
+                small_temps=12,
+                saved_aux=3,
+            )
+        )
+
+    # Masked-LM head over the tied embedding.
+    tb.add_layer(
+        LayerCost(
+            name="mlm_head",
+            weight_bytes=hidden * hidden * FP32,
+            out_bytes=batch_size * seq * hidden * FP32,
+            flops=2.0 * batch_size * seq * hidden * vocab / 8,
+            small_temps=8,
+        )
+    )
+    return tb.finish()

@@ -1,0 +1,327 @@
+"""Shared machinery for building training-step graphs.
+
+:class:`TrainStepBuilder` wraps :class:`~repro.dnn.graph.GraphBuilder` with
+the structure common to all trained networks:
+
+* a **forward pass** of parameterized layers, each saving the tensors its
+  backward pass will need (the long-lived intermediates the paper migrates);
+* a **loss layer**;
+* a mirrored **backward pass**, where each layer reads its saved forward
+  inputs, produces a weight gradient (short-lived — consumed by the
+  optimizer op in the same layer) and an input gradient (alive exactly two
+  layers, handed to the next backward layer), and applies the update to the
+  preallocated weights and optimizer state;
+* per-layer populations of **small short-lived temporaries** (shape
+  metadata, scalar stats, index buffers — Observation 1) and occasional
+  medium workspace buffers (im2col/transpose scratch);
+* a handful of **hot global tensors** (step counter, learning rate, loss
+  scale) touched by every layer, reproducing the >100-access hot set of
+  Observation 2.
+
+Builders in this package describe *what the step does to memory*; numerics
+are out of scope by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dnn.graph import GraphBuilder, Graph, Phase
+from repro.dnn.ops import TensorAccess
+from repro.dnn.tensor import Tensor, TensorKind
+
+FP32 = 4
+
+#: Deterministic size cycle for small short-lived temporaries (bytes).
+#: Chosen below one 4 KiB page so ~98% of short-lived tensors are "small".
+SMALL_TEMP_SIZES = (16, 32, 64, 24, 128, 48, 256, 96, 512, 40, 1024, 80)
+
+
+@dataclass
+class LayerCost:
+    """Compute/temp parameters of one trainable forward layer."""
+
+    name: str
+    weight_bytes: int
+    out_bytes: int
+    flops: float
+    #: medium scratch (im2col / transpose) allocated and dropped in-layer
+    workspace_bytes: int = 0
+    #: count of tiny short-lived temporaries emitted in the layer
+    small_temps: int = 10
+    #: main-memory passes over the weights per use (recurrent cells reuse
+    #: their weights once per timestep, driving their access counts >100)
+    weight_passes: int = 1
+    #: whether the input activation must be saved for the backward pass
+    saves_input: bool = True
+    #: extra saved intermediates (each of ``out_bytes``): frameworks keep
+    #: several per block for backward (pre-BN, pre-activation, skip sums),
+    #: which is what makes the peak footprint several times larger than any
+    #: single tensor
+    saved_aux: int = 0
+
+
+@dataclass
+class _BackwardSpec:
+    layer: LayerCost
+    weight: Optional[Tensor]
+    opt_state: Optional[Tensor]
+    saved_input: Optional[Tensor]
+    output: Tensor
+    saved_aux: List[Tensor] = field(default_factory=list)
+
+
+class TrainStepBuilder:
+    """Builds one training step: forward layers, loss, mirrored backward."""
+
+    def __init__(self, name: str, batch_size: int, input_bytes: int) -> None:
+        self.builder = GraphBuilder(name, batch_size)
+        self._backward: List[_BackwardSpec] = []
+        self._temp_serial = 0
+        # Hot globals: touched by every layer, forward and backward.  With
+        # 2-4 touches per layer over ~70-300 layers these are the paper's
+        # >100-access hot set — a few MB of runtime state (stream
+        # workspaces, RNG state, counters) against gigabytes of cold data
+        # (Observation 2).
+        self.step_counter = self.builder.global_tensor("global.step", 8)
+        self.learning_rate = self.builder.global_tensor("global.lr", 4)
+        self.loss_scale = self.builder.global_tensor("global.loss_scale", 4)
+        self.workspace = self.builder.global_tensor(
+            "runtime.workspace", 2 * 1024 * 1024
+        )
+        self.rng_state = self.builder.global_tensor("runtime.rng", 1024 * 1024)
+        self.input = self.builder.input("input.batch", input_bytes)
+        self.activation: Tensor = self.input
+        self._loss_emitted = False
+
+    @property
+    def metadata(self) -> dict:
+        return self.builder.metadata
+
+    # ------------------------------------------------------------ internals
+
+    def _small_temps(self, prefix: str, count: int) -> List[Tensor]:
+        temps = []
+        for _ in range(count):
+            size = SMALL_TEMP_SIZES[self._temp_serial % len(SMALL_TEMP_SIZES)]
+            temps.append(self.builder.temp(f"{prefix}.t{self._temp_serial}", size))
+            self._temp_serial += 1
+        return temps
+
+    def _emit_temp_ops(self, prefix: str, temps: List[Tensor]) -> None:
+        """Tiny setup ops writing then reading the layer's temporaries."""
+        if not temps:
+            return
+        self.builder.op(
+            f"{prefix}.setup",
+            flops=1e3 * len(temps),
+            reads=[self.step_counter, self.rng_state, self.workspace],
+            writes=list(temps),
+        )
+        self.builder.op(
+            f"{prefix}.meta",
+            flops=1e3 * len(temps),
+            reads=list(temps) + [self.step_counter],
+            writes=[self.rng_state, self.workspace],
+        )
+
+    # -------------------------------------------------------------- forward
+
+    def add_layer(
+        self,
+        cost: LayerCost,
+        input_tensor: Optional[Tensor] = None,
+        shared_weight: Optional[Tensor] = None,
+        shared_opt: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Emit one forward layer; returns its output activation.
+
+        ``shared_weight`` reuses an existing weight tensor instead of
+        creating one (recurrent cells) — the backward layer then computes a
+        gradient against it but only the layer that *owns* the optimizer
+        state (``shared_opt`` passed, or the weight's creator) applies the
+        update, matching accumulate-then-apply BPTT.
+        """
+        b = self.builder
+        x_in = input_tensor if input_tensor is not None else self.activation
+        if shared_weight is not None:
+            weight: Optional[Tensor] = shared_weight
+            opt_state = shared_opt
+        else:
+            weight = (
+                b.weight(f"{cost.name}.w", cost.weight_bytes)
+                if cost.weight_bytes > 0
+                else None
+            )
+            opt_state = (
+                b.weight(f"{cost.name}.opt", cost.weight_bytes)
+                if cost.weight_bytes > 0
+                else None
+            )
+        with b.layer(cost.name, Phase.FORWARD):
+            temps = self._small_temps(cost.name, cost.small_temps)
+            self._emit_temp_ops(cost.name, temps)
+            out = b.tensor(f"{cost.name}.out", cost.out_bytes, TensorKind.ACTIVATION)
+            # Tiled kernels stream their input more than once from main
+            # memory (im2col lowering plus the GEMM's panel re-reads).
+            reads = [
+                TensorAccess(x_in, x_in.nbytes, is_write=False, passes=2),
+                # The kernel stages partial results through the runtime's
+                # shared scratch workspace — touched by every layer's main
+                # op, which is what makes it hot.
+                TensorAccess(
+                    self.workspace, self.workspace.nbytes, is_write=False, passes=2
+                ),
+            ]
+            if weight is not None:
+                reads.append(
+                    TensorAccess(
+                        weight, weight.nbytes, is_write=False, passes=cost.weight_passes
+                    )
+                )
+            writes = [
+                TensorAccess(out, out.nbytes, is_write=True),
+                TensorAccess(
+                    self.workspace, self.workspace.nbytes, is_write=True, passes=2
+                ),
+            ]
+            if cost.workspace_bytes > 0:
+                workspace = b.temp(f"{cost.name}.ws", cost.workspace_bytes)
+                # im2col-style scratch: written by the lowering, re-read by
+                # the kernel, dead at layer end.
+                writes.append(TensorAccess(workspace, workspace.nbytes, is_write=True))
+                reads.append(TensorAccess(workspace, workspace.nbytes, is_write=False))
+            saved_aux = [
+                b.tensor(f"{cost.name}.save{k}", cost.out_bytes, TensorKind.ACTIVATION)
+                for k in range(cost.saved_aux)
+            ]
+            writes.extend(
+                TensorAccess(t, t.nbytes, is_write=True) for t in saved_aux
+            )
+            b.op(f"{cost.name}.main", flops=cost.flops, reads=reads, writes=writes)
+            # Post-op (bias/BN/activation): streams the output once more and
+            # touches the hot globals.
+            b.op(
+                f"{cost.name}.post",
+                flops=cost.out_bytes / FP32,
+                reads=[out, self.learning_rate],
+                writes=[TensorAccess(out, out.nbytes, is_write=True)],
+            )
+        self._backward.append(
+            _BackwardSpec(
+                layer=cost,
+                weight=weight,
+                opt_state=opt_state,
+                saved_input=x_in if cost.saves_input else None,
+                output=out,
+                saved_aux=saved_aux,
+            )
+        )
+        self.activation = out
+        return out
+
+    # ----------------------------------------------------- loss + backward
+
+    def finish(self) -> Graph:
+        """Emit the loss layer and the mirrored backward pass; seal."""
+        if self._loss_emitted:
+            raise RuntimeError("finish() called twice")
+        self._loss_emitted = True
+        b = self.builder
+
+        with b.layer("loss", Phase.FORWARD):
+            temps = self._small_temps("loss", 6)
+            self._emit_temp_ops("loss", temps)
+            loss = b.temp("loss.value", 4)
+            grad = b.tensor("loss.grad", self.activation.nbytes, TensorKind.GRADIENT)
+            b.op(
+                "loss.softmax_xent",
+                flops=self.activation.nbytes / FP32 * 8,
+                reads=[self.activation, self.loss_scale],
+                writes=[loss, grad],
+            )
+
+        for spec in reversed(self._backward):
+            grad = self._emit_backward_layer(spec, grad)
+
+        return b.finish()
+
+    def _emit_backward_layer(self, spec: _BackwardSpec, grad_in: Tensor) -> Tensor:
+        b = self.builder
+        cost = spec.layer
+        name = f"{cost.name}.bwd"
+        with b.layer(name, Phase.BACKWARD):
+            temps = self._small_temps(name, max(4, cost.small_temps - 2))
+            self._emit_temp_ops(name, temps)
+
+            # dX: produced here, consumed by the *next* backward layer
+            # (lifetime two layers — long-lived but barely).
+            grad_out = None
+            if spec.saved_input is not None:
+                grad_out = b.tensor(
+                    f"{name}.dx", spec.saved_input.nbytes, TensorKind.GRADIENT
+                )
+                reads = [
+                    TensorAccess(grad_in, grad_in.nbytes, is_write=False, passes=2),
+                    TensorAccess(
+                        self.workspace, self.workspace.nbytes, is_write=False
+                    ),
+                ]
+                reads.extend(
+                    TensorAccess(t, t.nbytes, is_write=False) for t in spec.saved_aux
+                )
+                if spec.weight is not None:
+                    reads.append(
+                        TensorAccess(
+                            spec.weight,
+                            spec.weight.nbytes,
+                            is_write=False,
+                            passes=cost.weight_passes,
+                        )
+                    )
+                b.op(
+                    f"{name}.grad_input",
+                    flops=cost.flops,
+                    reads=reads,
+                    writes=[grad_out],
+                )
+
+            if spec.weight is not None:
+                dw = b.tensor(f"{name}.dw", spec.weight.nbytes, TensorKind.GRADIENT)
+                grad_w_reads = [TensorAccess(grad_in, grad_in.nbytes, is_write=False, passes=2)]
+                if spec.saved_input is not None:
+                    grad_w_reads.append(
+                        TensorAccess(
+                            spec.saved_input, spec.saved_input.nbytes, is_write=False
+                        )
+                    )
+                b.op(
+                    f"{name}.grad_weight",
+                    flops=cost.flops,
+                    reads=grad_w_reads,
+                    writes=[dw],
+                )
+                if spec.opt_state is not None:
+                    # Optimizer: reads dW and state, updates weights in place.
+                    b.op(
+                        f"{name}.apply",
+                        flops=spec.weight.nbytes / FP32 * 4,
+                        reads=[
+                            dw,
+                            spec.opt_state,
+                            self.learning_rate,
+                            self.step_counter,
+                        ],
+                        writes=[spec.weight, spec.opt_state],
+                    )
+            elif grad_out is None:
+                # Pass-through layer with neither weights nor saved input:
+                # still consumes the incoming gradient.
+                b.op(
+                    f"{name}.passthrough",
+                    flops=grad_in.nbytes / FP32,
+                    reads=[grad_in],
+                    writes=[],
+                )
+        return grad_out if grad_out is not None else grad_in

@@ -1,0 +1,104 @@
+"""DCGAN builder.
+
+One GAN training step runs two networks: the generator (transposed
+convolutions from a latent vector up to a 64x64 image) and the
+discriminator (strided convolutions back down to a score).  For memory
+management the salient structure is that the generator's activations stay
+live across the *discriminator's* forward and backward passes — longer
+lifetimes than a feedforward classifier — before the generator's own
+backward consumes them.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import Graph
+from repro.models.common import FP32, LayerCost, TrainStepBuilder
+
+
+def build_dcgan(batch_size: int, latent_dim: int = 100, base_channels: int = 128) -> Graph:
+    """A DCGAN training step (generator + discriminator) at 64x64x3."""
+    if base_channels <= 0:
+        raise ValueError(f"base channels must be positive, got {base_channels!r}")
+    input_bytes = batch_size * latent_dim * FP32
+    tb = TrainStepBuilder("dcgan", batch_size, input_bytes)
+    tb.metadata.update(model_family="dcgan", latent_dim=latent_dim)
+
+    # Generator: latent -> 4x4x8c -> 8x8x4c -> 16x16x2c -> 32x32xc -> 64x64x3.
+    gen_plan = (
+        (base_channels * 8, 4),
+        (base_channels * 4, 8),
+        (base_channels * 2, 16),
+        (base_channels, 32),
+        (3, 64),
+    )
+    cin = latent_dim
+    for index, (cout, spatial) in enumerate(gen_plan):
+        weight_bytes = 4 * 4 * cin * cout * FP32
+        act_bytes = batch_size * cout * spatial * spatial * FP32
+        tb.add_layer(
+            LayerCost(
+                name=f"gen{index + 1}",
+                weight_bytes=weight_bytes,
+                out_bytes=act_bytes,
+                flops=2.0 * batch_size * 16 * cin * cout * spatial * spatial,
+                workspace_bytes=act_bytes // 4,
+                small_temps=12,
+                saved_aux=3,
+            )
+        )
+        cin = cout
+
+    # Discriminator: one step scores both the generated batch and a real
+    # batch with the same weights (two passes, as in GAN training).
+    disc_plan = (
+        (base_channels, 32),
+        (base_channels * 2, 16),
+        (base_channels * 4, 8),
+        (base_channels * 8, 4),
+    )
+    real_batch = tb.builder.input("real.batch", batch_size * 3 * 64 * 64 * FP32)
+    disc_weights = []
+    disc_cin = cin
+    for index, (cout, spatial) in enumerate(disc_plan):
+        disc_weights.append(
+            (
+                tb.builder.weight(f"disc{index + 1}.w", 4 * 4 * disc_cin * cout * FP32),
+                tb.builder.weight(
+                    f"disc{index + 1}.opt", 4 * 4 * disc_cin * cout * FP32
+                ),
+            )
+        )
+        disc_cin = cout
+    for pass_name, pass_input, owns_opt in (("fake", None, True), ("real", real_batch, False)):
+        pass_cin = cin
+        current = pass_input
+        for index, (cout, spatial) in enumerate(disc_plan):
+            weight, opt = disc_weights[index]
+            act_bytes = batch_size * cout * spatial * spatial * FP32
+            current = tb.add_layer(
+                LayerCost(
+                    name=f"disc{index + 1}.{pass_name}",
+                    weight_bytes=weight.nbytes,
+                    out_bytes=act_bytes,
+                    flops=2.0 * batch_size * 16 * pass_cin * cout * spatial * spatial,
+                    workspace_bytes=act_bytes // 4,
+                    small_temps=12,
+                    saved_aux=3,
+                ),
+                input_tensor=current,
+                shared_weight=weight,
+                shared_opt=opt if owns_opt else None,
+            )
+            pass_cin = cout
+    cin = disc_cin
+
+    tb.add_layer(
+        LayerCost(
+            name="disc_head",
+            weight_bytes=cin * 4 * 4 * FP32,
+            out_bytes=batch_size * FP32,
+            flops=2.0 * batch_size * cin * 16,
+            small_temps=8,
+        )
+    )
+    return tb.finish()

@@ -1,0 +1,96 @@
+"""GPT-style decoder builder.
+
+The paper's introduction motivates heterogeneous memory with
+hundred-billion-parameter language models; this builder provides a
+decoder-only transformer whose memory profile is *weight-dominated* —
+unlike every other zoo model, the per-layer parameter blocks (attention +
+MLP, tied across nothing) outweigh the activations at small batch sizes.
+That stresses a different corner of the runtime: the hot set is large,
+periodic, and preallocated, so Sentinel's migration must cycle weights
+through fast memory rather than activations.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import Graph
+from repro.models.common import FP32, LayerCost, TrainStepBuilder
+
+GPT_CONFIGS = {
+    "gpt-small": dict(layers=12, hidden=768, heads=12, seq=256),
+    "gpt-medium": dict(layers=24, hidden=1024, heads=16, seq=512),
+}
+
+
+def build_gpt(variant: str, batch_size: int) -> Graph:
+    """A GPT training step for ``variant`` in :data:`GPT_CONFIGS`."""
+    try:
+        config = GPT_CONFIGS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown GPT variant {variant!r}; choose from {sorted(GPT_CONFIGS)}"
+        ) from None
+    layers = config["layers"]
+    hidden = config["hidden"]
+    heads = config["heads"]
+    seq = config["seq"]
+
+    token_bytes = batch_size * seq * hidden * FP32
+    # Causal attention: the score matrix is ~half of BERT's at equal seq.
+    attn_matrix_bytes = batch_size * heads * seq * seq * FP32 // 2
+    vocab = 50257
+
+    tb = TrainStepBuilder(variant, batch_size, batch_size * seq * 8)
+    tb.metadata.update(
+        model_family="gpt", layers=layers, hidden=hidden, seq=seq, recurrent=False
+    )
+
+    tb.add_layer(
+        LayerCost(
+            name="embed",
+            weight_bytes=vocab * hidden * FP32,
+            out_bytes=token_bytes,
+            flops=2.0 * batch_size * seq * hidden,
+            small_temps=8,
+            saved_aux=1,
+        )
+    )
+
+    for index in range(layers):
+        tb.add_layer(
+            LayerCost(
+                name=f"blk{index}.attn",
+                weight_bytes=4 * hidden * hidden * FP32,
+                out_bytes=token_bytes + attn_matrix_bytes,
+                flops=(
+                    4 * 2.0 * batch_size * seq * hidden * hidden
+                    + 2 * 2.0 * batch_size * heads * seq * seq * (hidden // heads) / 2
+                ),
+                workspace_bytes=3 * token_bytes,
+                small_temps=12,
+                saved_aux=2,
+            )
+        )
+        tb.add_layer(
+            LayerCost(
+                name=f"blk{index}.mlp",
+                weight_bytes=2 * hidden * 4 * hidden * FP32,
+                out_bytes=token_bytes,
+                flops=2 * 2.0 * batch_size * seq * hidden * 4 * hidden,
+                workspace_bytes=batch_size * seq * 4 * hidden * FP32,
+                small_temps=10,
+                saved_aux=2,
+            )
+        )
+
+    # The LM head projects to the (huge) vocabulary; its logits dominate
+    # short-sequence activations.
+    tb.add_layer(
+        LayerCost(
+            name="lm_head",
+            weight_bytes=hidden * vocab * FP32,
+            out_bytes=batch_size * seq * vocab * FP32 // 16,  # chunked logits
+            flops=2.0 * batch_size * seq * hidden * vocab,
+            small_temps=8,
+        )
+    )
+    return tb.finish()

@@ -1,0 +1,88 @@
+"""LSTM language-model builder.
+
+The distinctive property for memory management is *recurrence*: one
+timestep is one managed layer, every timestep reuses the same gate weights
+(so the weights accumulate one main-memory pass per timestep — they are the
+hot tensors of Observation 2), and every timestep's hidden/cell states are
+saved until its backward (BPTT) layer runs.  The recursive structure is
+recorded in ``graph.metadata["recurrent"]`` because vDNN's conv-only
+strategy cannot handle it (paper Table V: vDNN fails on LSTM and BERT).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import Graph
+from repro.models.common import FP32, LayerCost, TrainStepBuilder
+
+LSTM_CONFIGS = {
+    "lstm": dict(layers=2, hidden=1024, seq=50, vocab=10000),
+}
+
+
+def build_lstm(
+    batch_size: int,
+    layers: int = 2,
+    hidden: int = 1024,
+    seq: int = 50,
+    vocab: int = 10000,
+) -> Graph:
+    """A ``seq``-step truncated-BPTT training step of a stacked LSTM."""
+    if seq < 2:
+        raise ValueError(f"need at least 2 timesteps, got {seq!r}")
+    input_bytes = batch_size * seq * 8  # token ids
+    tb = TrainStepBuilder("lstm", batch_size, input_bytes)
+    tb.metadata.update(
+        model_family="lstm", layers=layers, hidden=hidden, seq=seq, recurrent=True
+    )
+
+    # 4 gates, input and recurrent weights, for each stacked layer — one
+    # managed weight blob shared by every timestep layer.  Its per-step
+    # access count is therefore ~2*seq (forward + backward timesteps): the
+    # >100-access hot set of Observation 2.
+    gate_weight_bytes = layers * 4 * (2 * hidden) * hidden * FP32
+    state_bytes = batch_size * layers * hidden * FP32
+    gate_flops = layers * 2.0 * batch_size * 4 * (2 * hidden) * hidden
+    gate_weights = tb.builder.weight("cell.w", gate_weight_bytes)
+    gate_opt = tb.builder.weight("cell.opt", gate_weight_bytes)
+
+    tb.add_layer(
+        LayerCost(
+            name="embed",
+            weight_bytes=vocab * hidden * FP32,
+            out_bytes=batch_size * seq * hidden * FP32,
+            flops=2.0 * batch_size * seq * hidden,
+            small_temps=8,
+        )
+    )
+
+    for t in range(seq):
+        # One timestep across the whole stack.  Only the first timestep owns
+        # the optimizer state, so the update is applied exactly once per
+        # step (accumulate-then-apply BPTT); every other timestep still
+        # reads the weights and produces a gradient against them.
+        tb.add_layer(
+            LayerCost(
+                name=f"step{t}",
+                weight_bytes=gate_weight_bytes,
+                out_bytes=state_bytes,
+                flops=gate_flops,
+                workspace_bytes=batch_size * layers * 4 * hidden * FP32,
+                small_temps=12,
+                saved_aux=2,
+            ),
+            shared_weight=gate_weights,
+            shared_opt=gate_opt if t == 0 else None,
+        )
+
+    tb.add_layer(
+        LayerCost(
+            name="proj",
+            weight_bytes=hidden * vocab * FP32,
+            out_bytes=batch_size * vocab * FP32,
+            flops=2.0 * batch_size * hidden * vocab,
+            small_temps=8,
+        )
+    )
+
+    graph = tb.finish()
+    return graph

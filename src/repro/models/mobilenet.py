@@ -1,0 +1,100 @@
+"""MobileNet-v1 builder.
+
+MobileNet's memory profile is the opposite of ResNet's: tiny weights
+(depthwise-separable convolutions) against large early activations at
+224x224 input, so its footprint is activation-dominated — which is why the
+paper's large-batch MobileNet run stresses fast memory despite the small
+model.  Each depthwise+pointwise pair is one managed layer.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import Graph
+from repro.models.common import FP32, LayerCost, TrainStepBuilder
+
+#: (channels_out, stride) per depthwise-separable pair, after the stem.
+MOBILENET_V1_PAIRS = (
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+)
+
+
+def build_mobilenet(batch_size: int, width_mult: float = 1.0) -> Graph:
+    """A MobileNet-v1 training step at 224x224 input."""
+    if width_mult <= 0:
+        raise ValueError(f"width multiplier must be positive, got {width_mult!r}")
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width_mult))
+
+    input_bytes = batch_size * 3 * 224 * 224 * FP32
+    tb = TrainStepBuilder("mobilenet", batch_size, input_bytes)
+    tb.metadata.update(model_family="mobilenet", width_mult=width_mult)
+
+    spatial = 112
+    cin = ch(32)
+    tb.add_layer(
+        LayerCost(
+            name="stem",
+            weight_bytes=3 * 3 * 3 * cin * FP32,
+            out_bytes=batch_size * cin * spatial * spatial * FP32,
+            flops=2.0 * batch_size * 3 * cin * 9 * spatial * spatial,
+            workspace_bytes=batch_size * 27 * spatial * spatial * FP32 // 4,
+            small_temps=10,
+            saved_aux=2,
+        )
+    )
+
+    for index, (cout_base, stride) in enumerate(MOBILENET_V1_PAIRS):
+        cout = ch(cout_base)
+        if stride == 2:
+            spatial //= 2
+        dw_bytes = batch_size * cin * spatial * spatial * FP32
+        pw_bytes = batch_size * cout * spatial * spatial * FP32
+        # Depthwise 3x3 and pointwise 1x1 are separate managed layers, as
+        # they are separate ops (and add_layer() calls) in the framework.
+        tb.add_layer(
+            LayerCost(
+                name=f"dw{index + 1}",
+                weight_bytes=3 * 3 * cin * FP32,
+                out_bytes=dw_bytes,
+                flops=2.0 * batch_size * spatial * spatial * 9 * cin,
+                workspace_bytes=dw_bytes // 4,
+                small_temps=10,
+                saved_aux=2,
+            )
+        )
+        tb.add_layer(
+            LayerCost(
+                name=f"pw{index + 1}",
+                weight_bytes=cin * cout * FP32,
+                out_bytes=pw_bytes,
+                flops=2.0 * batch_size * spatial * spatial * cin * cout,
+                workspace_bytes=pw_bytes // 4,
+                small_temps=10,
+                saved_aux=2,
+            )
+        )
+        cin = cout
+
+    tb.add_layer(
+        LayerCost(
+            name="head",
+            weight_bytes=cin * 1000 * FP32,
+            out_bytes=batch_size * 1000 * FP32,
+            flops=2.0 * batch_size * cin * 1000,
+            small_temps=8,
+        )
+    )
+    return tb.finish()

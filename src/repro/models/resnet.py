@@ -1,0 +1,187 @@
+"""ResNet builders: CIFAR-style (ResNet-32) and ImageNet-style (ResNet-200).
+
+CIFAR ResNets follow He et al.'s 6n+2 recipe: a 3x3 stem at 32x32x16, three
+stages of ``n`` basic blocks at (16, 32x32), (32, 16x16), (64, 8x8), global
+pool and a tiny FC.  ImageNet ResNets use bottleneck blocks over four stages
+at 56/28/14/7 spatial resolution.  Each residual block is modelled as one
+layer (the paper's management granularity), with its convolutions' weights,
+its saved input activation, an im2col workspace, and the usual population of
+small temporaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.dnn.graph import Graph
+from repro.models.common import FP32, LayerCost, TrainStepBuilder
+
+#: blocks per stage for the 6n+2 CIFAR family
+CIFAR_DEPTHS: Dict[int, int] = {20: 3, 32: 5, 44: 7, 56: 9, 110: 18}
+
+#: blocks per stage for the ImageNet bottleneck family
+IMAGENET_DEPTHS: Dict[int, Tuple[int, int, int, int]] = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+    200: (3, 24, 36, 3),
+}
+
+
+def _act_bytes(batch: int, channels: int, spatial: int) -> int:
+    return batch * channels * spatial * spatial * FP32
+
+
+def _conv_flops(batch: int, cin: int, cout: int, k: int, spatial: int) -> float:
+    return 2.0 * batch * cin * cout * k * k * spatial * spatial
+
+
+def build_cifar_resnet(depth: int, batch_size: int) -> Graph:
+    """CIFAR-10 ResNet of the given depth (depth = 6n+2)."""
+    if depth not in CIFAR_DEPTHS:
+        raise ValueError(
+            f"unsupported CIFAR ResNet depth {depth}; choose from "
+            f"{sorted(CIFAR_DEPTHS)}"
+        )
+    blocks_per_stage = CIFAR_DEPTHS[depth]
+    input_bytes = _act_bytes(batch_size, 3, 32)
+    tb = TrainStepBuilder(f"resnet{depth}", batch_size, input_bytes)
+    tb.metadata.update(model_family="resnet-cifar", depth=depth)
+
+    # Stem: 3x3 conv, 3 -> 16 channels at 32x32.
+    tb.add_layer(
+        LayerCost(
+            name="stem",
+            weight_bytes=3 * 3 * 3 * 16 * FP32,
+            out_bytes=_act_bytes(batch_size, 16, 32),
+            flops=_conv_flops(batch_size, 3, 16, 3, 32),
+            workspace_bytes=_act_bytes(batch_size, 3 * 9, 32) // 4,
+            small_temps=14,
+            saved_aux=2,
+        )
+    )
+
+    stages = ((16, 32), (32, 16), (64, 8))
+    for stage_index, (channels, spatial) in enumerate(stages):
+        for block in range(blocks_per_stage):
+            # Basic block: two 3x3 convs, each its own managed layer (the
+            # paper's add_layer() granularity — ResNet-32 has ~32 of them).
+            cin = channels if not (block == 0 and stage_index > 0) else channels // 2
+            for conv in (1, 2):
+                conv_cin = cin if conv == 1 else channels
+                weight_bytes = 3 * 3 * conv_cin * channels * FP32
+                if conv == 1 and cin != channels:
+                    weight_bytes += cin * channels * FP32  # 1x1 projection
+                tb.add_layer(
+                    LayerCost(
+                        name=f"s{stage_index + 1}b{block + 1}c{conv}",
+                        weight_bytes=weight_bytes,
+                        out_bytes=_act_bytes(batch_size, channels, spatial),
+                        flops=_conv_flops(batch_size, conv_cin, channels, 3, spatial),
+                        workspace_bytes=_act_bytes(batch_size, conv_cin * 9, spatial)
+                        // 16,
+                        small_temps=12,
+                        saved_aux=2,
+                    )
+                )
+
+    # Global average pool + FC head.
+    tb.add_layer(
+        LayerCost(
+            name="head",
+            weight_bytes=64 * 10 * FP32,
+            out_bytes=batch_size * 10 * FP32,
+            flops=2.0 * batch_size * 64 * 10,
+            small_temps=8,
+        )
+    )
+    return tb.finish()
+
+
+def build_imagenet_resnet(depth: int, batch_size: int) -> Graph:
+    """ImageNet bottleneck ResNet (50/101/152/200 layers)."""
+    if depth not in IMAGENET_DEPTHS:
+        raise ValueError(
+            f"unsupported ImageNet ResNet depth {depth}; choose from "
+            f"{sorted(IMAGENET_DEPTHS)}"
+        )
+    stage_blocks = IMAGENET_DEPTHS[depth]
+    input_bytes = _act_bytes(batch_size, 3, 224)
+    tb = TrainStepBuilder(f"resnet{depth}", batch_size, input_bytes)
+    tb.metadata.update(model_family="resnet-imagenet", depth=depth)
+
+    # Stem: 7x7/2 conv to 64 channels at 112x112, then 3x3/2 max pool.
+    tb.add_layer(
+        LayerCost(
+            name="stem",
+            weight_bytes=7 * 7 * 3 * 64 * FP32,
+            out_bytes=_act_bytes(batch_size, 64, 112),
+            flops=_conv_flops(batch_size, 3, 64, 7, 112),
+            workspace_bytes=_act_bytes(batch_size, 3 * 49, 112) // 4,
+            small_temps=10,
+            saved_aux=2,
+        )
+    )
+    tb.add_layer(
+        LayerCost(
+            name="maxpool",
+            weight_bytes=0,
+            out_bytes=_act_bytes(batch_size, 64, 56),
+            flops=9.0 * batch_size * 64 * 56 * 56,
+            small_temps=6,
+        )
+    )
+
+    widths = (64, 128, 256, 512)
+    spatials = (56, 28, 14, 7)
+    for stage_index, (width, spatial, blocks) in enumerate(
+        zip(widths, spatials, stage_blocks)
+    ):
+        out_channels = width * 4
+        for block in range(blocks):
+            if block == 0:
+                cin = 64 if stage_index == 0 else widths[stage_index - 1] * 4
+            else:
+                cin = out_channels
+            # Bottleneck: 1x1 (cin->w), 3x3 (w->w), 1x1 (w->4w).
+            weight_bytes = (
+                cin * width + 3 * 3 * width * width + width * out_channels
+            ) * FP32
+            if block == 0:
+                weight_bytes += cin * out_channels * FP32  # projection
+            flops = (
+                _conv_flops(batch_size, cin, width, 1, spatial)
+                + _conv_flops(batch_size, width, width, 3, spatial)
+                + _conv_flops(batch_size, width, out_channels, 1, spatial)
+            )
+            tb.add_layer(
+                LayerCost(
+                    name=f"s{stage_index + 1}b{block + 1}",
+                    weight_bytes=weight_bytes,
+                    out_bytes=_act_bytes(batch_size, out_channels, spatial),
+                    flops=flops,
+                    workspace_bytes=_act_bytes(batch_size, width * 9, spatial) // 16,
+                    small_temps=14,
+                    saved_aux=5,
+                )
+            )
+
+    tb.add_layer(
+        LayerCost(
+            name="head",
+            weight_bytes=2048 * 1000 * FP32,
+            out_bytes=batch_size * 1000 * FP32,
+            flops=2.0 * batch_size * 2048 * 1000,
+            small_temps=8,
+        )
+    )
+    return tb.finish()
+
+
+def build_resnet(depth: int, batch_size: int) -> Graph:
+    """Dispatch to the CIFAR or ImageNet family by depth."""
+    if depth in CIFAR_DEPTHS:
+        return build_cifar_resnet(depth, batch_size)
+    if depth in IMAGENET_DEPTHS:
+        return build_imagenet_resnet(depth, batch_size)
+    raise ValueError(f"no ResNet recipe for depth {depth}")

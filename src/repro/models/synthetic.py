@@ -1,0 +1,108 @@
+"""Seeded random workload generator.
+
+Property tests need training-step graphs the implementation was never tuned
+on: random layer counts, tensor sizes spanning bytes to hundreds of MB,
+random lifetime structure (how many layers an intermediate survives), and
+random compute/memory balance.  :func:`random_graph` produces such graphs
+deterministically from a seed, always structurally valid (the builder
+enforces the same invariants as the model zoo), so the executor, profiler,
+and every policy can be fuzzed against workloads with no hand-picked
+structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.dnn.graph import Graph, GraphBuilder, Phase
+from repro.dnn.ops import TensorAccess
+from repro.dnn.tensor import TensorKind
+
+
+def random_graph(
+    seed: int,
+    min_layers: int = 2,
+    max_layers: int = 24,
+    max_tensor_bytes: int = 64 * 1024 * 1024,
+    batch_size: Optional[int] = None,
+) -> Graph:
+    """A random—but valid—training-step graph.
+
+    Structure: a forward chain of layers, each producing an activation
+    consumed by the next and optionally saving intermediates with random
+    lifetimes, followed by a mirrored backward chain.  Sizes are
+    log-uniform so tiny metadata tensors and large activations both occur.
+    """
+    rng = random.Random(seed)
+    num_forward = rng.randint(min_layers, max_layers)
+    batch = batch_size if batch_size is not None else rng.choice((1, 4, 16, 64))
+
+    def log_uniform(low: int, high: int) -> int:
+        import math
+
+        return int(math.exp(rng.uniform(math.log(low), math.log(high))))
+
+    b = GraphBuilder(f"synthetic-{seed}", batch_size=batch)
+    hot = b.global_tensor("hot", log_uniform(8, 4096))
+    x = b.input("input", log_uniform(1024, max_tensor_bytes))
+    activation = x
+
+    saved = []  # (tensor, produced_layer) for the backward chain
+    weights = []
+    for index in range(num_forward):
+        weight = None
+        if rng.random() < 0.8:
+            weight = b.weight(f"w{index}", log_uniform(64, max_tensor_bytes // 4))
+            weights.append(weight)
+        with b.layer(f"fwd{index}"):
+            out = b.tensor(f"act{index}", log_uniform(256, max_tensor_bytes))
+            reads = [activation, hot]
+            if weight is not None:
+                reads.append(
+                    TensorAccess(
+                        weight, weight.nbytes, is_write=False, passes=rng.randint(1, 3)
+                    )
+                )
+            writes = [out]
+            for t in range(rng.randint(0, 6)):
+                temp = b.temp(f"tmp{index}_{t}", log_uniform(8, 8192))
+                writes.append(temp)
+            b.op(
+                f"main{index}",
+                flops=rng.uniform(1e5, 1e10),
+                reads=reads,
+                writes=writes,
+            )
+            if rng.random() < 0.5:
+                extra = b.tensor(f"save{index}", log_uniform(256, max_tensor_bytes // 2))
+                b.op(f"save{index}", flops=1e4, reads=[out], writes=[extra])
+                saved.append((extra, index))
+        activation = out
+        saved.append((out, index))
+
+    with b.layer("loss"):
+        grad = b.tensor("loss.grad", activation.nbytes, TensorKind.GRADIENT)
+        b.op("loss", flops=1e5, reads=[activation, hot], writes=[grad])
+
+    for index in reversed(range(num_forward)):
+        with b.layer(f"bwd{index}", Phase.BACKWARD):
+            consumed = [t for t, produced in saved if produced == index]
+            reads = [grad, hot] + consumed
+            new_grad = b.tensor(f"grad{index}", log_uniform(256, max_tensor_bytes), TensorKind.GRADIENT)
+            writes = [new_grad]
+            for t in range(rng.randint(0, 4)):
+                temp = b.temp(f"btmp{index}_{t}", log_uniform(8, 4096))
+                writes.append(temp)
+            b.op(f"bmain{index}", flops=rng.uniform(1e5, 1e10), reads=reads, writes=writes)
+            if index < len(weights) and rng.random() < 0.7:
+                weight = weights[min(index, len(weights) - 1)]
+                b.op(
+                    f"apply{index}",
+                    flops=weight.nbytes,
+                    reads=[new_grad],
+                    writes=[weight],
+                )
+        grad = new_grad
+
+    return b.finish()

@@ -1,0 +1,128 @@
+"""Model registry with the paper's small/large batch configurations.
+
+Batch sizes follow Table III's structure: a "small" batch whose peak memory
+fits comfortably within typical DRAM (used in Figure 7's 20%-of-peak
+experiments) and a "large" batch stressing capacity (Figure 8 / Table V).
+The CPU experiments use ResNet-32 for the small-batch runs and ResNet-200 /
+BERT-large for the large-batch runs, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.dnn.graph import Graph
+from repro.models.bert import build_bert
+from repro.models.dcgan import build_dcgan
+from repro.models.gpt import build_gpt
+from repro.models.lstm import build_lstm
+from repro.models.mobilenet import build_mobilenet
+from repro.models.resnet import build_resnet
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A named model configuration with its evaluation batch sizes."""
+
+    name: str
+    builder: Callable[[int], Graph]
+    small_batch: int
+    large_batch: int
+    description: str = ""
+
+    def build(self, batch_size: Optional[int] = None, scale: str = "small") -> Graph:
+        """Build the graph at an explicit batch size or a named scale."""
+        if batch_size is None:
+            if scale == "small":
+                batch_size = self.small_batch
+            elif scale == "large":
+                batch_size = self.large_batch
+            else:
+                raise ValueError(f"scale must be 'small' or 'large', got {scale!r}")
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size!r}")
+        return self.builder(batch_size)
+
+
+MODELS: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        ModelSpec(
+            name="resnet32",
+            builder=lambda batch: build_resnet(32, batch),
+            small_batch=1024,
+            large_batch=4096,
+            description="CIFAR-10 ResNet-32, the paper's characterization model",
+        ),
+        ModelSpec(
+            name="resnet200",
+            builder=lambda batch: build_resnet(200, batch),
+            small_batch=8,
+            large_batch=32,
+            description="ImageNet bottleneck ResNet-200 (large-batch CPU runs)",
+        ),
+        ModelSpec(
+            name="bert-base",
+            builder=lambda batch: build_bert("bert-base", batch),
+            small_batch=16,
+            large_batch=64,
+            description="BERT-base, seq 128",
+        ),
+        ModelSpec(
+            name="bert-large",
+            builder=lambda batch: build_bert("bert-large", batch),
+            small_batch=4,
+            large_batch=16,
+            description="BERT-large, seq 384",
+        ),
+        ModelSpec(
+            name="lstm",
+            builder=lambda batch: build_lstm(batch),
+            small_batch=256,
+            large_batch=1024,
+            description="2x1024 LSTM LM, 50-step BPTT (recurrent: defeats vDNN)",
+        ),
+        ModelSpec(
+            name="mobilenet",
+            builder=lambda batch: build_mobilenet(batch),
+            small_batch=32,
+            large_batch=256,
+            description="MobileNet-v1 at 224x224 (activation-dominated)",
+        ),
+        ModelSpec(
+            name="gpt-small",
+            builder=lambda batch: build_gpt("gpt-small", batch),
+            small_batch=8,
+            large_batch=32,
+            description="GPT decoder, 12x768, seq 256 (weight-dominated)",
+        ),
+        ModelSpec(
+            name="gpt-medium",
+            builder=lambda batch: build_gpt("gpt-medium", batch),
+            small_batch=4,
+            large_batch=16,
+            description="GPT decoder, 24x1024, seq 512",
+        ),
+        ModelSpec(
+            name="dcgan",
+            builder=lambda batch: build_dcgan(batch),
+            small_batch=64,
+            large_batch=2048,
+            description="DCGAN generator+discriminator at 64x64",
+        ),
+    )
+}
+
+
+def build_model(
+    name: str, batch_size: Optional[int] = None, scale: str = "small"
+) -> Graph:
+    """Build a registered model by name."""
+    try:
+        spec = MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; available: {sorted(MODELS)}"
+        ) from None
+    return spec.build(batch_size=batch_size, scale=scale)

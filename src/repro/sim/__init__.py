@@ -1,0 +1,22 @@
+"""Discrete-time simulation primitives shared by the memory substrate.
+
+The simulator is deliberately *not* a general discrete-event engine: DNN
+training steps are a deterministic schedule of layers and operations, so the
+executor advances a single :class:`Clock` through the schedule and models
+asynchronous work (page migration, cache fills) as transfers on
+:class:`BandwidthChannel` objects whose completion times are computed
+analytically at submission.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.channel import BandwidthChannel, Transfer
+from repro.sim.stats import Counter, Timeline, StatsRegistry
+
+__all__ = [
+    "Clock",
+    "BandwidthChannel",
+    "Transfer",
+    "Counter",
+    "Timeline",
+    "StatsRegistry",
+]

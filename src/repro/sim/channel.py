@@ -1,0 +1,144 @@
+"""Finite-bandwidth transfer channels.
+
+A :class:`BandwidthChannel` models a resource that moves bytes at a fixed
+rate and serves requests first-come-first-served — e.g. one of Sentinel's two
+page-migration helper threads, the PCIe link between CPU and GPU, or the
+cache-fill path of Optane's Memory Mode.
+
+Because requests are served FIFO at a constant rate, the completion time of a
+transfer is known analytically the moment it is submitted::
+
+    start  = max(submit_time, time the previous transfer finishes)
+    finish = start + bytes / bandwidth
+
+which lets the executor overlap computation with transfers without a general
+event queue: it simply compares the clock against ``transfer.finish``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A scheduled transfer on a :class:`BandwidthChannel`.
+
+    Attributes:
+        nbytes: payload size in bytes.
+        submitted: simulation time the request was issued.
+        start: time the channel began serving the request.
+        finish: time the last byte arrives; the payload is usable from then on.
+        tag: opaque caller payload (e.g. the set of pages being migrated).
+    """
+
+    nbytes: int
+    submitted: float
+    start: float
+    finish: float
+    tag: Any = None
+
+    @property
+    def duration(self) -> float:
+        """Service time (excluding queueing delay)."""
+        return self.finish - self.start
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting behind earlier transfers."""
+        return self.start - self.submitted
+
+    def done_by(self, when: float) -> bool:
+        """Whether the transfer has fully completed at time ``when``."""
+        return self.finish <= when
+
+
+class BandwidthChannel:
+    """FIFO transfer channel with fixed bandwidth.
+
+    Args:
+        bandwidth: bytes per second; must be positive.
+        name: label used in stats and error messages.
+        latency: fixed per-transfer setup cost in seconds (system call,
+            TLB shootdown, DMA setup...), added once per submission.
+    """
+
+    def __init__(self, bandwidth: float, name: str = "channel", latency: float = 0.0):
+        if bandwidth <= 0.0:
+            raise ValueError(f"channel bandwidth must be positive, got {bandwidth!r}")
+        if latency < 0.0:
+            raise ValueError(f"channel latency must be non-negative, got {latency!r}")
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self.latency = float(latency)
+        self._next_free = 0.0
+        self._busy_time = 0.0
+        self._bytes_moved = 0
+        self._history: List[Transfer] = []
+
+    @property
+    def next_free(self) -> float:
+        """Earliest time a new transfer could start service."""
+        return self._next_free
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes moved over the channel's lifetime."""
+        return self._bytes_moved
+
+    @property
+    def busy_time(self) -> float:
+        """Total time the channel spent actively transferring."""
+        return self._busy_time
+
+    @property
+    def history(self) -> List[Transfer]:
+        """All transfers in submission order (shared list, do not mutate)."""
+        return self._history
+
+    def service_time(self, nbytes: int) -> float:
+        """Pure transfer time for ``nbytes`` ignoring queueing."""
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer negative bytes {nbytes!r}")
+        return self.latency + nbytes / self.bandwidth
+
+    def submit(self, nbytes: int, now: float, tag: Any = None) -> Transfer:
+        """Enqueue a transfer of ``nbytes`` at time ``now`` and return it.
+
+        Zero-byte transfers are legal and complete after ``latency``; they are
+        useful as synchronization markers.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer negative bytes {nbytes!r}")
+        start = max(now, self._next_free)
+        finish = start + self.service_time(nbytes)
+        transfer = Transfer(
+            nbytes=nbytes, submitted=now, start=start, finish=finish, tag=tag
+        )
+        self._next_free = finish
+        self._busy_time += finish - start
+        self._bytes_moved += nbytes
+        self._history.append(transfer)
+        return transfer
+
+    def backlog_at(self, when: float) -> float:
+        """Seconds of already-queued work remaining at time ``when``."""
+        return max(0.0, self._next_free - when)
+
+    def idle_from(self, when: float) -> bool:
+        """Whether the channel has no queued work at time ``when``."""
+        return self._next_free <= when
+
+    def reset(self) -> None:
+        """Clear all queued/recorded work (used between simulated steps)."""
+        self._next_free = 0.0
+        self._busy_time = 0.0
+        self._bytes_moved = 0
+        self._history = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BandwidthChannel(name={self.name!r}, bw={self.bandwidth:.3e}, "
+            f"next_free={self._next_free:.6f})"
+        )

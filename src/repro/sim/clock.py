@@ -1,0 +1,60 @@
+"""Simulation clock.
+
+All times in the simulator are measured in seconds as floats.  The clock only
+moves forward; attempts to move it backwards indicate a scheduling bug in the
+caller and raise immediately rather than silently corrupting the timeline.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when the clock would be moved backwards."""
+
+
+class Clock:
+    """A monotonically non-decreasing simulation clock.
+
+    >>> clock = Clock()
+    >>> clock.advance(1.5)
+    1.5
+    >>> clock.advance_to(2.0)
+    2.0
+    >>> clock.now
+    2.0
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0.0:
+            raise ClockError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move the clock forward to absolute time ``when``.
+
+        ``when`` in the past is a no-op only if it equals the current time;
+        anything earlier raises :class:`ClockError`.
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now!r} to {when!r}"
+            )
+        self._now = when
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.9f})"

@@ -1,0 +1,102 @@
+"""AutoTM: offline plan, exposed CPU movement, async GPU schedule."""
+
+import pytest
+
+from repro.baselines.autotm import AutoTMPolicy, plan_fast_sets
+from repro.baselines.simple import SlowOnlyPolicy
+from repro.dnn.executor import Executor
+from repro.mem.machine import Machine
+from repro.mem.platforms import GPU_HM, OPTANE_HM
+from repro.models import build_model
+
+
+def run_autotm(platform=OPTANE_HM, model="resnet32", batch=64, fast_fraction=0.2, steps=3):
+    graph = build_model(model, batch_size=batch)
+    fast_capacity = None
+    if fast_fraction is not None:
+        fast_capacity = int(graph.peak_memory_bytes() * fast_fraction)
+    machine = Machine.for_platform(platform, fast_capacity=fast_capacity)
+    policy = AutoTMPolicy()
+    executor = Executor(graph, machine, policy)
+    return graph, machine, policy, executor.run_steps(steps)
+
+
+class TestPlan:
+    def test_plan_respects_budget(self):
+        graph = build_model("resnet32", batch_size=64)
+        capacity = 50 * 1024 * 1024
+        plans = plan_fast_sets(graph, capacity)
+        assert len(plans) == graph.num_layers
+        by_tid = {t.tid: t for t in graph.tensors}
+        from repro.baselines.autotm import PLAN_CAPACITY_FRACTION
+
+        for wanted in plans:
+            total = sum(by_tid[tid].nbytes for tid in wanted)
+            assert total <= capacity * PLAN_CAPACITY_FRACTION
+
+    def test_plan_prefers_hotter_tensors(self):
+        graph = build_model("resnet32", batch_size=64)
+        plans = plan_fast_sets(graph, 10 * 1024 * 1024)
+        by_tid = {t.tid: t for t in graph.tensors}
+        for layer, wanted in zip(graph.layers, plans):
+            if not wanted:
+                continue
+            chosen_touches = [
+                by_tid[tid].layer_touches.get(layer.index, 0) for tid in wanted
+            ]
+            assert min(chosen_touches) > 0
+
+    def test_short_lived_excluded_from_plan(self):
+        graph = build_model("resnet32", batch_size=64)
+        plans = plan_fast_sets(graph, 1 << 30)
+        by_tid = {t.tid: t for t in graph.tensors}
+        for wanted in plans:
+            assert not any(by_tid[tid].short_lived for tid in wanted)
+
+
+class TestCPUExecution:
+    def test_movement_is_exposed_on_cpu(self):
+        """§VII-B: all AutoTM movement sits on the critical path."""
+        graph, machine, policy, results = run_autotm()
+        assert policy.exposed
+        managed = results[-1]
+        assert managed.stall_time > 0
+        assert managed.migrated_bytes > 0
+
+    def test_beats_slow_only(self):
+        graph, machine, policy, results = run_autotm()
+        slow = Executor(
+            build_model("resnet32", batch_size=64), Machine(OPTANE_HM), SlowOnlyPolicy()
+        ).run_step()
+        assert results[-1].duration < slow.duration
+
+
+class TestGPUExecution:
+    def test_gpu_variant_is_async(self):
+        graph, machine, policy, results = run_autotm(
+            platform=GPU_HM, model="dcgan", batch=512, fast_fraction=None
+        )
+        assert not policy.exposed
+
+    def test_gpu_offload_schedule_built_under_pressure(self):
+        graph, machine, policy, results = run_autotm(
+            platform=GPU_HM, model="dcgan", batch=4096, fast_fraction=None
+        )
+        assert policy._offload_at
+        assert policy._prefetch_at
+
+    def test_no_offload_when_model_fits(self):
+        """Pressure-proportional planning: a model inside device memory
+        moves nothing (the ILP's optimum)."""
+        graph, machine, policy, results = run_autotm(
+            platform=GPU_HM, model="dcgan", batch=256, fast_fraction=None
+        )
+        assert not policy._offload_at
+        assert results[-1].migrated_bytes == 0
+
+    def test_exposed_override(self):
+        graph = build_model("dcgan", batch_size=64)
+        machine = Machine(GPU_HM)
+        policy = AutoTMPolicy(exposed=True)
+        policy.bind(machine, graph)
+        assert policy.exposed

@@ -1,0 +1,88 @@
+"""Pressure-proportional offload selection shared by the GPU baselines."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.common import (
+    PLAN_BUDGET_FRACTION,
+    SAVINGS_MARGIN,
+    offload_deficit,
+    select_for_pressure,
+)
+
+
+class TestDeficit:
+    def test_zero_when_model_fits(self):
+        assert offload_deficit(peak_bytes=800, capacity_bytes=1000) == 0
+
+    def test_positive_when_over_budget(self):
+        deficit = offload_deficit(peak_bytes=2000, capacity_bytes=1000)
+        assert deficit == 2000 - int(1000 * PLAN_BUDGET_FRACTION)
+
+
+class TestSelection:
+    def test_no_pressure_selects_nothing(self):
+        chosen = select_for_pressure(
+            [10, 20, 30], peak_bytes=50, capacity_bytes=1000, size_of=lambda c: c
+        )
+        assert chosen == []
+
+    def test_largest_first_by_default(self):
+        chosen = select_for_pressure(
+            [10, 100, 50],
+            peak_bytes=1000,
+            capacity_bytes=1000,
+            size_of=lambda c: c,
+        )
+        assert chosen[0] == 100
+
+    def test_stops_once_deficit_covered(self):
+        # deficit = 1000 - 900 = 100, target = 130 with the margin.
+        chosen = select_for_pressure(
+            [100, 100, 100, 100],
+            peak_bytes=1000,
+            capacity_bytes=1000,
+            size_of=lambda c: c,
+        )
+        assert len(chosen) == 2  # 200 >= 130, 100 < 130
+
+    def test_returns_all_when_deficit_uncoverable(self):
+        chosen = select_for_pressure(
+            [10, 10],
+            peak_bytes=10_000,
+            capacity_bytes=1000,
+            size_of=lambda c: c,
+        )
+        assert len(chosen) == 2
+
+    def test_custom_priority_respected(self):
+        chosen = select_for_pressure(
+            [("a", 50), ("b", 50)],
+            peak_bytes=1000,
+            capacity_bytes=1000,
+            size_of=lambda c: c[1],
+            priority=lambda c: c[0],  # alphabetical
+        )
+        assert chosen[0][0] == "a"
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10**6), max_size=50),
+        peak=st.integers(min_value=1, max_value=10**8),
+        capacity=st.integers(min_value=1, max_value=10**8),
+    )
+    def test_selection_invariants(self, sizes, peak, capacity):
+        chosen = select_for_pressure(
+            sizes, peak_bytes=peak, capacity_bytes=capacity, size_of=lambda c: c
+        )
+        deficit = offload_deficit(peak, capacity)
+        if deficit <= 0:
+            assert chosen == []
+            return
+        assert len(chosen) <= len(sizes)
+        savings = sum(chosen)
+        # Either the target is covered or everything was taken.
+        assert savings >= deficit * SAVINGS_MARGIN or len(chosen) == len(sizes) or (
+            # the selector stops as soon as the running total crosses the
+            # target, so the last pick may overshoot from below
+            savings - chosen[-1] < deficit * SAVINGS_MARGIN
+        )

@@ -1,0 +1,64 @@
+"""Table I's claims, checked against the implementations themselves."""
+
+import inspect
+
+import pytest
+
+from repro.baselines.features import COLUMNS, FEATURES, feature_table
+from repro.baselines.registry import POLICIES
+
+
+class TestMatrixStructure:
+    def test_every_managed_policy_has_a_row(self):
+        expected = set(POLICIES) - {"slow-only", "fast-only"}
+        assert set(FEATURES) == expected
+
+    def test_render_includes_every_system(self):
+        text = feature_table()
+        for name in FEATURES:
+            assert name in text
+
+    def test_sentinel_rows_claim_everything(self):
+        for name in ("sentinel", "sentinel-gpu"):
+            row = FEATURES[name]
+            for field, _ in COLUMNS[:-2]:
+                assert getattr(row, field), (name, field)
+
+
+class TestClaimsMatchImplementations:
+    def test_graph_agnostic_policies_ignore_tensor_kind(self):
+        """A policy claiming graph-agnosticism must not branch on
+        TensorKind (vDNN, the one non-agnostic system, does)."""
+        import repro.baselines.vdnn as vdnn_mod
+        import repro.core.runtime as sentinel_mod
+        import repro.baselines.ial as ial_mod
+
+        assert "TensorKind" in inspect.getsource(vdnn_mod)
+        assert not FEATURES["vdnn"].graph_agnostic
+        for module, name in ((sentinel_mod, "sentinel"), (ial_mod, "ial")):
+            source = inspect.getsource(module)
+            assert "kind is TensorKind" not in source, name
+            assert FEATURES[name].graph_agnostic
+
+    def test_counting_policies_read_fault_counters(self):
+        """Only Sentinel's profile carries per-tensor access counts."""
+        from repro.core.profile import TensorProfile
+
+        assert hasattr(TensorProfile(0, "t", 1, 0, 0, False), "touches_by_layer")
+        assert FEATURES["sentinel"].counts_memory_accesses
+        assert not FEATURES["ial"].counts_memory_accesses
+
+    def test_platform_applicability_matches_registry(self):
+        from repro.baselines.registry import CPU_ONLY, GPU_ONLY
+
+        for name, row in FEATURES.items():
+            if name in CPU_ONLY:
+                assert row.cpu and not row.gpu, name
+            if name in GPU_ONLY:
+                assert row.gpu and not row.cpu, name
+
+    def test_false_sharing_avoidance_is_sentinels_alone(self):
+        others = [
+            name for name, row in FEATURES.items() if row.avoids_false_sharing
+        ]
+        assert set(others) == {"sentinel", "sentinel-gpu"}

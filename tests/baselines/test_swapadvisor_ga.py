@@ -1,0 +1,42 @@
+"""SwapAdvisor's genetic algorithm: budget, convergence, determinism."""
+
+import pytest
+
+from repro.baselines.swapadvisor import SwapAdvisorPolicy
+from repro.mem.machine import Machine
+from repro.mem.platforms import GPU_HM
+from repro.models import build_model
+
+
+def plan_with(population=24, generations=12, seed=7, batch=2048):
+    policy = SwapAdvisorPolicy(seed=seed, population=population, generations=generations)
+    policy.bind(
+        Machine.for_platform(GPU_HM, fast_capacity=4 * 1024**3),
+        build_model("dcgan", batch_size=batch),
+    )
+    return policy.plan
+
+
+class TestGA:
+    def test_more_generations_never_worse(self):
+        """Elitism makes best-of-population fitness monotone in budget."""
+        short = plan_with(generations=2)
+        long = plan_with(generations=20)
+        assert long.fitness <= short.fitness
+
+    def test_fitness_is_a_time_estimate(self):
+        plan = plan_with()
+        assert plan.fitness > 0
+
+    def test_empty_candidate_pool_when_model_fits(self):
+        plan = plan_with(batch=64)  # tiny: fits device memory
+        assert plan.swap == {}
+
+    def test_swap_set_under_pressure(self):
+        plan = plan_with(batch=2048)
+        assert plan.swap, "an oversubscribed model must swap something"
+        for tid, lead in plan.swap.items():
+            assert 1 <= lead <= 4
+
+    def test_seeded_determinism_across_budgets(self):
+        assert plan_with(seed=3).swap == plan_with(seed=3).swap

@@ -1,0 +1,56 @@
+"""Unified Memory: LRU eviction order and the demand-paging tax."""
+
+import pytest
+
+from repro.baselines.um import UnifiedMemoryPolicy
+from repro.dnn.executor import Executor
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import GPU_HM
+from repro.models import build_model
+
+
+class TestLRU:
+    def test_least_recently_used_evicted_first(self):
+        machine = Machine.for_platform(GPU_HM, fast_capacity=32 * GPU_HM.page_size)
+        policy = UnifiedMemoryPolicy()
+        policy.bind(machine, build_model("dcgan", batch_size=8))
+
+        old = machine.page_table.map_run(12, DeviceKind.FAST)
+        recent = machine.page_table.map_run(12, DeviceKind.FAST)
+        machine.fast.allocate(24 * machine.page_size)
+        old.initialized = recent.initialized = True
+        policy._last_access[old.vpn] = 1.0
+        policy._last_access[recent.vpn] = 2.0
+
+        incoming = machine.page_table.map_run(12, DeviceKind.SLOW)
+        machine.slow.allocate(12 * machine.page_size)
+        incoming.initialized = True
+        stall = policy.ensure_resident(incoming, now=3.0)
+        assert stall > 0
+        machine.migration.sync(float("inf"))
+        # The stale run left; the recently-used one stayed.
+        assert old.device is DeviceKind.SLOW
+        assert recent.device is DeviceKind.FAST
+        assert incoming.device is DeviceKind.FAST
+
+    def test_fault_group_overhead_scales_with_size(self):
+        machine = Machine.for_platform(GPU_HM)
+        policy = UnifiedMemoryPolicy()
+        policy.bind(machine, build_model("dcgan", batch_size=8))
+
+        def demand_fetch(npages):
+            run = machine.page_table.map_run(npages, DeviceKind.SLOW)
+            machine.slow.allocate(npages * machine.page_size)
+            run.initialized = True
+            now = machine.demand_channel.next_free
+            return policy.ensure_resident(run, now=now)
+
+        small = demand_fetch(16)
+        large = demand_fetch(256)
+        raw_ratio = 256 / 16
+        # Overhead grows with the page count, on top of the raw transfer.
+        assert large > small
+        groups_small = -(-16 * machine.page_size // policy.FAULT_GROUP_BYTES)
+        expected_small_overhead = groups_small * policy.FAULT_SERVICE_TIME
+        assert small >= expected_small_overhead

@@ -1,0 +1,101 @@
+"""Dynamic graphs: bucketized profiling and control-flow re-profiling."""
+
+import pytest
+
+from repro.core.buckets import MAX_BUCKETS, BucketedSentinel, bucketize
+from repro.core.runtime import SentinelConfig
+from repro.mem.platforms import OPTANE_HM
+from repro.models.lstm import build_lstm
+
+
+def lstm_builder(seq_len: int):
+    return build_lstm(batch_size=8, seq=max(2, seq_len))
+
+
+def make_trainer(bounds=(8, 16, 32), **config):
+    return BucketedSentinel(
+        OPTANE_HM,
+        lstm_builder,
+        bucket_bounds=bounds,
+        config=SentinelConfig(warmup_steps=0, **config),
+    )
+
+
+class TestBucketize:
+    def test_few_distinct_sizes_get_exact_buckets(self):
+        assert bucketize([5, 9, 5, 7]) == [5, 7, 9]
+
+    def test_many_sizes_capped_at_max(self):
+        bounds = bucketize(list(range(1, 200)))
+        assert len(bounds) <= MAX_BUCKETS
+        assert bounds[-1] == 199  # the largest size is always covered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bucketize([])
+        with pytest.raises(ValueError):
+            bucketize([1], max_buckets=0)
+
+    def test_bounds_sorted_distinct(self):
+        bounds = bucketize([3, 3, 100, 50, 50, 7] * 10)
+        assert bounds == sorted(set(bounds))
+
+
+class TestDispatch:
+    def test_inputs_round_up_to_bucket(self):
+        trainer = make_trainer()
+        assert trainer.bucket_for(3) == 8
+        assert trainer.bucket_for(8) == 8
+        assert trainer.bucket_for(9) == 16
+        assert trainer.bucket_for(32) == 32
+
+    def test_oversized_input_rejected(self):
+        trainer = make_trainer()
+        with pytest.raises(ValueError):
+            trainer.bucket_for(33)
+
+    def test_nonpositive_input_rejected(self):
+        trainer = make_trainer()
+        with pytest.raises(ValueError):
+            trainer.bucket_for(0)
+
+    def test_too_many_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            BucketedSentinel(
+                OPTANE_HM, lstm_builder, bucket_bounds=list(range(1, 13))
+            )
+
+
+class TestProfilingAmortization:
+    def test_each_bucket_profiles_exactly_once(self):
+        trainer = make_trainer(bounds=(8, 16))
+        for size in (4, 8, 12, 16, 5, 15):
+            trainer.run_step(size)
+        assert trainer.profiled_buckets == 2
+        # one profiling step per bucket, regardless of how many steps ran
+        assert trainer.overhead_steps() >= 2
+        profiling_steps = sum(
+            b.policy.profiling_steps_used for b in trainer._buckets.values()
+        )
+        assert profiling_steps == 2
+
+    def test_repeat_sizes_reuse_managed_runtime(self):
+        trainer = make_trainer(bounds=(8,))
+        first = trainer.run_step(8)   # profiling step (warmup=0)
+        second = trainer.run_step(8)  # first managed step
+        third = trainer.run_step(8)
+        assert third.duration <= first.duration  # managed faster than profiled
+        # Managed steps settle around a steady state (the first managed step
+        # may still be warming the placement).
+        assert 0.5 * second.duration <= third.duration <= 1.5 * second.duration
+
+    def test_unseen_control_flow_triggers_reprofile(self):
+        trainer = make_trainer(bounds=(8,))
+        trainer.run_step(8)
+        assert trainer.reprofiles == 1
+        variant = build_lstm(batch_size=8, seq=6, layers=1)  # new dataflow
+        trainer.run_graph(variant)
+        assert trainer.reprofiles == 2
+        # Same variant again: no further profiling.
+        trainer.run_graph(build_lstm(batch_size=8, seq=6, layers=1))
+        assert trainer.reprofiles == 2

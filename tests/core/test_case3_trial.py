@@ -1,0 +1,99 @@
+"""Case 3 and the test-and-trial algorithm (§IV-D), forced deterministically.
+
+Throttling the promote channel guarantees prefetches cannot finish before
+their interval starts, so Case 3 occurs on demand and the trial state
+machine can be observed end to end.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.runtime import MANAGED, SentinelConfig, SentinelPolicy
+from repro.dnn.executor import Executor
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+from repro.models import build_model
+
+#: Promote so slow that any nontrivial prefetch is still in flight when its
+#: interval begins.
+THROTTLED = dataclasses.replace(
+    OPTANE_HM, promote_bandwidth=2e7, demote_bandwidth=2e7
+)
+
+
+def throttled_run(steps=8, test_and_trial=True):
+    graph = build_model("dcgan", batch_size=64)
+    machine = Machine.for_platform(
+        THROTTLED, fast_capacity=int(graph.peak_memory_bytes() * 0.3)
+    )
+    policy = SentinelPolicy(
+        SentinelConfig(warmup_steps=1, test_and_trial=test_and_trial)
+    )
+    executor = Executor(graph, machine, policy)
+    results = executor.run_steps(steps)
+    return graph, machine, policy, results
+
+
+class TestCase3:
+    def test_case3_occurs_under_throttled_migration(self):
+        _, _, policy, _ = throttled_run()
+        assert policy.mode == MANAGED
+        assert policy.case3_occurrences > 0
+
+    def test_trial_states_reach_decisions(self):
+        _, _, policy, _ = throttled_run()
+        assert policy._case3, "trials were opened"
+        decided = [s for s in policy._case3.values() if s.status == "decided"]
+        assert decided, "at least one trial ran both steps and decided"
+        for state in decided:
+            assert state.choice in ("wait", "leave")
+            assert state.wait_duration is not None
+            assert state.leave_duration is not None
+
+    def test_decision_picks_the_faster_measured_step(self):
+        _, _, policy, _ = throttled_run()
+        for state in policy._case3.values():
+            if state.status != "decided":
+                continue
+            if state.choice == "wait":
+                assert state.wait_duration <= state.leave_duration
+            else:
+                assert state.leave_duration < state.wait_duration
+
+    def test_leave_decision_skips_future_prefetch(self):
+        _, _, policy, _ = throttled_run()
+        for interval, state in policy._case3.items():
+            if state.status == "decided" and state.choice == "leave":
+                assert interval in policy._skip_prefetch
+
+    def test_trials_serialized_one_at_a_time(self):
+        """Concurrent trials would pollute each other's step-duration
+        measurements; the runtime serializes them."""
+        _, _, policy, _ = throttled_run(steps=6)
+        in_flight = [
+            s
+            for s in policy._case3.values()
+            if s.status in ("trial_wait", "trial_leave")
+        ]
+        assert len(in_flight) <= 1
+
+    def test_trial_steps_counted_for_overhead(self):
+        _, _, policy, _ = throttled_run()
+        assert policy.trial_steps_used >= 1
+        assert policy.overhead_steps == (
+            policy.profiling_steps_used + policy.trial_steps_used
+        )
+
+    def test_without_trial_every_case3_waits(self):
+        _, _, policy, results = throttled_run(test_and_trial=False)
+        assert policy.case3_occurrences > 0
+        assert not policy._case3  # no trial state ever created
+        # Waiting shows up as exposed stall.
+        assert any(r.stall_time > 0 for r in results[2:])
+
+    def test_steady_state_after_decisions(self):
+        """Once every trial has settled, step times stabilize."""
+        _, _, policy, results = throttled_run(steps=10)
+        last = [r.duration for r in results[-2:]]
+        assert last[0] == pytest.approx(last[1], rel=0.05)

@@ -1,0 +1,102 @@
+"""Sentinel-GPU's profiling mechanics, quantitatively (§V)."""
+
+import pytest
+
+from repro.core.gpu import SentinelGPUPolicy
+from repro.core.runtime import PROFILING, SentinelConfig
+from repro.dnn.executor import Executor
+from repro.mem.machine import Machine
+from repro.mem.platforms import GPU_HM
+from repro.models import build_model
+
+
+def gpu_run(steps, **config):
+    graph = build_model("dcgan", batch_size=128)
+    machine = Machine.for_platform(GPU_HM)
+    policy = SentinelGPUPolicy(SentinelConfig(warmup_steps=1, **config))
+    executor = Executor(graph, machine, policy)
+    results = executor.run_steps(steps)
+    return graph, machine, policy, executor, results
+
+
+class TestPinnedMemoryProfiling:
+    def test_profiling_step_priced_at_link_bandwidth(self):
+        """During profiling the GPU reads host-pinned pages over PCIe: the
+        step's memory time reflects the interconnect, not HBM."""
+        graph, machine, policy, executor, results = gpu_run(steps=2)
+        warmup, profiling = results
+        # Rough bound: the traffic at link bandwidth is a floor for the
+        # profiling step's memory time.
+        traffic = profiling.bytes_slow
+        floor = traffic / GPU_HM.promote_bandwidth
+        assert profiling.mem_time >= floor * 0.9
+
+    def test_no_device_transfers_during_profiling(self):
+        graph, machine, policy, executor, results = gpu_run(steps=2)
+        assert results[1].promoted_bytes == 0
+
+    def test_faults_counted_host_side(self):
+        """Access counting loses nothing: the profile matches ground truth
+        even though the accesses came 'from the GPU'."""
+        graph, machine, policy, executor, results = gpu_run(steps=3)
+        assert policy.profile is not None
+        mismatch = [
+            t.name
+            for t in graph.tensors
+            if policy.profile.tensors[t.tid].touches_by_layer != t.layer_touches
+        ]
+        assert mismatch == []
+
+
+class TestTwoCopySync:
+    def test_sync_cost_equals_preallocated_bytes_over_link(self):
+        """The pinned profiling copies of preallocated tensors reconcile
+        once, at link bandwidth (§V)."""
+        graph, machine, policy, executor, results = gpu_run(steps=3)
+        sync_bytes = sum(t.nbytes for t in graph.preallocated())
+        expected = sync_bytes / GPU_HM.promote_bandwidth
+        first_managed = results[2]
+        assert first_managed.stall_time >= expected * 0.99
+
+    def test_sync_not_repeated(self):
+        graph, machine, policy, executor, results = gpu_run(steps=4)
+        sync_bytes = sum(t.nbytes for t in graph.preallocated())
+        expected = sync_bytes / GPU_HM.promote_bandwidth
+        steady = results[3]
+        # Later managed steps do not pay the reconciliation again.
+        assert steady.stall_time < results[2].stall_time
+        assert steady.stall_time < expected
+
+
+class TestHotnessOrderedPrefetch:
+    def test_prefetch_issues_hottest_tensors_first(self):
+        """§IV-D: migration follows descending access count, so if fast
+        memory runs out mid-prefetch, what is left behind is the coldest."""
+        graph = build_model("dcgan", batch_size=512)
+        machine = Machine.for_platform(GPU_HM, fast_capacity=2 * 1024**3)
+        policy = SentinelGPUPolicy(SentinelConfig(warmup_steps=1))
+        issued = []  # (interval boundary sequence of hotness values)
+        original = policy._promote_with_headroom
+
+        def spy(runs, now, headroom):
+            if policy.profile is not None and policy.allocator is not None:
+                hotness = []
+                for run in runs:
+                    users = policy.allocator.users_of(run)
+                    touches = [
+                        policy.profile.tensors[tid].total_touches
+                        for tid in users
+                        if tid in policy.profile.tensors
+                    ]
+                    if touches:
+                        hotness.append(max(touches))
+                if len(hotness) >= 2:
+                    issued.append(hotness)
+            return original(runs, now, headroom)
+
+        policy._promote_with_headroom = spy
+        executor = Executor(graph, machine, policy)
+        executor.run_steps(4)
+        assert issued, "prefetch batches were observed"
+        for hotness in issued:
+            assert hotness == sorted(hotness, reverse=True)

@@ -1,0 +1,46 @@
+"""The §IV-E lower bound on fast memory size."""
+
+import pytest
+
+from repro.core import DynamicProfiler, SentinelConfig
+from repro.harness.runner import run_policy
+from repro.mem.platforms import OPTANE_HM
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return DynamicProfiler(OPTANE_HM).run(build_model("resnet32", batch_size=128)).profile
+
+
+class TestLowerBound:
+    def test_bound_components(self, profile):
+        bound = profile.fast_memory_lower_bound()
+        short_peak = max(profile.layer_short_lived_bytes)
+        largest_long = max(
+            t.nbytes for t in profile.tensors.values() if t.long_lived
+        )
+        assert bound == short_peak + largest_long
+
+    def test_bound_well_below_peak(self, profile):
+        """The bound is the *floor*, far under the 20% operating point."""
+        assert profile.fast_memory_lower_bound() < 0.5 * profile.packed_peak_bytes
+
+    def test_performance_degrades_sharply_below_bound(self, profile):
+        """Paper: under the bound the runtime 'easily causes performance
+        loss larger than 20%'."""
+        graph = build_model("resnet32", batch_size=128)
+        peak = graph.peak_memory_bytes()
+        bound = profile.fast_memory_lower_bound()
+
+        comfortable = run_policy(
+            "sentinel",
+            graph=build_model("resnet32", batch_size=128),
+            fast_capacity=max(int(peak * 0.25), 2 * bound),
+        )
+        starved = run_policy(
+            "sentinel",
+            graph=build_model("resnet32", batch_size=128),
+            fast_capacity=max(OPTANE_HM.page_size * 64, int(bound * 0.5)),
+        )
+        assert starved.step_time > comfortable.step_time * 1.2

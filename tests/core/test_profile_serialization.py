@@ -1,0 +1,56 @@
+"""Profile persistence: to_json/from_json round-trips exactly."""
+
+import pytest
+
+from repro.core import DynamicProfiler
+from repro.core.profile import Profile
+from repro.mem.platforms import OPTANE_HM
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return DynamicProfiler(OPTANE_HM).run(build_model("dcgan", batch_size=16)).profile
+
+
+class TestRoundTrip:
+    def test_tensors_identical(self, profile):
+        restored = Profile.from_json(profile.to_json())
+        assert set(restored.tensors) == set(profile.tensors)
+        for tid, original in profile.tensors.items():
+            copy = restored.tensors[tid]
+            assert copy.touches_by_layer == original.touches_by_layer
+            assert copy.nbytes == original.nbytes
+            assert copy.alloc_layer == original.alloc_layer
+            assert copy.free_layer == original.free_layer
+            assert copy.preallocated == original.preallocated
+
+    def test_signature_round_trips_as_tuples(self, profile):
+        restored = Profile.from_json(profile.to_json())
+        assert restored.signature == profile.signature
+        assert isinstance(restored.signature, tuple)
+
+    def test_derived_queries_agree(self, profile):
+        restored = Profile.from_json(profile.to_json())
+        assert restored.rs(2) == profile.rs(2)
+        assert restored.fast_memory_lower_bound() == profile.fast_memory_lower_bound()
+        assert restored.long_lived_bytes_touched_in(0, 5) == (
+            profile.long_lived_bytes_touched_in(0, 5)
+        )
+        assert restored.hotness_rank() == profile.hotness_rank()
+
+    def test_interval_plans_agree(self, profile):
+        from repro.core.interval import choose_interval_length
+
+        restored = Profile.from_json(profile.to_json())
+        capacity = profile.packed_peak_bytes // 5
+        original_plan = choose_interval_length(profile, capacity, 8e9)
+        restored_plan = choose_interval_length(restored, capacity, 8e9)
+        assert restored_plan.interval_length == original_plan.interval_length
+        assert restored_plan.estimated_exposure == pytest.approx(
+            original_plan.estimated_exposure
+        )
+
+    def test_signature_match_detects_different_graphs(self, profile):
+        other = build_model("lstm", batch_size=8)
+        assert profile.signature != other.signature()

@@ -1,0 +1,115 @@
+"""Data-reorganization invariants (§IV-B), verified on live page tables.
+
+The four co-allocation rules, checked directly against the allocator's
+run-occupancy during managed steps:
+
+1. short-lived tensors of the same layer may share pages;
+2. long-lived tensors share pages only with identical-lifetime tensors;
+3. long-lived tensors with different lifetimes never share;
+4. long- and short-lived tensors never share; preallocated tensors never
+   share with anything.
+"""
+
+import pytest
+
+from repro.core.runtime import MANAGED, SentinelConfig, SentinelPolicy
+from repro.dnn.executor import Executor, StepObserver
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+from repro.models import build_model
+from repro.models.synthetic import random_graph
+
+
+class SharingAuditor(StepObserver):
+    """Records, at every layer boundary, which tensors co-reside per run."""
+
+    def __init__(self, policy, graph):
+        self.policy = policy
+        self.graph = graph
+        self.violations = []
+        self._by_tid = {t.tid: t for t in graph.tensors}
+
+    def on_layer_end(self, layer, now):
+        if self.policy.mode != MANAGED:
+            return
+        allocator = self.policy.allocator
+        seen = set()
+        for mapping in list(allocator.live_mappings()):
+            for share in mapping.shares:
+                run = share.run
+                if run.vpn in seen:
+                    continue
+                seen.add(run.vpn)
+                users = [self._by_tid[tid] for tid in allocator.users_of(run)]
+                if len(users) < 2:
+                    continue
+                self._audit(run, users, layer.index)
+
+    def _audit(self, run, users, layer_index):
+        if any(t.preallocated for t in users):
+            self.violations.append(
+                ("preallocated-shares", run.vpn, [t.name for t in users], layer_index)
+            )
+            return
+        kinds = {t.short_lived for t in users}
+        if len(kinds) > 1:
+            self.violations.append(
+                ("short-long-mix", run.vpn, [t.name for t in users], layer_index)
+            )
+            return
+        if not users[0].short_lived:
+            lifetimes = {(t.alloc_layer, t.free_layer) for t in users}
+            if len(lifetimes) > 1:
+                self.violations.append(
+                    ("lifetime-mix", run.vpn, [t.name for t in users], layer_index)
+                )
+        else:
+            layers = {t.alloc_layer for t in users}
+            if len(layers) > 1:
+                self.violations.append(
+                    ("short-cross-layer", run.vpn, [t.name for t in users], layer_index)
+                )
+
+
+def audited_run(graph, fast_fraction=0.25, steps=4):
+    machine = Machine.for_platform(
+        OPTANE_HM,
+        fast_capacity=max(
+            OPTANE_HM.page_size * 256,
+            int(graph.peak_memory_bytes() * fast_fraction),
+        ),
+    )
+    policy = SentinelPolicy(SentinelConfig(warmup_steps=1))
+    auditor = SharingAuditor(policy, graph)
+    executor = Executor(graph, machine, policy, observers=[auditor])
+    executor.run_steps(steps)
+    return auditor
+
+
+class TestCoAllocationInvariants:
+    @pytest.mark.parametrize("model", ["resnet32", "lstm", "dcgan", "gpt-small"])
+    def test_zoo_models_never_violate_sharing_rules(self, model):
+        graph = build_model(model, scale="small")
+        auditor = audited_run(graph)
+        assert auditor.violations == []
+
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_synthetic_graphs_never_violate_sharing_rules(self, seed):
+        graph = random_graph(seed, max_layers=10, max_tensor_bytes=1 << 21)
+        auditor = audited_run(graph)
+        assert auditor.violations == []
+
+    def test_packed_arena_would_violate(self):
+        """Sanity: the audit actually detects mixing — the TF-default
+        packing (co_allocate=False) shares across lifetimes."""
+        graph = build_model("dcgan", batch_size=32)
+        machine = Machine.for_platform(
+            OPTANE_HM, fast_capacity=int(graph.peak_memory_bytes() * 0.25)
+        )
+        policy = SentinelPolicy(
+            SentinelConfig(warmup_steps=1, co_allocate=False)
+        )
+        auditor = SharingAuditor(policy, graph)
+        executor = Executor(graph, machine, policy, observers=[auditor])
+        executor.run_steps(4)
+        assert auditor.violations, "packing must mix lifetimes somewhere"

@@ -1,0 +1,189 @@
+"""SentinelPolicy: lifecycle phases, reorganization, reservation, migration."""
+
+import pytest
+
+from repro.core.runtime import MANAGED, PROFILING, WARMUP, SentinelConfig, SentinelPolicy
+from repro.dnn.executor import Executor
+from repro.dnn.tensor import TensorKind
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+from repro.models import build_model
+
+
+def managed_executor(model="resnet32", batch=64, fast_fraction=0.25, **config):
+    graph = build_model(model, batch_size=batch)
+    peak = graph.peak_memory_bytes()
+    machine = Machine.for_platform(OPTANE_HM, fast_capacity=int(peak * fast_fraction))
+    policy = SentinelPolicy(SentinelConfig(warmup_steps=1, **config))
+    executor = Executor(graph, machine, policy)
+    return graph, machine, policy, executor
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SentinelConfig(warmup_steps=-1)
+        with pytest.raises(ValueError):
+            SentinelConfig(fixed_interval_length=0)
+
+
+class TestLifecycle:
+    def test_phase_progression(self):
+        graph, machine, policy, executor = managed_executor()
+        assert policy.mode == WARMUP
+        executor.run_step()
+        assert policy.mode == WARMUP  # step 0 is warm-up
+        executor.run_step()
+        assert policy.mode == PROFILING
+        assert policy.profile is None
+        executor.run_step()
+        assert policy.mode == MANAGED
+        assert policy.profile is not None
+        assert policy.plan is not None
+
+    def test_profiling_step_is_slow_but_one_off(self):
+        graph, machine, policy, executor = managed_executor()
+        warmup = executor.run_step()
+        profiling = executor.run_step()
+        managed = executor.run_step()
+        assert profiling.duration > warmup.duration  # faults cost time
+        assert managed.duration < profiling.duration
+        assert policy.profiling_steps_used == 1
+
+    def test_profile_matches_ground_truth(self):
+        graph, machine, policy, executor = managed_executor()
+        executor.run_steps(3)
+        for tensor in graph.tensors:
+            record = policy.profile.tensors[tensor.tid]
+            assert record.touches_by_layer == tensor.layer_touches
+
+    def test_poison_cleared_after_profiling(self):
+        graph, machine, policy, executor = managed_executor()
+        executor.run_steps(3)
+        assert not any(e.poisoned for e in machine.page_table.entries())
+
+
+class TestReorganization:
+    def test_warmup_packs_into_shared_arena(self):
+        graph, machine, policy, executor = managed_executor()
+        assert policy._group_of(graph.step_tensors()[0]) == "arena"
+
+    def test_profiling_mode_is_page_aligned(self):
+        graph, machine, policy, executor = managed_executor()
+        policy.mode = PROFILING
+        assert policy._group_of(graph.step_tensors()[0]) is None
+
+    def test_managed_groups_by_lifetime(self):
+        graph, machine, policy, executor = managed_executor()
+        executor.run_steps(3)
+        short = next(t for t in graph.step_tensors() if t.short_lived)
+        long = next(t for t in graph.step_tensors() if not t.short_lived)
+        assert policy._group_of(short) == ("short", short.alloc_layer)
+        assert policy._group_of(long) == ("long", long.alloc_layer, long.free_layer)
+        assert policy._group_of(short) != policy._group_of(long)
+
+    def test_preallocated_never_share(self):
+        graph, machine, policy, executor = managed_executor()
+        weight = graph.preallocated()[0]
+        for mode in (WARMUP, PROFILING, MANAGED):
+            policy.mode = mode
+            assert policy._group_of(weight) is None
+
+    def test_co_allocation_ablation_reverts_to_arena(self):
+        graph, machine, policy, executor = managed_executor(co_allocate=False)
+        executor.run_steps(3)
+        assert policy._group_of(graph.step_tensors()[0]) == "arena"
+
+
+class TestPlacement:
+    def test_everything_slow_before_managed(self):
+        graph, machine, policy, executor = managed_executor()
+        tensor = graph.step_tensors()[0]
+        assert policy.place(tensor, 0.0) is DeviceKind.SLOW
+
+    def test_short_lived_placed_fast_when_managed(self):
+        graph, machine, policy, executor = managed_executor()
+        executor.run_steps(3)
+        short = next(t for t in graph.step_tensors() if t.short_lived)
+        assert policy.place(short, executor.clock.now) is DeviceKind.FAST
+
+    def test_reservation_headroom_shrinks_with_pool_usage(self):
+        graph, machine, policy, executor = managed_executor()
+        executor.run_steps(3)
+        headroom = policy._reservation_headroom()
+        assert headroom == policy.plan.reserved_short_bytes
+        policy._short_fast_bytes = policy.plan.reserved_short_bytes // 2
+        assert policy._reservation_headroom() == pytest.approx(
+            policy.plan.reserved_short_bytes - policy._short_fast_bytes
+        )
+
+    def test_no_reservation_without_flag(self):
+        graph, machine, policy, executor = managed_executor(reserve_short=False)
+        executor.run_steps(3)
+        assert policy._reservation_headroom() == 0
+
+
+class TestMigration:
+    def test_managed_steps_migrate(self):
+        graph, machine, policy, executor = managed_executor(fast_fraction=0.2)
+        executor.run_steps(3)
+        managed = executor.run_step()
+        assert managed.promoted_bytes > 0
+        assert managed.demoted_bytes > 0
+
+    def test_short_lived_never_migrates(self):
+        """§IV-C: the reserved pool is pinned in effect — short-lived pages
+        are placed fast and freed there, never demoted."""
+        graph, machine, policy, executor = managed_executor(fast_fraction=0.2)
+        executor.run_steps(3)
+        demoted_tags = [
+            record.transfer.tag
+            for record in machine.migration._pending
+        ]
+        # run one more step while watching demote tags
+        demote = machine.migration.demote
+        demoted_runs = []
+
+        def spy(runs, now, tag=None):
+            demoted_runs.extend(runs)
+            return demote(runs, now, tag=tag)
+
+        machine.migration.demote = spy
+        executor.run_step()
+        assert demoted_runs, "long-lived tensors should still be demoted"
+        short_tids = {t.tid for t in graph.step_tensors() if t.short_lived}
+        for run in demoted_runs:
+            users = policy.allocator.users_of(run)
+            assert not (users & short_tids)
+
+    def test_fixed_interval_length_respected(self):
+        graph, machine, policy, executor = managed_executor(fixed_interval_length=3)
+        executor.run_steps(3)
+        assert policy.plan.interval_length == 3
+
+    def test_direct_migration_ablation_uses_mil_one(self):
+        graph, machine, policy, executor = managed_executor(interval_opt=False)
+        executor.run_steps(3)
+        assert policy.plan.interval_length == 1
+
+    def test_steady_state_is_deterministic(self):
+        def run():
+            _, _, _, executor = managed_executor(fast_fraction=0.2)
+            return [r.duration for r in executor.run_steps(6)]
+
+        assert run() == run()
+
+    def test_sentinel_beats_unmanaged_slow(self):
+        graph, machine, policy, executor = managed_executor(fast_fraction=0.2)
+        results = executor.run_steps(5)
+        warmup, managed = results[0], results[-1]
+        assert managed.duration < warmup.duration
+
+
+class TestOverheadCounters:
+    def test_overhead_steps_accounting(self):
+        graph, machine, policy, executor = managed_executor()
+        executor.run_steps(4)
+        assert policy.overhead_steps >= 1  # at least the profiling step
+        assert policy.profiling_steps_used == 1

@@ -1,0 +1,171 @@
+"""Allocators: packing, page alignment, grouping, run refcounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnn.alloc import (
+    AllocationError,
+    GroupedAllocator,
+    PackedAllocator,
+    PageAlignedAllocator,
+)
+from repro.dnn.tensor import Tensor, TensorKind
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+
+PAGE = OPTANE_HM.page_size
+
+
+def machine():
+    return Machine(OPTANE_HM)
+
+
+def place_slow(tensor, now):
+    return DeviceKind.SLOW
+
+
+def make_tensor(tid, nbytes, alloc=0, free=0):
+    tensor = Tensor(tid=tid, name=f"t{tid}", nbytes=nbytes, kind=TensorKind.TEMP)
+    tensor.alloc_layer = alloc
+    tensor.free_layer = free
+    return tensor
+
+
+class TestPackedAllocator:
+    def test_small_tensors_share_a_page(self):
+        alloc = PackedAllocator(machine(), place_slow)
+        a = alloc.alloc(make_tensor(0, 100), now=0.0)
+        b = alloc.alloc(make_tensor(1, 100), now=0.0)
+        assert a.shares[0].run.vpn == b.shares[0].run.vpn
+        assert alloc.live_page_bytes == PAGE
+
+    def test_large_tensor_gets_dedicated_pages_plus_shared_tail(self):
+        alloc = PackedAllocator(machine(), place_slow)
+        big = alloc.alloc(make_tensor(0, PAGE * 2 + 100), now=0.0)
+        assert sum(s.nbytes for s in big.shares) == PAGE * 2 + 100
+        tail_run = big.shares[-1].run
+        small = alloc.alloc(make_tensor(1, 50), now=0.0)
+        # False sharing: the small tensor lands in the big tensor's tail page.
+        assert small.shares[0].run.vpn == tail_run.vpn
+
+    def test_page_freed_when_last_resident_leaves(self):
+        m = machine()
+        alloc = PackedAllocator(m, place_slow)
+        a = make_tensor(0, 100)
+        b = make_tensor(1, 100)
+        alloc.alloc(a, now=0.0)
+        alloc.alloc(b, now=0.0)
+        alloc.free(a, now=0.0)
+        assert m.slow.used == PAGE  # b still resident
+        alloc.free(b, now=0.0)
+        assert m.slow.used == 0
+
+    def test_double_alloc_rejected(self):
+        alloc = PackedAllocator(machine(), place_slow)
+        t = make_tensor(0, 100)
+        alloc.alloc(t, now=0.0)
+        with pytest.raises(AllocationError):
+            alloc.alloc(t, now=0.0)
+
+    def test_free_unknown_rejected(self):
+        alloc = PackedAllocator(machine(), place_slow)
+        with pytest.raises(AllocationError):
+            alloc.free(make_tensor(0, 100), now=0.0)
+
+    def test_page_not_reused_after_full(self):
+        alloc = PackedAllocator(machine(), place_slow)
+        alloc.alloc(make_tensor(0, PAGE), now=0.0)  # exactly one page
+        b = alloc.alloc(make_tensor(1, 10), now=0.0)
+        assert b.shares[0].run.vpn != 0 or b.shares[0].run.npages == 1
+
+
+class TestPageAlignedAllocator:
+    def test_one_tensor_per_run(self):
+        m = machine()
+        alloc = PageAlignedAllocator(m, place_slow)
+        a = alloc.alloc(make_tensor(0, 100), now=0.0)
+        b = alloc.alloc(make_tensor(1, 100), now=0.0)
+        assert a.shares[0].run.vpn != b.shares[0].run.vpn
+        assert m.slow.used == 2 * PAGE
+
+    def test_rounding_overhead_tracked(self):
+        alloc = PageAlignedAllocator(machine(), place_slow)
+        alloc.alloc(make_tensor(0, 1), now=0.0)
+        assert alloc.live_page_bytes == PAGE
+        assert alloc.live_tensor_bytes == 1
+        assert alloc.fragmentation_overhead == pytest.approx(PAGE - 1)
+
+
+class TestGroupedAllocator:
+    def test_same_group_shares_pages(self):
+        alloc = GroupedAllocator(machine(), place_slow, lambda t: "g")
+        a = alloc.alloc(make_tensor(0, 100), now=0.0)
+        b = alloc.alloc(make_tensor(1, 100), now=0.0)
+        assert a.shares[0].run.vpn == b.shares[0].run.vpn
+
+    def test_different_groups_never_share(self):
+        alloc = GroupedAllocator(
+            machine(), place_slow, lambda t: "short" if t.nbytes < 200 else "long"
+        )
+        a = alloc.alloc(make_tensor(0, 100), now=0.0)
+        b = alloc.alloc(make_tensor(1, 500), now=0.0)
+        vpns_a = {s.run.vpn for s in a.shares}
+        vpns_b = {s.run.vpn for s in b.shares}
+        assert not vpns_a & vpns_b
+
+    def test_none_group_is_dedicated(self):
+        alloc = GroupedAllocator(machine(), place_slow, lambda t: None)
+        a = alloc.alloc(make_tensor(0, 100), now=0.0)
+        b = alloc.alloc(make_tensor(1, 100), now=0.0)
+        assert a.shares[0].run.vpn != b.shares[0].run.vpn
+
+    def test_users_of(self):
+        alloc = GroupedAllocator(machine(), place_slow, lambda t: "g")
+        a = make_tensor(0, 100)
+        b = make_tensor(1, 100)
+        alloc.alloc(a, now=0.0)
+        mapping = alloc.alloc(b, now=0.0)
+        run = mapping.shares[0].run
+        assert alloc.users_of(run) == {0, 1}
+        alloc.free(a, now=0.0)
+        assert alloc.users_of(run) == {1}
+
+
+class TestMappingQueries:
+    def test_bytes_on_device(self):
+        m = machine()
+        alloc = PageAlignedAllocator(m, place_slow)
+        mapping = alloc.alloc(make_tensor(0, PAGE * 2), now=0.0)
+        assert mapping.bytes_on(DeviceKind.SLOW, now=0.0) == PAGE * 2
+        assert mapping.bytes_on(DeviceKind.FAST, now=0.0) == 0
+        m.migration.promote(mapping.runs(), now=0.0)
+        m.migration.sync(1e9)
+        assert mapping.bytes_on(DeviceKind.FAST, now=1e9) == PAGE * 2
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=PAGE * 3), min_size=1, max_size=40)
+    )
+    def test_alloc_free_conserves_device_capacity(self, sizes):
+        """Every allocator returns all pages once every tensor is freed, and
+        mapped bytes always cover requested bytes."""
+        for factory in (
+            lambda m: PackedAllocator(m, place_slow),
+            lambda m: PageAlignedAllocator(m, place_slow),
+            lambda m: GroupedAllocator(m, place_slow, lambda t: t.nbytes % 3),
+        ):
+            m = machine()
+            alloc = factory(m)
+            tensors = [make_tensor(i, s) for i, s in enumerate(sizes)]
+            for tensor in tensors:
+                mapping = alloc.alloc(tensor, now=0.0)
+                assert mapping.nbytes == tensor.nbytes
+            assert alloc.live_page_bytes >= alloc.live_tensor_bytes
+            assert m.slow.used == alloc.live_page_bytes
+            for tensor in tensors:
+                alloc.free(tensor, now=0.0)
+            assert m.slow.used == 0
+            assert alloc.live_tensor_bytes == 0

@@ -1,0 +1,168 @@
+"""Executor: step timing, lifecycle, observers, determinism."""
+
+import pytest
+
+from repro.dnn.executor import Executor, StepObserver
+from repro.dnn.graph import GraphBuilder, Phase
+from repro.dnn.policy import PlacementPolicy
+from repro.dnn.tensor import TensorKind
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+
+
+def two_layer_graph():
+    b = GraphBuilder("two", batch_size=8)
+    w = b.weight("w", 1 << 20)
+    x = b.input("x", 1 << 18)
+    with b.layer("fwd"):
+        act = b.tensor("act", 1 << 18)
+        tmp = b.temp("tmp", 128)
+        b.op("mm", flops=1e9, reads=[x, w], writes=[act, tmp])
+    with b.layer("bwd", Phase.BACKWARD):
+        grad = b.tensor("grad", 1 << 20, TensorKind.GRADIENT)
+        b.op("mm_bwd", flops=2e9, reads=[act], writes=[grad])
+        b.op("apply", flops=1e6, reads=[grad], writes=[w])
+    return b.finish()
+
+
+class FastOnly(PlacementPolicy):
+    name = "fast-only-test"
+
+    def place(self, tensor, now):
+        return DeviceKind.FAST
+
+
+def run_once(policy=None, graph=None):
+    graph = graph if graph is not None else two_layer_graph()
+    machine = Machine(OPTANE_HM)
+    executor = Executor(graph, machine, policy or PlacementPolicy())
+    return executor, machine, executor.run_step()
+
+
+class TestTiming:
+    def test_roofline_per_op(self):
+        """Step duration equals the sum of per-op max(compute, memory)."""
+        _, machine, result = run_once()
+        assert result.duration == pytest.approx(result.end_time - result.start_time)
+        assert result.duration >= max(result.compute_time, 0)
+        # With everything on slow, memory should dominate at least one op.
+        assert result.mem_time > 0
+
+    def test_fast_placement_is_faster(self):
+        _, _, slow_result = run_once(PlacementPolicy())
+        _, _, fast_result = run_once(FastOnly())
+        assert fast_result.duration < slow_result.duration
+
+    def test_steps_are_deterministic(self):
+        _, _, a = run_once()
+        _, _, b = run_once()
+        assert a.duration == b.duration
+        assert a.mem_time == b.mem_time
+
+    def test_steady_state_across_steps(self):
+        graph = two_layer_graph()
+        machine = Machine(OPTANE_HM)
+        executor = Executor(graph, machine, PlacementPolicy())
+        results = executor.run_steps(3)
+        assert results[1].duration == pytest.approx(results[2].duration)
+
+
+class TestLifecycle:
+    def test_preallocated_mapped_before_first_step(self):
+        graph = two_layer_graph()
+        machine = Machine(OPTANE_HM)
+        executor = Executor(graph, machine, PlacementPolicy())
+        assert executor.allocator.mapping(graph.tensor("w")) is not None
+        assert executor.allocator.mapping(graph.tensor("x")) is not None
+
+    def test_step_tensors_freed_after_step(self):
+        graph = two_layer_graph()
+        machine = Machine(OPTANE_HM)
+        executor = Executor(graph, machine, PlacementPolicy())
+        executor.run_step()
+        assert executor.allocator.mapping(graph.tensor("act")) is None
+        assert executor.allocator.mapping(graph.tensor("grad")) is None
+
+    def test_memory_returns_to_baseline_between_steps(self):
+        graph = two_layer_graph()
+        machine = Machine(OPTANE_HM)
+        executor = Executor(graph, machine, PlacementPolicy())
+        executor.run_step()
+        baseline = machine.slow.used
+        executor.run_step()
+        assert machine.slow.used == baseline
+
+    def test_peak_usage_recorded(self):
+        _, machine, result = run_once()
+        assert result.peak_slow > 0
+        assert result.peak_slow >= machine.slow.used
+
+    def test_run_steps_validates_count(self):
+        graph = two_layer_graph()
+        executor = Executor(graph, Machine(OPTANE_HM), PlacementPolicy())
+        with pytest.raises(ValueError):
+            executor.run_steps(0)
+
+
+class TestObservers:
+    def test_observer_sees_full_lifecycle(self):
+        events = []
+
+        class Recorder(StepObserver):
+            def on_step_start(self, step, now):
+                events.append(("step_start", step))
+
+            def on_tensor_allocated(self, tensor, mapping, now):
+                events.append(("alloc", tensor.name))
+
+            def on_tensor_freed(self, tensor, mapping, now):
+                events.append(("free", tensor.name))
+
+            def on_layer_end(self, layer, now):
+                events.append(("layer_end", layer.index))
+
+            def on_step_end(self, step, result):
+                events.append(("step_end", step))
+
+        graph = two_layer_graph()
+        machine = Machine(OPTANE_HM)
+        executor = Executor(
+            graph, machine, PlacementPolicy(), observers=[Recorder()]
+        )
+        executor.run_step()
+        assert ("alloc", "w") in events  # preallocation observed
+        assert ("alloc", "act") in events
+        assert ("free", "act") in events
+        assert events.index(("free", "act")) < events.index(("layer_end", 1))
+        assert events[-1] == ("step_end", 0)
+
+    def test_layer_spans_cover_step(self):
+        _, _, result = run_once()
+        assert [span[0] for span in result.layer_spans] == [0, 1]
+        assert result.layer_spans[0][1] == result.start_time
+        assert result.layer_spans[-1][2] == pytest.approx(result.end_time)
+
+
+class TestStallAccounting:
+    def test_policy_layer_stall_charged(self):
+        class Staller(PlacementPolicy):
+            def on_layer_start(self, layer, now):
+                return 0.25
+
+        _, _, plain = run_once()
+        _, _, stalled = run_once(Staller())
+        assert stalled.stall_time == pytest.approx(0.5)  # two layers
+        assert stalled.duration == pytest.approx(plain.duration + 0.5)
+
+    def test_negative_stall_rejected(self):
+        class Bad(PlacementPolicy):
+            def on_layer_start(self, layer, now):
+                return -1.0
+
+        from repro.dnn.executor import ExecutionError
+
+        graph = two_layer_graph()
+        executor = Executor(graph, Machine(OPTANE_HM), Bad())
+        with pytest.raises(ExecutionError):
+            executor.run_step()

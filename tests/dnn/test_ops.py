@@ -1,0 +1,58 @@
+"""Op and TensorAccess validation and accounting."""
+
+import pytest
+
+from repro.dnn.ops import Op, TensorAccess
+from repro.dnn.tensor import Tensor, TensorKind
+
+
+def tensor(nbytes=1000):
+    return Tensor(tid=0, name="t", nbytes=nbytes, kind=TensorKind.ACTIVATION)
+
+
+class TestTensorAccess:
+    def test_validation(self):
+        t = tensor()
+        with pytest.raises(ValueError):
+            TensorAccess(t, 0, False)
+        with pytest.raises(ValueError):
+            TensorAccess(t, 1001, False)  # larger than the tensor
+        with pytest.raises(ValueError):
+            TensorAccess(t, 10, False, passes=0)
+
+    def test_total_bytes(self):
+        access = TensorAccess(tensor(), 100, False, passes=4)
+        assert access.total_bytes == 400
+
+
+class TestOp:
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            Op("f", flops=-1.0)
+
+    def test_byte_accounting(self):
+        t = tensor()
+        op = Op(
+            "f",
+            flops=1.0,
+            accesses=[
+                TensorAccess(t, 100, is_write=False, passes=2),
+                TensorAccess(t, 50, is_write=True),
+            ],
+        )
+        assert op.bytes_read == 200
+        assert op.bytes_written == 50
+
+    def test_tensors_unique_in_order(self):
+        a = tensor()
+        b = Tensor(tid=1, name="b", nbytes=10, kind=TensorKind.TEMP)
+        op = Op(
+            "f",
+            flops=1.0,
+            accesses=[
+                TensorAccess(a, 10, False),
+                TensorAccess(b, 10, False),
+                TensorAccess(a, 10, True),
+            ],
+        )
+        assert [t.tid for t in op.tensors()] == [0, 1]

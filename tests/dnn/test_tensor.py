@@ -1,0 +1,59 @@
+"""Tensor semantics: lifetime, shortness, identity."""
+
+import pytest
+
+from repro.dnn.tensor import PRE_STEP, Tensor, TensorKind
+
+
+def make(nbytes=1024, alloc=2, free=5, preallocated=False):
+    tensor = Tensor(
+        tid=1,
+        name="t",
+        nbytes=nbytes,
+        kind=TensorKind.ACTIVATION,
+        preallocated=preallocated,
+    )
+    if preallocated:
+        tensor.alloc_layer = PRE_STEP
+        tensor.free_layer = None
+    else:
+        tensor.alloc_layer = alloc
+        tensor.free_layer = free
+    return tensor
+
+
+class TestTensor:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Tensor(tid=0, name="x", nbytes=0, kind=TensorKind.TEMP)
+
+    def test_lifetime_layers(self):
+        assert make(alloc=2, free=5).lifetime_layers == 4
+        assert make(alloc=3, free=3).lifetime_layers == 1
+
+    def test_preallocated_has_no_lifetime(self):
+        assert make(preallocated=True).lifetime_layers is None
+
+    def test_short_lived_definition(self):
+        """The paper's definition: alive no longer than one layer."""
+        assert make(alloc=3, free=3).short_lived
+        assert not make(alloc=3, free=4).short_lived
+        assert not make(preallocated=True).short_lived
+
+    def test_is_small(self):
+        assert make(nbytes=4095).is_small(4096)
+        assert not make(nbytes=4096).is_small(4096)
+
+    def test_touch_accounting(self):
+        tensor = make()
+        tensor.layer_touches = {2: 3, 5: 1}
+        assert tensor.total_touches == 4
+        assert tensor.access_layers() == (2, 5)
+
+    def test_identity_by_tid(self):
+        a = make()
+        b = make()
+        assert a == b  # same tid
+        assert hash(a) == hash(b)
+        b2 = Tensor(tid=2, name="t", nbytes=10, kind=TensorKind.TEMP)
+        assert a != b2

@@ -1,0 +1,89 @@
+"""CLI: argument parsing and command execution."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "alexnet", "sentinel"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "lstm", "magic"])
+
+    def test_platform_choices(self):
+        args = build_parser().parse_args(["run", "lstm", "sentinel", "--platform", "gpu"])
+        from repro.mem.platforms import GPU_HM
+
+        assert args.platform is GPU_HM
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "lstm", "sentinel", "--platform", "tpu"])
+
+    def test_every_experiment_id_maps_to_a_function(self):
+        from repro.harness import experiments
+
+        for function_name in EXPERIMENTS.values():
+            assert hasattr(experiments, function_name)
+
+
+class TestCommands:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("resnet32", "bert-large", "lstm", "dcgan"):
+            assert name in out
+
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "lstm", "slow-only", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "step time (s)" in out
+        assert "lstm / slow-only" in out
+
+    def test_run_sentinel_shows_extras(self, capsys):
+        assert main(
+            ["run", "lstm", "sentinel", "--batch", "16", "--fast-fraction", "0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "extras.interval_length" in out
+
+    def test_profile_lists_hot_tensors(self, capsys):
+        assert main(["profile", "dcgan", "--batch", "16", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest tensors" in out
+        assert "lower bound" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "lstm", "--batch", "16", "--fractions", "0.3", "0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "vs fast-only" in out
+        assert "30%" in out
+
+    def test_grid_renders_matrix(self, capsys):
+        assert main(
+            ["grid", "--models", "lstm", "--policies", "slow-only", "sentinel",
+             "--fast-fraction", "0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep: step_time" in out
+        assert "lstm" in out
+
+    def test_features_prints_table1(self, capsys):
+        assert main(["features"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "sentinel-gpu" in out
+
+    def test_compare_handles_unsupported_models(self, capsys):
+        assert main(
+            ["compare", "lstm", "--batch", "8", "--platform", "gpu"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vdnn" in out
+        assert "x" in out  # vDNN cannot run the LSTM

@@ -1,0 +1,90 @@
+"""Report rendering."""
+
+import pytest
+
+from repro.harness.report import format_bars, format_series, format_table, gib, jsonable, mib
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ("model", "speedup"),
+            [("resnet32", 2.214), ("lstm", 1.0)],
+            title="Figure 7",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 7"
+        assert "model" in lines[1] and "speedup" in lines[1]
+        assert "2.214" in text
+        # All rows align to the same column positions.
+        assert lines[3].index("|") == lines[4].index("|")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.123456789,)])
+        assert "0.1235" in text
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series("fig5", [(1, 0.5), (2, 0.25)], unit="s")
+        assert "fig5 (s):" in text
+        assert "-> 0.5" in text
+
+
+class TestFormatBars:
+    def test_bars_scale_to_peak(self):
+        text = format_bars("f", [("a", 1.0), ("b", 0.5)], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_empty_series(self):
+        assert "(no data)" in format_bars("f", [])
+
+    def test_zero_peak(self):
+        text = format_bars("f", [("a", 0.0)])
+        assert "# " not in text
+
+
+class TestJsonable:
+    def test_dataclass_and_tuple_conversion(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: float
+
+        out = jsonable({"p": Point(1, 2.0), "t": (1, 2), 3: None})
+        assert out == {"p": {"x": 1, "y": 2.0}, "t": [1, 2], "3": None}
+
+    def test_exotic_objects_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert jsonable(Weird()) == "<weird>"
+
+    def test_roundtrips_through_json(self):
+        import json
+
+        from repro.harness.runner import RunMetrics
+
+        metrics = RunMetrics(
+            model="m", policy="p", batch_size=1, fast_capacity=2,
+            step_time=0.5, throughput=2.0, compute_time=0.1, mem_time=0.2,
+            stall_time=0.0, fault_time=0.0, promoted_bytes=0, demoted_bytes=0,
+            bytes_fast=0, bytes_slow=0, peak_fast=0, peak_slow=0,
+        )
+        text = json.dumps(jsonable({"metrics": metrics}))
+        assert json.loads(text)["metrics"]["step_time"] == 0.5
+
+
+class TestUnits:
+    def test_conversions(self):
+        assert mib(1024**2) == 1.0
+        assert gib(1024**3) == 1.0

@@ -1,0 +1,66 @@
+"""Sweep utility: grids, failure tolerance, queries."""
+
+import pytest
+
+from repro.harness.sweeps import SweepPoint, sweep
+from repro.mem.platforms import GPU_HM
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return sweep(
+            policies=("slow-only", "sentinel", "ial"),
+            models=("dcgan", "lstm"),
+            fast_fractions=(0.25,),
+            batch_sizes={"dcgan": 32, "lstm": 32},
+        )
+
+    def test_grid_covers_product(self, grid):
+        # slow-only contributes one point per model; the rest one per
+        # (model, fraction).
+        assert len(grid) == 2 * 3
+        assert all(isinstance(p, SweepPoint) for p in grid)
+
+    def test_all_points_succeeded(self, grid):
+        assert all(p.ok for p in grid)
+
+    def test_where_filters(self, grid):
+        sentinel_points = grid.where(policy="sentinel")
+        assert len(sentinel_points) == 2
+        assert {p.model for p in sentinel_points} == {"dcgan", "lstm"}
+
+    def test_best_policy(self, grid):
+        best = grid.best_policy("dcgan")
+        assert best in ("sentinel", "ial")
+
+    def test_to_table_renders_matrix(self, grid):
+        text = grid.to_table()
+        assert "dcgan" in text and "lstm" in text
+        assert "sentinel" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep(policies=(), models=("lstm",))
+
+    def test_unsupported_points_recorded_not_raised(self):
+        grid = sweep(
+            policies=("vdnn",),
+            models=("lstm",),
+            batch_sizes={"lstm": 16},
+            platform=GPU_HM,
+        )
+        point = grid.points[0]
+        assert not point.ok
+        assert point.failure == "unsupported"
+        assert "unsupported" in grid.to_table()
+
+    def test_best_policy_requires_a_success(self):
+        grid = sweep(
+            policies=("vdnn",),
+            models=("lstm",),
+            batch_sizes={"lstm": 16},
+            platform=GPU_HM,
+        )
+        with pytest.raises(ValueError):
+            grid.best_policy("lstm")

@@ -1,0 +1,93 @@
+"""Fuzzing: every policy must survive arbitrary valid workloads.
+
+The synthetic generator produces graphs no code path was tuned on; any
+crash, accounting violation, or non-determinism here is a real bug in the
+substrate or a policy.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.registry import GPU_ONLY, POLICIES, make_policy
+from repro.core import DynamicProfiler, SentinelConfig
+from repro.dnn.executor import Executor
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+from repro.models.synthetic import random_graph
+
+CPU_POLICIES = sorted(name for name in POLICIES if name not in GPU_ONLY)
+
+FUZZ_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestGenerator:
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_graphs_are_valid_and_deterministic(self, seed):
+        graph = random_graph(seed)
+        again = random_graph(seed)
+        assert graph.signature() == again.signature()
+        assert graph.num_layers >= 5
+        assert graph.peak_memory_bytes() > 0
+        # Builder invariants held: every step tensor has a lifetime window.
+        for tensor in graph.step_tensors():
+            assert tensor.free_layer is not None
+            assert tensor.alloc_layer <= tensor.free_layer
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_profiler_matches_ground_truth_on_random_graphs(self, seed):
+        graph = random_graph(seed, max_layers=10, max_tensor_bytes=1 << 22)
+        profile = DynamicProfiler(OPTANE_HM).run(graph).profile
+        for tensor in graph.tensors:
+            assert profile.tensors[tensor.tid].touches_by_layer == tensor.layer_touches
+
+
+class TestPolicyFuzz:
+    @pytest.mark.parametrize("policy_name", CPU_POLICIES)
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    @FUZZ_SETTINGS
+    def test_cpu_policies_survive_random_workloads(self, policy_name, seed):
+        graph = random_graph(seed, max_layers=10, max_tensor_bytes=1 << 22)
+        fraction = None if policy_name in ("slow-only", "fast-only") else 0.3
+        capacity = None
+        if fraction is not None:
+            capacity = max(
+                OPTANE_HM.page_size * 128, int(graph.peak_memory_bytes() * fraction)
+            )
+        machine = Machine.for_platform(OPTANE_HM, fast_capacity=capacity)
+        policy = make_policy(
+            policy_name, sentinel_config=SentinelConfig(warmup_steps=1)
+        )
+        executor = Executor(graph, machine, policy)
+        results = executor.run_steps(3)
+
+        machine.migration.sync(float("inf"))
+        assert 0 <= machine.fast.used <= machine.fast.capacity
+        assert machine.page_table.bytes_on(DeviceKind.FAST) == machine.fast.used
+        assert machine.page_table.bytes_on(DeviceKind.SLOW) == machine.slow.used
+        assert all(r.duration > 0 for r in results)
+
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    @FUZZ_SETTINGS
+    def test_sentinel_deterministic_on_random_workloads(self, seed):
+        def run():
+            graph = random_graph(seed, max_layers=8, max_tensor_bytes=1 << 21)
+            machine = Machine.for_platform(
+                OPTANE_HM,
+                fast_capacity=max(
+                    OPTANE_HM.page_size * 128,
+                    int(graph.peak_memory_bytes() * 0.3),
+                ),
+            )
+            policy = make_policy(
+                "sentinel", sentinel_config=SentinelConfig(warmup_steps=1)
+            )
+            return [r.duration for r in Executor(graph, machine, policy).run_steps(4)]
+
+        assert run() == run()

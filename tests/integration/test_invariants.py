@@ -1,0 +1,118 @@
+"""Cross-policy machine invariants, property-tested.
+
+Whatever a policy decides, the simulated machine must stay physical:
+capacity never oversubscribed, every byte accounted, migrations conserved,
+clocks monotone.  These run each policy on small workloads under hypothesis
+control and check the substrate afterwards.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.registry import CPU_ONLY, GPU_ONLY, POLICIES, make_policy
+from repro.core.runtime import SentinelConfig
+from repro.dnn.executor import Executor
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import GPU_HM, OPTANE_HM
+from repro.models import build_model
+
+CPU_POLICIES = sorted(name for name in POLICIES if name not in GPU_ONLY)
+GPU_POLICIES = sorted(
+    name
+    for name in POLICIES
+    # vDNN rejects some models; the bounds cannot fit an oversubscribed
+    # workload by construction (that OOM is their own test's subject).
+    if name not in CPU_ONLY and name not in ("vdnn", "fast-only", "slow-only")
+)
+
+
+def run_steps(policy_name, platform, fast_capacity, steps=3, model="dcgan", batch=32):
+    graph = build_model(model, batch_size=batch)
+    machine = Machine.for_platform(platform, fast_capacity=fast_capacity)
+    policy = make_policy(policy_name, sentinel_config=SentinelConfig(warmup_steps=1))
+    executor = Executor(graph, machine, policy)
+    results = executor.run_steps(steps)
+    return graph, machine, results
+
+
+def assert_machine_invariants(machine):
+    machine.migration.sync(float("inf"))
+    # Capacity is never exceeded and never negative.
+    assert 0 <= machine.fast.used <= machine.fast.capacity
+    assert 0 <= machine.slow.used <= machine.slow.capacity
+    # Every mapped run's committed bytes are charged to exactly one device.
+    page = machine.page_size
+    mapped_fast = machine.page_table.bytes_on(DeviceKind.FAST)
+    mapped_slow = machine.page_table.bytes_on(DeviceKind.SLOW)
+    assert mapped_fast == machine.fast.used
+    assert mapped_slow == machine.slow.used
+
+
+class TestCPUInvariants:
+    @pytest.mark.parametrize("policy", CPU_POLICIES)
+    def test_capacity_and_accounting(self, policy):
+        fraction = None if policy in ("slow-only", "fast-only") else 0.25
+        graph = build_model("dcgan", batch_size=32)
+        capacity = (
+            None if fraction is None else int(graph.peak_memory_bytes() * fraction)
+        )
+        _, machine, results = run_steps(policy, OPTANE_HM, capacity)
+        assert_machine_invariants(machine)
+        for result in results:
+            assert result.duration > 0
+            assert result.compute_time >= 0
+            assert result.stall_time >= 0
+            assert result.end_time >= result.start_time
+
+    @pytest.mark.parametrize("policy", CPU_POLICIES)
+    def test_time_never_flows_backwards(self, policy):
+        fraction = None if policy in ("slow-only", "fast-only") else 0.25
+        graph = build_model("dcgan", batch_size=32)
+        capacity = (
+            None if fraction is None else int(graph.peak_memory_bytes() * fraction)
+        )
+        _, _, results = run_steps(policy, OPTANE_HM, capacity)
+        for earlier, later in zip(results, results[1:]):
+            assert later.start_time >= earlier.end_time - 1e-9
+
+
+class TestGPUInvariants:
+    @pytest.mark.parametrize("policy", GPU_POLICIES)
+    def test_capacity_and_accounting(self, policy):
+        _, machine, results = run_steps(
+            policy, GPU_HM, fast_capacity=2 * 1024**3, batch=256
+        )
+        assert_machine_invariants(machine)
+
+    @pytest.mark.parametrize("policy", GPU_POLICIES)
+    def test_no_resident_violations_at_step_end(self, policy):
+        """All in-flight migrations resolve and capacity stays physical."""
+        _, machine, _ = run_steps(policy, GPU_HM, fast_capacity=2 * 1024**3, batch=256)
+        machine.migration.sync(float("inf"))
+        assert machine.migration.in_flight_bytes(float("inf")) == 0
+
+
+class TestSentinelPropertySweep:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        fraction=st.floats(min_value=0.15, max_value=0.9),
+        batch=st.sampled_from([16, 32, 64]),
+    )
+    def test_sentinel_invariants_across_operating_points(self, fraction, batch):
+        graph = build_model("dcgan", batch_size=batch)
+        capacity = max(
+            OPTANE_HM.page_size * 256, int(graph.peak_memory_bytes() * fraction)
+        )
+        _, machine, results = run_steps(
+            "sentinel", OPTANE_HM, capacity, steps=4, batch=batch
+        )
+        assert_machine_invariants(machine)
+        # Steady state: the last two managed steps take the same time.
+        assert results[-1].duration == pytest.approx(
+            results[-2].duration, rel=0.35
+        )

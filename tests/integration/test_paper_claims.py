@@ -1,0 +1,122 @@
+"""End-to-end checks of the paper's headline claims (shapes, not numbers).
+
+These are the acceptance tests of the reproduction: each asserts a
+qualitative relationship the paper reports, with generous margins because
+our substrate is a simulator, not the authors' testbed.
+"""
+
+import pytest
+
+from repro.harness.runner import run_policy
+from repro.mem.platforms import GPU_HM, OPTANE_HM
+
+
+@pytest.fixture(scope="module")
+def cpu_results():
+    """ResNet-32 at 20%-of-peak fast memory across all CPU policies."""
+    out = {}
+    for policy in ("slow-only", "fast-only", "first-touch", "memory-mode", "ial", "autotm", "sentinel"):
+        fraction = None if policy in ("slow-only", "fast-only") else 0.2
+        out[policy] = run_policy(
+            policy, model="resnet32", batch_size=256, fast_fraction=fraction
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def gpu_results():
+    """ResNet-200 at ~1.4x device memory across all GPU policies."""
+    out = {}
+    for policy in ("unified-memory", "autotm", "swapadvisor", "capuchin", "sentinel-gpu"):
+        out[policy] = run_policy(
+            policy, model="resnet200", batch_size=48, platform=GPU_HM
+        )
+    return out
+
+
+class TestOptanePlatform:
+    def test_slow_only_is_several_times_slower_than_fast_only(self, cpu_results):
+        ratio = cpu_results["slow-only"].step_time / cpu_results["fast-only"].step_time
+        assert 2.0 < ratio < 10.0
+
+    def test_sentinel_close_to_fast_only_at_20_percent(self, cpu_results):
+        """Headline claim: ~9% average gap at a 5x fast-memory reduction;
+        we accept up to 60% for a single model on a simulator."""
+        gap = cpu_results["sentinel"].step_time / cpu_results["fast-only"].step_time
+        assert gap < 1.6
+
+    def test_sentinel_beats_every_cpu_baseline(self, cpu_results):
+        sentinel = cpu_results["sentinel"].step_time
+        for baseline in ("slow-only", "first-touch", "memory-mode", "ial", "autotm"):
+            assert sentinel < cpu_results[baseline].step_time, baseline
+
+    def test_sentinel_beats_first_touch_substantially(self, cpu_results):
+        """Paper: +70% over first-touch NUMA."""
+        ratio = cpu_results["first-touch"].step_time / cpu_results["sentinel"].step_time
+        assert ratio > 1.3
+
+    def test_sentinel_migrates_more_than_autotm_but_hides_it(self, cpu_results):
+        """Table IV's counterintuitive point: Sentinel moves plenty of data
+        yet stays fastest because migration overlaps compute."""
+        assert cpu_results["sentinel"].migrated_bytes > 0
+        assert cpu_results["autotm"].stall_time > cpu_results["sentinel"].stall_time
+
+    def test_sentinel_uses_fast_memory_bandwidth_more_than_ial(self, cpu_results):
+        """Figure 9: Sentinel serves far more traffic from DRAM than IAL."""
+        assert cpu_results["sentinel"].bytes_fast > cpu_results["ial"].bytes_fast
+
+    def test_profiling_overhead_is_amortizable(self, cpu_results):
+        """<1% over a realistic training run (paper §VII-B)."""
+        metrics = cpu_results["sentinel"]
+        slowdown = metrics.extras["profiling_step_time"] / metrics.step_time
+        overhead_steps = metrics.extras["profiling_steps"] + metrics.extras["trial_steps"]
+        total_steps = 100_000  # a short real training job
+        overhead = overhead_steps * (slowdown - 1.0) / total_steps
+        assert overhead < 0.01
+
+    def test_memory_overhead_small(self, cpu_results):
+        assert cpu_results["sentinel"].extras["memory_overhead"] < 0.03
+
+
+class TestGPUPlatform:
+    def test_unified_memory_is_the_floor(self, gpu_results):
+        um = gpu_results["unified-memory"].step_time
+        for policy in ("autotm", "swapadvisor", "capuchin", "sentinel-gpu"):
+            assert gpu_results[policy].step_time < um, policy
+
+    def test_sentinel_gpu_is_the_ceiling(self, gpu_results):
+        sentinel = gpu_results["sentinel-gpu"].step_time
+        for policy in ("unified-memory", "autotm", "swapadvisor", "capuchin"):
+            assert sentinel < gpu_results[policy].step_time, policy
+
+    def test_sentinel_beats_capuchin_modestly(self, gpu_results):
+        """Paper: 16% average (up to 21%); allow a wide band."""
+        ratio = gpu_results["capuchin"].step_time / gpu_results["sentinel-gpu"].step_time
+        assert 1.0 < ratio < 3.0
+
+    def test_capuchin_pays_recompute_sentinel_does_not(self, gpu_results):
+        assert gpu_results["capuchin"].extras.get("recompute_time", 0) > 0
+        assert gpu_results["sentinel-gpu"].extras.get("recompute_time", 0) == 0
+
+    def test_oversubscription_actually_happened(self, gpu_results):
+        for metrics in gpu_results.values():
+            assert metrics.migrated_bytes > 0 or metrics.policy == "unified-memory"
+
+
+class TestSensitivityShape:
+    def test_more_fast_memory_never_hurts(self):
+        times = []
+        for fraction in (0.2, 0.4, 0.6):
+            metrics = run_policy(
+                "sentinel", model="resnet32", batch_size=128, fast_fraction=fraction
+            )
+            times.append(metrics.step_time)
+        assert times[0] >= times[1] >= times[2] * 0.98
+
+    def test_parity_reached_by_60_percent(self):
+        """Figure 10: no performance loss at 60% of peak."""
+        fast = run_policy("fast-only", model="resnet32", batch_size=128)
+        sentinel = run_policy(
+            "sentinel", model="resnet32", batch_size=128, fast_fraction=0.6
+        )
+        assert sentinel.step_time <= fast.step_time * 1.15

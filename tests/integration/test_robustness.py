@@ -1,0 +1,118 @@
+"""Failure injection and degenerate configurations.
+
+A production runtime must fail loudly on misuse and stay consistent when a
+component errors mid-step.  These tests poke the seams: policies that raise,
+machines too small to hold anything, graphs at the edge of validity.
+"""
+
+import pytest
+
+from repro.baselines.registry import make_policy
+from repro.core.runtime import SentinelConfig, SentinelPolicy
+from repro.dnn.executor import ExecutionError, Executor
+from repro.dnn.graph import GraphBuilder
+from repro.dnn.policy import PlacementPolicy, ResidencyError
+from repro.mem.devices import DeviceFullError, DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import GPU_HM, OPTANE_HM
+from repro.models import build_model
+
+
+class TestPolicyFailures:
+    def test_policy_exception_mid_step_leaves_machine_consistent(self):
+        class Exploder(PlacementPolicy):
+            def __init__(self):
+                super().__init__()
+                self.accesses = 0
+
+            def charge_access(self, tensor, mapping, access, now):
+                self.accesses += 1
+                if self.accesses == 20:
+                    raise RuntimeError("injected failure")
+                return super().charge_access(tensor, mapping, access, now)
+
+        graph = build_model("dcgan", batch_size=8)
+        machine = Machine(OPTANE_HM)
+        executor = Executor(graph, machine, Exploder())
+        with pytest.raises(RuntimeError, match="injected failure"):
+            executor.run_step()
+        # The machine's books still balance: no negative usage, every
+        # mapped run charged to its device.
+        assert 0 <= machine.slow.used <= machine.slow.capacity
+        assert machine.page_table.bytes_on(DeviceKind.SLOW) == machine.slow.used
+
+    def test_policy_placing_into_full_fast_raises_cleanly(self):
+        class BadPlacer(PlacementPolicy):
+            def place(self, tensor, now):
+                return DeviceKind.FAST  # regardless of capacity
+
+        graph = build_model("dcgan", batch_size=64)
+        machine = Machine.for_platform(OPTANE_HM, fast_capacity=1 << 20)
+        with pytest.raises(DeviceFullError):
+            Executor(graph, machine, BadPlacer()).run_step()
+
+
+class TestDegenerateMachines:
+    def test_sentinel_survives_fast_memory_of_one_slab(self):
+        """Far below the §IV-E lower bound: degraded but correct."""
+        graph = build_model("dcgan", batch_size=8)
+        machine = Machine.for_platform(
+            OPTANE_HM, fast_capacity=OPTANE_HM.page_size * 64
+        )
+        policy = SentinelPolicy(SentinelConfig(warmup_steps=1))
+        executor = Executor(graph, machine, policy)
+        results = executor.run_steps(4)
+        assert all(r.duration > 0 for r in results)
+        assert machine.fast.used <= machine.fast.capacity
+
+    def test_gpu_policy_without_room_for_largest_tensor_oom(self):
+        """Residency platforms cannot run below the largest working tensor."""
+        graph = build_model("dcgan", batch_size=256)
+        largest = max(t.nbytes for t in graph.tensors)
+        machine = Machine.for_platform(GPU_HM, fast_capacity=max(4096, largest // 4))
+        policy = make_policy("unified-memory")
+        with pytest.raises((ResidencyError, DeviceFullError)):
+            Executor(graph, machine, policy).run_steps(2)
+
+    def test_sentinel_with_zero_warmup(self):
+        graph = build_model("dcgan", batch_size=8)
+        machine = Machine(OPTANE_HM)
+        policy = SentinelPolicy(SentinelConfig(warmup_steps=0))
+        executor = Executor(graph, machine, policy)
+        executor.run_steps(2)
+        assert policy.profile is not None  # step 0 was the profiling step
+
+
+class TestGraphEdgeCases:
+    def test_single_layer_graph(self):
+        builder = GraphBuilder("one", batch_size=1)
+        weight = builder.weight("w", 4096)
+        with builder.layer("only"):
+            out = builder.tensor("out", 4096)
+            builder.op("f", flops=1e6, reads=[weight], writes=[out])
+        graph = builder.finish()
+        machine = Machine(OPTANE_HM)
+        policy = SentinelPolicy(SentinelConfig(warmup_steps=0))
+        results = Executor(graph, machine, policy).run_steps(3)
+        assert all(r.duration > 0 for r in results)
+
+    def test_graph_with_only_preallocated_tensors(self):
+        builder = GraphBuilder("weights-only", batch_size=1)
+        weight = builder.weight("w", 8192)
+        with builder.layer("touch"):
+            builder.op("f", flops=1e3, reads=[weight], writes=[weight])
+        graph = builder.finish()
+        results = Executor(graph, Machine(OPTANE_HM), PlacementPolicy()).run_steps(2)
+        assert results[0].bytes_slow > 0
+
+    def test_unallocated_access_is_execution_error(self):
+        """A tensor accessed before its alloc layer cannot happen via the
+        builder; simulate the executor-level guard directly."""
+        graph = build_model("dcgan", batch_size=8)
+        machine = Machine(OPTANE_HM)
+        executor = Executor(graph, machine, PlacementPolicy())
+        # Remove a mapping behind the executor's back mid-flight.
+        tensor = graph.preallocated()[0]
+        executor.allocator.free(tensor, now=0.0)
+        with pytest.raises(ExecutionError):
+            executor.run_step()

@@ -1,0 +1,89 @@
+"""DRAM cache (Optane Memory Mode) model."""
+
+import pytest
+
+from repro.mem.cache import DRAMCache
+from repro.mem.devices import DeviceKind, DeviceSpec, MemoryDevice
+
+
+def make_cache(fast_capacity=1 << 20, fill_bw=0.0, writeback_bw=0.0):
+    fast = MemoryDevice(
+        DeviceSpec("dram", fast_capacity, 1e9, 1e9), DeviceKind.FAST
+    )
+    slow = MemoryDevice(
+        DeviceSpec("pmm", 1 << 30, 1e8, 5e7), DeviceKind.SLOW
+    )
+    return DRAMCache(
+        fast,
+        slow,
+        page_size=4096,
+        fill_bandwidth=fill_bw,
+        writeback_bandwidth=writeback_bw,
+    )
+
+
+class TestDRAMCache:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        miss_cost = cache.access(run_id=1, run_bytes=4096, touched_bytes=4096, is_write=False)
+        hit_cost = cache.access(run_id=1, run_bytes=4096, touched_bytes=4096, is_write=False)
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert miss_cost > hit_cost
+
+    def test_capacity_eviction_is_lru(self):
+        cache = make_cache(fast_capacity=8192)  # effective capacity 6144
+        cache.access(1, 4096, 4096, is_write=False)
+        cache.access(2, 4096, 4096, is_write=False)  # evicts 1
+        assert not cache.resident(1)
+        assert cache.resident(2)
+
+    def test_dirty_eviction_charges_writeback(self):
+        cache = make_cache(fast_capacity=8192)
+        cache.access(1, 4096, 4096, is_write=True)
+        cost_clean_fill = make_cache(fast_capacity=8192).access(
+            2, 4096, 4096, is_write=False
+        )
+        cost_with_writeback = cache.access(2, 4096, 4096, is_write=False)
+        assert cost_with_writeback > cost_clean_fill
+        assert cache.writeback_bytes == 4096
+
+    def test_uncacheable_run_served_from_slow(self):
+        cache = make_cache(fast_capacity=8192)
+        big = 1 << 20
+        cost = cache.access(1, big, big, is_write=False)
+        assert not cache.resident(1)
+        assert cost == pytest.approx(cache.slow.access_time(big, is_write=False))
+
+    def test_invalidate_frees_space(self):
+        cache = make_cache(fast_capacity=8192)
+        cache.access(1, 4096, 4096, is_write=True)
+        cache.invalidate(1)
+        assert not cache.resident(1)
+        assert cache.used == 0
+
+    def test_fill_bandwidth_override(self):
+        slow_fill = make_cache().access(1, 4096, 4096, is_write=False)
+        fast_fill = make_cache(fill_bw=1e9).access(1, 4096, 4096, is_write=False)
+        assert fast_fill < slow_fill
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        assert cache.hit_rate == 0.0
+        cache.access(1, 4096, 4096, is_write=False)
+        cache.access(1, 4096, 4096, is_write=False)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_access_rejected(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.access(1, 0, 10, is_write=False)
+        with pytest.raises(ValueError):
+            cache.access(1, 4096, -1, is_write=False)
+
+    def test_dirty_bytes_capped_at_run_size(self):
+        cache = make_cache(fast_capacity=8192)
+        for _ in range(5):
+            cache.access(1, 4096, 4096, is_write=True)
+        cache.access(2, 4096, 4096, is_write=False)  # evicts 1
+        assert cache.writeback_bytes == 4096

@@ -1,0 +1,93 @@
+"""Energy model: arithmetic, specs, and policy-level consequences."""
+
+import pytest
+
+from repro.harness.runner import RunMetrics
+from repro.mem.energy import (
+    GPU_ENERGY,
+    OPTANE_ENERGY,
+    EnergyBreakdown,
+    EnergySpec,
+    estimate_step_energy,
+)
+
+
+def metrics_with(bytes_fast=0, bytes_slow=0, promoted=0, demoted=0, step_time=1.0):
+    return RunMetrics(
+        model="m",
+        policy="p",
+        batch_size=1,
+        fast_capacity=1,
+        step_time=step_time,
+        throughput=1.0,
+        compute_time=0.0,
+        mem_time=0.0,
+        stall_time=0.0,
+        fault_time=0.0,
+        promoted_bytes=promoted,
+        demoted_bytes=demoted,
+        bytes_fast=bytes_fast,
+        bytes_slow=bytes_slow,
+        peak_fast=0,
+        peak_slow=0,
+    )
+
+
+class TestSpec:
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergySpec(fast_read=-1, fast_write=0, slow_read=0, slow_write=0)
+
+    def test_migration_energy_composition(self):
+        spec = EnergySpec(fast_read=1, fast_write=2, slow_read=3, slow_write=4)
+        assert spec.promote_per_byte == 3 + 2
+        assert spec.demote_per_byte == 1 + 4
+
+    def test_presets_slow_costlier_than_fast(self):
+        for spec in (OPTANE_ENERGY, GPU_ENERGY):
+            assert spec.slow_read > spec.fast_read
+            assert spec.slow_write > spec.fast_write
+        # Optane's write asymmetry is the defining trait.
+        assert OPTANE_ENERGY.slow_write > 2 * OPTANE_ENERGY.slow_read
+
+
+class TestEstimate:
+    def test_access_energy_linear_in_traffic(self):
+        one = estimate_step_energy(metrics_with(bytes_fast=10**9), OPTANE_ENERGY)
+        two = estimate_step_energy(metrics_with(bytes_fast=2 * 10**9), OPTANE_ENERGY)
+        assert two.fast_access == pytest.approx(2 * one.fast_access)
+
+    def test_slow_traffic_costs_more_than_fast(self):
+        fast = estimate_step_energy(metrics_with(bytes_fast=10**9), OPTANE_ENERGY)
+        slow = estimate_step_energy(metrics_with(bytes_slow=10**9), OPTANE_ENERGY)
+        assert slow.slow_access > fast.fast_access
+
+    def test_static_scales_with_time(self):
+        short = estimate_step_energy(metrics_with(step_time=1.0), OPTANE_ENERGY)
+        long = estimate_step_energy(metrics_with(step_time=3.0), OPTANE_ENERGY)
+        assert long.static == pytest.approx(3 * short.static)
+
+    def test_breakdown_totals(self):
+        breakdown = EnergyBreakdown(
+            fast_access=1.0, slow_access=2.0, migration=3.0, static=4.0
+        )
+        assert breakdown.dynamic == 6.0
+        assert breakdown.total == 10.0
+
+
+class TestPolicyEnergy:
+    def test_sentinel_spends_less_dynamic_energy_than_slow_only(self):
+        """Serving the working set from DRAM is cheaper per byte; Sentinel's
+        migration surcharge must not eat the whole saving (the §IV-C
+        argument, measured)."""
+        from repro.harness.runner import run_policy
+
+        slow = run_policy("slow-only", model="dcgan", batch_size=64)
+        sentinel = run_policy(
+            "sentinel", model="dcgan", batch_size=64, fast_fraction=0.3
+        )
+        slow_energy = estimate_step_energy(slow, OPTANE_ENERGY)
+        sentinel_energy = estimate_step_energy(sentinel, OPTANE_ENERGY)
+        assert sentinel_energy.dynamic < slow_energy.dynamic
+        # And the faster step wins on static energy too.
+        assert sentinel_energy.total < slow_energy.total

@@ -1,0 +1,81 @@
+"""Machine assembly and composite operations."""
+
+import pytest
+
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import GPU_HM, OPTANE_HM, Platform
+
+
+class TestPlatforms:
+    def test_presets_are_sane(self):
+        for platform in (OPTANE_HM, GPU_HM):
+            assert platform.fast.read_bandwidth > platform.slow.read_bandwidth or (
+                platform is OPTANE_HM
+            )
+            assert platform.promote_bandwidth > 0
+            assert platform.page_size & (platform.page_size - 1) == 0
+
+    def test_optane_is_cpu_gpu_is_residency(self):
+        assert not OPTANE_HM.residency_required
+        assert GPU_HM.residency_required
+
+    def test_fast_slower_than_slow_ratio(self):
+        """The fast tier must actually be faster (the evaluation's premise)."""
+        assert OPTANE_HM.fast.read_bandwidth > 3 * OPTANE_HM.slow.read_bandwidth
+        assert GPU_HM.fast.read_bandwidth > 10 * GPU_HM.promote_bandwidth
+
+    def test_with_fast_capacity(self):
+        resized = OPTANE_HM.with_fast_capacity(123456789)
+        assert resized.fast.capacity == 123456789
+        assert resized.slow.capacity == OPTANE_HM.slow.capacity
+
+    def test_with_capacity_validation(self):
+        with pytest.raises(ValueError):
+            OPTANE_HM.with_fast_capacity(0)
+        with pytest.raises(ValueError):
+            OPTANE_HM.with_slow_capacity(-5)
+
+
+class TestMachine:
+    def test_for_platform_resizes_fast(self):
+        machine = Machine.for_platform(OPTANE_HM, fast_capacity=1 << 20)
+        assert machine.fast.capacity == 1 << 20
+
+    def test_map_run_charges_device(self):
+        machine = Machine.for_platform(OPTANE_HM, fast_capacity=1 << 20)
+        run = machine.map_run(4, DeviceKind.FAST)
+        assert machine.fast.used == 4 * machine.page_size
+        assert run.device is DeviceKind.FAST
+
+    def test_unmap_run_releases_and_flushes(self):
+        machine = Machine.for_platform(OPTANE_HM, fast_capacity=1 << 20)
+        run = machine.map_run(4, DeviceKind.FAST)
+        machine.tlb.lookup(run.vpn)
+        machine.unmap_run(run, now=0.0)
+        assert machine.fast.used == 0
+        assert run.vpn not in machine.page_table
+        assert run.vpn not in machine.tlb
+
+    def test_unmap_inflight_run_settles(self):
+        machine = Machine.for_platform(OPTANE_HM, fast_capacity=1 << 20)
+        run = machine.map_run(4, DeviceKind.SLOW)
+        machine.migration.promote([run], now=0.0)
+        machine.unmap_run(run, now=0.0)
+        assert machine.fast.used == 0
+        assert machine.slow.used == 0
+
+    def test_access_time_dispatch(self):
+        machine = Machine(OPTANE_HM)
+        fast_time = machine.access_time(DeviceKind.FAST, 1 << 20, is_write=False)
+        slow_time = machine.access_time(DeviceKind.SLOW, 1 << 20, is_write=False)
+        assert slow_time > fast_time
+
+    def test_dram_cache_lazy_and_memoized(self):
+        machine = Machine(OPTANE_HM)
+        assert machine.dram_cache is machine.dram_cache
+
+    def test_demand_channel_separate_from_prefetch(self):
+        machine = Machine(OPTANE_HM)
+        assert machine.demand_channel is not machine.promote_channel
+        assert machine.migration.demand_channel is machine.demand_channel

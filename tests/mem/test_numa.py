@@ -1,0 +1,55 @@
+"""First-touch NUMA placement."""
+
+import pytest
+
+from repro.mem.devices import DeviceFullError, DeviceKind, DeviceSpec, MemoryDevice
+from repro.mem.numa import FirstTouchPolicy
+
+
+PAGE = 4096
+
+
+def make_pair(fast_capacity=100 * PAGE, slow_capacity=1000 * PAGE):
+    fast = MemoryDevice(
+        DeviceSpec("fast", fast_capacity, 1e9, 1e9), DeviceKind.FAST
+    )
+    slow = MemoryDevice(
+        DeviceSpec("slow", slow_capacity, 1e8, 1e8), DeviceKind.SLOW
+    )
+    return fast, slow
+
+
+class TestFirstTouch:
+    def test_prefers_fast_while_it_fits(self):
+        fast, slow = make_pair()
+        policy = FirstTouchPolicy(fast, slow)
+        assert policy.choose(50 * PAGE) is DeviceKind.FAST
+
+    def test_spills_to_slow_when_fast_full(self):
+        fast, slow = make_pair(fast_capacity=100 * PAGE)
+        fast.allocate(90 * PAGE)
+        policy = FirstTouchPolicy(fast, slow)
+        assert policy.choose(20 * PAGE) is DeviceKind.SLOW
+        assert policy.spilled_pages == 1
+
+    def test_no_correction_after_spill(self):
+        """First-touch never migrates: once spilled, always slow for big
+        allocations, even after fast frees up — the *placement* decision is
+        per allocation, so freeing fast lets new pages in again."""
+        fast, slow = make_pair(fast_capacity=100 * PAGE)
+        fast.allocate(100 * PAGE)
+        policy = FirstTouchPolicy(fast, slow)
+        assert policy.choose(10 * PAGE) is DeviceKind.SLOW
+        fast.release(100 * PAGE)
+        assert policy.choose(10 * PAGE) is DeviceKind.FAST
+
+    def test_raises_when_neither_fits(self):
+        fast, slow = make_pair(fast_capacity=10 * PAGE, slow_capacity=10 * PAGE)
+        policy = FirstTouchPolicy(fast, slow)
+        with pytest.raises(DeviceFullError):
+            policy.choose(11 * PAGE)
+
+    def test_preferred_slow(self):
+        fast, slow = make_pair()
+        policy = FirstTouchPolicy(fast, slow, preferred=DeviceKind.SLOW)
+        assert policy.choose(10 * PAGE) is DeviceKind.SLOW

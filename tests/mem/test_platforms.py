@@ -1,0 +1,64 @@
+"""Platform presets: regime conditions the calibration doc promises."""
+
+import dataclasses
+
+import pytest
+
+from repro.mem.platforms import CXL_HM, GPU_A100_HM, GPU_HM, OPTANE_HM, Platform
+
+ALL_PLATFORMS = (OPTANE_HM, GPU_HM, CXL_HM, GPU_A100_HM)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("platform", ALL_PLATFORMS, ids=lambda p: p.name)
+    def test_fast_tier_is_actually_faster(self, platform):
+        assert platform.fast.read_bandwidth > platform.slow.read_bandwidth
+        assert platform.fast.write_bandwidth > platform.slow.write_bandwidth
+
+    @pytest.mark.parametrize("platform", ALL_PLATFORMS, ids=lambda p: p.name)
+    def test_capacity_hierarchy(self, platform):
+        """The slow tier is the capacity tier — the premise of HM."""
+        assert platform.slow.capacity > platform.fast.capacity
+
+    @pytest.mark.parametrize("platform", (OPTANE_HM, CXL_HM), ids=lambda p: p.name)
+    def test_cpu_migration_beats_op_level_slow_bandwidth(self, platform):
+        """Calibration condition: sequential migration streams faster than
+        op-level effective access on the slow tier (docs/CALIBRATION.md)."""
+        assert platform.promote_bandwidth > platform.slow.read_bandwidth
+        assert platform.demote_bandwidth > platform.slow.write_bandwidth
+
+    @pytest.mark.parametrize(
+        "platform", (GPU_HM, GPU_A100_HM), ids=lambda p: p.name
+    )
+    def test_gpu_residency_and_link_ratio(self, platform):
+        assert platform.residency_required
+        # HBM dwarfs the interconnect: the source of Figure 12's dynamics.
+        assert platform.fast.read_bandwidth > 25 * platform.promote_bandwidth
+
+    def test_a100_strictly_upgrades_v100(self):
+        assert GPU_A100_HM.fast.capacity > GPU_HM.fast.capacity
+        assert GPU_A100_HM.fast.read_bandwidth > GPU_HM.fast.read_bandwidth
+        assert GPU_A100_HM.promote_bandwidth > GPU_HM.promote_bandwidth
+
+    def test_page_size_replace(self):
+        huge = dataclasses.replace(OPTANE_HM, page_size=2 * 1024 * 1024)
+        assert huge.page_size == 2 * 1024 * 1024
+        with pytest.raises(ValueError):
+            Platform(
+                name="bad",
+                fast=OPTANE_HM.fast,
+                slow=OPTANE_HM.slow,
+                promote_bandwidth=1.0,
+                demote_bandwidth=1.0,
+                migration_latency=0.0,
+                fault_cost=0.0,
+                compute_throughput=1.0,
+                residency_required=False,
+                page_size=3000,  # not a power of two
+            )
+
+    def test_resize_returns_new_object(self):
+        resized = OPTANE_HM.with_fast_capacity(1 << 30)
+        assert resized is not OPTANE_HM
+        assert OPTANE_HM.fast.capacity != 1 << 30 or True
+        assert resized.fast.capacity == 1 << 30

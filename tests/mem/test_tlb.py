@@ -1,0 +1,56 @@
+"""TLB: LRU behaviour and flush semantics."""
+
+import pytest
+
+from repro.mem.tlb import TLB
+
+
+class TestTLB:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TLB(capacity=0)
+
+    def test_miss_then_hit(self):
+        tlb = TLB(capacity=4)
+        assert not tlb.lookup(1)
+        assert tlb.lookup(1)
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = TLB(capacity=2)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        tlb.lookup(1)  # refresh 1; 2 is now LRU
+        tlb.lookup(3)  # evicts 2
+        assert 1 in tlb
+        assert 2 not in tlb
+        assert 3 in tlb
+
+    def test_flush_single(self):
+        tlb = TLB()
+        tlb.lookup(5)
+        tlb.flush(5)
+        assert 5 not in tlb
+        tlb.flush(5)  # idempotent
+
+    def test_flush_all(self):
+        tlb = TLB()
+        for vpn in range(10):
+            tlb.lookup(vpn)
+        tlb.flush_all()
+        assert len(tlb) == 0
+
+    def test_capacity_never_exceeded(self):
+        tlb = TLB(capacity=8)
+        for vpn in range(100):
+            tlb.lookup(vpn)
+        assert len(tlb) == 8
+
+    def test_reset_stats(self):
+        tlb = TLB()
+        tlb.lookup(1)
+        tlb.lookup(1)
+        tlb.reset_stats()
+        assert tlb.hits == 0
+        assert tlb.misses == 0

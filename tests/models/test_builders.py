@@ -1,0 +1,168 @@
+"""Model zoo: structural validity and the paper's characterization traits."""
+
+import pytest
+
+from repro.dnn.graph import Phase
+from repro.dnn.tensor import TensorKind
+from repro.models import MODELS, build_model
+from repro.models.resnet import build_cifar_resnet, build_imagenet_resnet, build_resnet
+from repro.models.bert import build_bert
+from repro.models.lstm import build_lstm
+from repro.models.mobilenet import build_mobilenet
+from repro.models.dcgan import build_dcgan
+
+PAGE = 4096
+
+ALL_MODELS = sorted(MODELS)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: MODELS[name].build(scale="small") for name in ALL_MODELS}
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_builds_and_has_both_phases(self, graphs, name):
+        graph = graphs[name]
+        phases = {layer.phase for layer in graph.layers}
+        assert phases == {Phase.FORWARD, Phase.BACKWARD}
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_forward_precedes_backward(self, graphs, name):
+        graph = graphs[name]
+        first_backward = min(
+            l.index for l in graph.layers if l.phase is Phase.BACKWARD
+        )
+        assert all(
+            l.phase is Phase.FORWARD
+            for l in graph.layers
+            if l.index < first_backward
+        )
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_every_layer_has_ops(self, graphs, name):
+        assert all(layer.ops for layer in graphs[name].layers)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_peak_positive_and_batch_scales_it(self, name):
+        spec = MODELS[name]
+        small = spec.build(batch_size=max(1, spec.small_batch // 2))
+        large = spec.build(batch_size=spec.small_batch)
+        assert 0 < small.peak_memory_bytes() < large.peak_memory_bytes()
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_weights_are_preallocated(self, graphs, name):
+        graph = graphs[name]
+        weights = [t for t in graph.tensors if t.kind is TensorKind.WEIGHT]
+        assert weights
+        assert all(w.preallocated for w in weights)
+
+
+class TestCharacterization:
+    """The zoo must reproduce the paper's Observations 1 and 2."""
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_most_tensors_short_lived(self, graphs, name):
+        graph = graphs[name]
+        short = [t for t in graph.tensors if t.short_lived]
+        assert len(short) / len(graph.tensors) > 0.7
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_most_short_lived_are_small(self, graphs, name):
+        graph = graphs[name]
+        short = [t for t in graph.tensors if t.short_lived]
+        small = [t for t in short if t.nbytes < PAGE]
+        assert len(small) / len(short) > 0.85
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_hot_tensors_exist_and_are_tiny_in_bytes(self, graphs, name):
+        graph = graphs[name]
+        hot = [t for t in graph.tensors if t.total_touches > 100]
+        assert hot, "every model must have a >100-access hot set"
+        total = sum(t.nbytes for t in graph.tensors)
+        assert sum(t.nbytes for t in hot) / total < 0.05
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_long_lived_intermediates_span_to_backward(self, graphs, name):
+        graph = graphs[name]
+        spanning = [
+            t
+            for t in graph.step_tensors()
+            if t.free_layer is not None
+            and graph.layers[t.alloc_layer].phase is Phase.FORWARD
+            and graph.layers[t.free_layer].phase is Phase.BACKWARD
+        ]
+        assert spanning, "saved activations must cross the fwd/bwd boundary"
+
+
+class TestResNet:
+    def test_depth_dispatch(self):
+        assert build_resnet(32, 8).metadata["model_family"] == "resnet-cifar"
+        assert build_resnet(50, 2).metadata["model_family"] == "resnet-imagenet"
+
+    def test_unknown_depth_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet(33, 8)
+        with pytest.raises(ValueError):
+            build_cifar_resnet(50, 8)
+        with pytest.raises(ValueError):
+            build_imagenet_resnet(32, 8)
+
+    def test_cifar_depth_scales_layers(self):
+        shallow = build_cifar_resnet(20, 8)
+        deep = build_cifar_resnet(110, 8)
+        assert deep.num_layers > shallow.num_layers
+        assert deep.peak_memory_bytes() > shallow.peak_memory_bytes()
+
+    def test_resnet32_has_about_32_forward_conv_layers(self):
+        graph = build_cifar_resnet(32, 8)
+        convs = [
+            l
+            for l in graph.layers
+            if l.phase is Phase.FORWARD and "c" in l.name and l.name != "loss"
+        ]
+        assert 30 <= len(convs) <= 34
+
+
+class TestLSTM:
+    def test_marked_recurrent(self):
+        assert build_lstm(4).metadata["recurrent"]
+
+    def test_shared_weights_are_hot(self):
+        graph = build_lstm(4, seq=50)
+        gate = graph.tensor("cell.w")
+        assert gate.total_touches > 100
+
+    def test_seq_validation(self):
+        with pytest.raises(ValueError):
+            build_lstm(4, seq=1)
+
+
+class TestBert:
+    def test_variants(self):
+        base = build_bert("bert-base", 2)
+        large = build_bert("bert-large", 2)
+        assert large.num_layers > base.num_layers
+        assert large.peak_memory_bytes() > base.peak_memory_bytes()
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_bert("bert-huge", 2)
+
+
+class TestMobileNetDCGAN:
+    def test_mobilenet_width_multiplier(self):
+        thin = build_mobilenet(4, width_mult=0.5)
+        full = build_mobilenet(4, width_mult=1.0)
+        assert thin.peak_memory_bytes() < full.peak_memory_bytes()
+        with pytest.raises(ValueError):
+            build_mobilenet(4, width_mult=0)
+
+    def test_dcgan_has_generator_and_discriminator(self):
+        graph = build_dcgan(4)
+        names = [l.name for l in graph.layers]
+        assert any(n.startswith("gen") for n in names)
+        assert any(n.startswith("disc") for n in names)
+        with pytest.raises(ValueError):
+            build_dcgan(4, base_channels=0)

@@ -1,0 +1,73 @@
+"""Per-model characterization snapshots.
+
+Coarse expected ranges for each zoo model's memory profile.  These are the
+regression net for the model builders: a change that silently shifts a
+model's tensor population (and therefore every benchmark built on it) fails
+here first, with a message naming the drifted quantity.
+"""
+
+import pytest
+
+from repro.models import MODELS, build_model
+
+PAGE = 4096
+
+#: name -> (layers range, tensors range, peak GiB range at small batch,
+#:          short-lived fraction range, weight share of peak range)
+SNAPSHOTS = {
+    "resnet32": ((60, 72), (900, 1050), (3.0, 4.0), (0.74, 0.86), (0.0, 0.02)),
+    "resnet200": ((130, 150), (2300, 2700), (3.5, 4.6), (0.70, 0.82), (0.08, 0.18)),
+    "bert-base": ((48, 58), (780, 900), (1.5, 2.1), (0.74, 0.86), (0.38, 0.55)),
+    "bert-large": ((95, 108), (1500, 1750), (5.4, 6.8), (0.74, 0.86), (0.33, 0.50)),
+    "lstm": ((98, 112), (1350, 1550), (0.55, 0.85), (0.80, 0.92), (0.32, 0.50)),
+    "mobilenet": ((52, 62), (680, 790), (1.5, 2.2), (0.70, 0.84), (0.01, 0.06)),
+    "dcgan": ((26, 33), (390, 470), (0.75, 1.1), (0.72, 0.86), (0.12, 0.28)),
+    "gpt-small": ((48, 58), (670, 780), (1.9, 2.6), (0.72, 0.86), (0.45, 0.62)),
+    "gpt-medium": ((95, 108), (1300, 1500), (5.8, 7.5), (0.72, 0.86), (0.38, 0.54)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SNAPSHOTS))
+class TestSnapshots:
+    @pytest.fixture()
+    def graph(self, name):
+        return MODELS[name].build(scale="small")
+
+    def test_layer_count(self, name, graph):
+        low, high = SNAPSHOTS[name][0]
+        assert low <= graph.num_layers <= high, (
+            f"{name}: {graph.num_layers} layers outside [{low}, {high}]"
+        )
+
+    def test_tensor_count(self, name, graph):
+        low, high = SNAPSHOTS[name][1]
+        assert low <= len(graph.tensors) <= high, (
+            f"{name}: {len(graph.tensors)} tensors outside [{low}, {high}]"
+        )
+
+    def test_peak_memory(self, name, graph):
+        low, high = SNAPSHOTS[name][2]
+        peak_gib = graph.peak_memory_bytes() / 2**30
+        assert low <= peak_gib <= high, (
+            f"{name}: peak {peak_gib:.2f} GiB outside [{low}, {high}]"
+        )
+
+    def test_short_lived_fraction(self, name, graph):
+        low, high = SNAPSHOTS[name][3]
+        fraction = sum(t.short_lived for t in graph.tensors) / len(graph.tensors)
+        assert low <= fraction <= high, (
+            f"{name}: short-lived fraction {fraction:.2f} outside [{low}, {high}]"
+        )
+
+    def test_weight_share_of_peak(self, name, graph):
+        low, high = SNAPSHOTS[name][4]
+        weights = sum(t.nbytes for t in graph.preallocated())
+        share = weights / graph.peak_memory_bytes()
+        assert low <= share <= high, (
+            f"{name}: weight share {share:.2f} outside [{low}, {high}]"
+        )
+
+
+class TestSnapshotCoverage:
+    def test_every_zoo_model_has_a_snapshot(self):
+        assert set(SNAPSHOTS) == set(MODELS)

@@ -1,0 +1,61 @@
+"""GPT decoder: structure and the weight-dominated memory profile."""
+
+import pytest
+
+from repro.harness.runner import run_policy
+from repro.models import build_model
+from repro.models.gpt import GPT_CONFIGS, build_gpt
+
+
+class TestGPTStructure:
+    def test_variants_scale(self):
+        small = build_gpt("gpt-small", 2)
+        medium = build_gpt("gpt-medium", 2)
+        assert medium.num_layers > small.num_layers
+        assert medium.peak_memory_bytes() > small.peak_memory_bytes()
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_gpt("gpt-xl", 2)
+
+    def test_registered_in_zoo(self):
+        graph = build_model("gpt-small", batch_size=2)
+        assert graph.metadata["model_family"] == "gpt"
+
+    def test_weight_dominated_profile(self):
+        """The defining trait: parameters are a large share of peak at
+        small batch — the opposite of MobileNet's activation dominance."""
+        gpt = build_model("gpt-small", batch_size=4)
+        mobilenet = build_model("mobilenet", batch_size=4)
+
+        def weight_share(graph):
+            weights = sum(t.nbytes for t in graph.preallocated())
+            return weights / graph.peak_memory_bytes()
+
+        assert weight_share(gpt) > 0.4
+        assert weight_share(gpt) > 2 * weight_share(mobilenet)
+
+    def test_attention_and_mlp_are_separate_layers(self):
+        graph = build_gpt("gpt-small", 2)
+        names = [layer.name for layer in graph.layers]
+        assert "blk0.attn" in names
+        assert "blk0.mlp" in names
+
+
+class TestGPTUnderSentinel:
+    def test_sentinel_manages_weight_cycling(self):
+        """With fast memory below the weight footprint, Sentinel must cycle
+        parameter blocks through fast memory and still beat slow-only."""
+        slow = run_policy("slow-only", model="gpt-small", batch_size=4)
+        sentinel = run_policy(
+            "sentinel", model="gpt-small", batch_size=4, fast_fraction=0.25
+        )
+        assert sentinel.step_time < slow.step_time
+        assert sentinel.migrated_bytes > 0
+
+    def test_close_to_fast_only_at_modest_fraction(self):
+        fast = run_policy("fast-only", model="gpt-small", batch_size=4)
+        sentinel = run_policy(
+            "sentinel", model="gpt-small", batch_size=4, fast_fraction=0.3
+        )
+        assert sentinel.step_time <= fast.step_time * 1.6

@@ -1,0 +1,45 @@
+"""Model registry."""
+
+import pytest
+
+from repro.models.zoo import MODELS, build_model
+
+
+class TestZoo:
+    def test_expected_families_registered(self):
+        for name in (
+            "resnet32",
+            "resnet200",
+            "bert-base",
+            "bert-large",
+            "lstm",
+            "mobilenet",
+            "dcgan",
+        ):
+            assert name in MODELS
+
+    def test_build_by_scale(self):
+        small = build_model("resnet32", scale="small")
+        large = build_model("resnet32", scale="large")
+        assert small.batch_size == MODELS["resnet32"].small_batch
+        assert large.batch_size == MODELS["resnet32"].large_batch
+
+    def test_explicit_batch_overrides_scale(self):
+        graph = build_model("lstm", batch_size=3)
+        assert graph.batch_size == 3
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("alexnet")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("lstm", scale="medium")
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("lstm", batch_size=0)
+
+    def test_large_batches_exceed_small(self):
+        for spec in MODELS.values():
+            assert spec.large_batch > spec.small_batch

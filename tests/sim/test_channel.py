@@ -1,0 +1,121 @@
+"""BandwidthChannel: FIFO service, timing arithmetic, invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.channel import BandwidthChannel
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            BandwidthChannel(0.0)
+        with pytest.raises(ValueError):
+            BandwidthChannel(-1.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            BandwidthChannel(1e9, latency=-1e-6)
+
+
+class TestSubmit:
+    def test_idle_channel_starts_immediately(self):
+        channel = BandwidthChannel(1000.0)
+        transfer = channel.submit(500, now=2.0)
+        assert transfer.start == 2.0
+        assert transfer.finish == pytest.approx(2.5)
+
+    def test_latency_added_once_per_transfer(self):
+        channel = BandwidthChannel(1000.0, latency=0.1)
+        transfer = channel.submit(500, now=0.0)
+        assert transfer.finish == pytest.approx(0.6)
+
+    def test_fifo_queueing(self):
+        channel = BandwidthChannel(1000.0)
+        first = channel.submit(1000, now=0.0)
+        second = channel.submit(1000, now=0.0)
+        assert first.finish == pytest.approx(1.0)
+        assert second.start == pytest.approx(1.0)
+        assert second.finish == pytest.approx(2.0)
+        assert second.queueing_delay == pytest.approx(1.0)
+
+    def test_gap_leaves_channel_idle(self):
+        channel = BandwidthChannel(1000.0)
+        channel.submit(1000, now=0.0)
+        late = channel.submit(1000, now=5.0)
+        assert late.start == 5.0
+
+    def test_zero_bytes_completes_after_latency(self):
+        channel = BandwidthChannel(1000.0, latency=0.25)
+        transfer = channel.submit(0, now=1.0)
+        assert transfer.finish == pytest.approx(1.25)
+
+    def test_negative_bytes_rejected(self):
+        channel = BandwidthChannel(1000.0)
+        with pytest.raises(ValueError):
+            channel.submit(-1, now=0.0)
+
+    def test_done_by(self):
+        channel = BandwidthChannel(1000.0)
+        transfer = channel.submit(1000, now=0.0)
+        assert not transfer.done_by(0.5)
+        assert transfer.done_by(1.0)
+
+    def test_accounting(self):
+        channel = BandwidthChannel(1000.0)
+        channel.submit(300, now=0.0)
+        channel.submit(700, now=0.0)
+        assert channel.bytes_moved == 1000
+        assert channel.busy_time == pytest.approx(1.0)
+        assert len(channel.history) == 2
+
+    def test_backlog_and_idle(self):
+        channel = BandwidthChannel(1000.0)
+        assert channel.idle_from(0.0)
+        channel.submit(2000, now=0.0)
+        assert channel.backlog_at(0.5) == pytest.approx(1.5)
+        assert not channel.idle_from(1.0)
+        assert channel.idle_from(2.0)
+
+    def test_reset(self):
+        channel = BandwidthChannel(1000.0)
+        channel.submit(1000, now=0.0)
+        channel.reset()
+        assert channel.bytes_moved == 0
+        assert channel.next_free == 0.0
+        assert channel.history == []
+
+
+class TestChannelProperties:
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**9),
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_fifo_ordering_invariants(self, requests):
+        """Transfers never overlap, never start before submission, and the
+        channel conserves bytes."""
+        # Submissions must be in non-decreasing time order (callers only
+        # submit at the current clock).
+        requests = sorted(requests, key=lambda r: r[1])
+        channel = BandwidthChannel(1e6, latency=1e-6)
+        transfers = [channel.submit(nbytes, now) for nbytes, now in requests]
+        for transfer, (nbytes, now) in zip(transfers, requests):
+            assert transfer.start >= now
+            assert transfer.finish >= transfer.start
+        for earlier, later in zip(transfers, transfers[1:]):
+            assert later.start >= earlier.finish
+        assert channel.bytes_moved == sum(n for n, _ in requests)
+
+    @given(
+        nbytes=st.integers(min_value=1, max_value=10**9),
+        bandwidth=st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+    )
+    def test_service_time_is_linear(self, nbytes, bandwidth):
+        channel = BandwidthChannel(bandwidth)
+        assert channel.service_time(nbytes) == pytest.approx(nbytes / bandwidth)

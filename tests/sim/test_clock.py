@@ -1,0 +1,48 @@
+"""Clock: monotonicity and error handling."""
+
+import pytest
+
+from repro.sim.clock import Clock, ClockError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = Clock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now == 2.0
+
+    def test_advance_zero_is_noop(self):
+        clock = Clock(3.0)
+        clock.advance(0.0)
+        assert clock.now == 3.0
+
+    def test_negative_advance_rejected(self):
+        clock = Clock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute(self):
+        clock = Clock()
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_same_time_allowed(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_to_past_rejected(self):
+        clock = Clock(2.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(1.0)
