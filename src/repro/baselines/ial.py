@@ -138,4 +138,13 @@ class IALPolicy(PlacementPolicy):
             victims.append(run)
             projected_free += run.npages * machine.page_size
         if victims:
-            machine.migration.demote(victims, now, tag="ial-evict")
+            _, scheduled = machine.migration.demote(victims, now, tag="ial-evict")
+            scheduled_vpns = {run.vpn for run in scheduled}
+            if len(scheduled_vpns) != len(victims):
+                # A refused/aborted eviction leaves victims resident on fast
+                # memory; put them back at the head of the FIFO so they stay
+                # first in line for the next eviction attempt.
+                for run in reversed(victims):
+                    if run.vpn not in scheduled_vpns:
+                        self._active[run.vpn] = run
+                        self._active.move_to_end(run.vpn, last=False)

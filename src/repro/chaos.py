@@ -1,0 +1,301 @@
+"""Deterministic fault injection and invariant auditing (chaos layer).
+
+Sentinel's real-system substrate is fallible: ``move_pages()`` returns
+``-EBUSY``/``-ENOMEM`` under contention, Optane throttles under write
+pressure, and the profiling fault stream can drop samples when the handler's
+buffer overflows.  This module injects those failure modes into the
+simulated substrate so the runtime's *degradation* behaviour — retry,
+backoff, fallback, re-profiling — can be exercised and measured.
+
+Three design rules:
+
+* **Deterministic.**  Every decision comes from a per-concern
+  ``random.Random`` stream seeded from ``(seed, concern)``, so the draw
+  sequence one mechanism sees is independent of how often the others are
+  consulted.  Same seed, same workload ⇒ bit-identical run.
+* **Pay for what you use.**  A concern whose rate is zero returns its
+  neutral value without consuming randomness or doing arithmetic; a machine
+  built without an injector has exactly the pre-chaos code paths.
+* **Faults are injected below the policy layer.**  Policies see only the
+  consequences the real system would show them — a refused submission, a
+  stretched access, a lossy profile — never the injector itself.
+
+:class:`InvariantAuditor` is the complement: an opt-in per-step observer
+that verifies the machine's memory accounting still balances *while* faults
+fly, raising :class:`~repro.errors.ConsistencyError` naming the violated
+invariant if graceful degradation ever corrupts state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict
+
+from repro.dnn.executor import StepObserver, StepResult
+from repro.errors import ConsistencyError
+from repro.mem.devices import DeviceKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mem.machine import Machine
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault rates and retry tunables for a :class:`FaultInjector`.
+
+    All rates are per-decision probabilities in ``[0, 1]``; a rate of zero
+    disables that concern entirely (no randomness is consumed for it).
+
+    Attributes:
+        seed: RNG seed; every derived stream is a pure function of it.
+        migration_busy_rate: probability a migration submission is refused
+            with a transient EBUSY-style error (retried with backoff).
+        migration_abort_rate: probability a submitted copy dies mid-flight
+            (channel time burned, no pages moved).
+        device_throttle_rate: probability a slow-tier access lands in a
+            bandwidth-degradation episode (Optane write throttling).
+        device_throttle_factor: bandwidth multiplier during an episode
+            (0.25 ⇒ writes run at a quarter of nominal bandwidth; reads
+            degrade half as hard).
+        profile_drop_rate: expected fraction of profiling fault samples the
+            handler loses (perf-style ``RECORD_LOST``).
+        max_retries: EBUSY retries before a background submission gives up
+            and degrades into the leave-in-slow path.
+        retry_backoff: seconds before the first EBUSY retry; doubles per
+            attempt.
+        abort_fraction: fraction of a copy's bytes transferred before a
+            mid-flight abort kills it.
+    """
+
+    seed: int = 0
+    migration_busy_rate: float = 0.0
+    migration_abort_rate: float = 0.0
+    device_throttle_rate: float = 0.0
+    device_throttle_factor: float = 0.25
+    profile_drop_rate: float = 0.0
+    max_retries: int = 4
+    retry_backoff: float = 5e-5
+    abort_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for field in (
+            "migration_busy_rate",
+            "migration_abort_rate",
+            "device_throttle_rate",
+            "profile_drop_rate",
+        ):
+            rate = getattr(self, field)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{field} must be in [0, 1], got {rate!r}")
+        if not 0.0 < self.device_throttle_factor <= 1.0:
+            raise ValueError(
+                f"device_throttle_factor must be in (0, 1], got "
+                f"{self.device_throttle_factor!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.retry_backoff < 0.0:
+            raise ValueError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff!r}"
+            )
+        if not 0.0 < self.abort_fraction < 1.0:
+            raise ValueError(
+                f"abort_fraction must be in (0, 1), got {self.abort_fraction!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any concern can actually fire."""
+        return (
+            self.migration_busy_rate > 0.0
+            or self.migration_abort_rate > 0.0
+            or self.device_throttle_rate > 0.0
+            or self.profile_drop_rate > 0.0
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **overrides) -> "ChaosConfig":
+        """All concerns driven by one headline fault rate.
+
+        Busy refusals and throttle episodes fire at ``rate``; mid-flight
+        aborts (the rarer, nastier event on real hardware) at half of it;
+        profile drops at ``rate``.  The convenience the fault-rate sweeps
+        use.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate!r}")
+        config = cls(
+            seed=seed,
+            migration_busy_rate=rate,
+            migration_abort_rate=rate / 2.0,
+            device_throttle_rate=rate,
+            profile_drop_rate=rate,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    def reseeded(self, seed: int) -> "ChaosConfig":
+        """A copy of this config with a different seed (sweep plumbing)."""
+        return replace(self, seed=seed)
+
+
+class FaultInjector:
+    """Draws fault decisions from seeded per-concern streams.
+
+    Attributes:
+        config: the governing :class:`ChaosConfig`.
+        counts: injected-event counters (``chaos.*`` keys), surfaced by the
+            harness next to the runtime's retry/fallback counters.
+    """
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._migration_rng = self._stream("migration")
+        self._device_rng = self._stream("device")
+        self._profile_rng = self._stream("profile")
+        self.counts: Dict[str, int] = {}
+
+    def _stream(self, concern: str) -> random.Random:
+        return random.Random(f"{self.config.seed}:{concern}")
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + amount
+
+    # ------------------------------------------------------------- migration
+
+    def migration_busy(self) -> bool:
+        """Whether this submission attempt hits a transient EBUSY."""
+        rate = self.config.migration_busy_rate
+        if rate <= 0.0:
+            return False
+        if self._migration_rng.random() < rate:
+            self._count("chaos.migration_busy")
+            return True
+        return False
+
+    def migration_abort(self) -> bool:
+        """Whether a submitted copy dies mid-flight."""
+        rate = self.config.migration_abort_rate
+        if rate <= 0.0:
+            return False
+        if self._migration_rng.random() < rate:
+            self._count("chaos.migration_aborts")
+            return True
+        return False
+
+    # ---------------------------------------------------------------- device
+
+    def device_slowdown(self, kind: DeviceKind, is_write: bool) -> float:
+        """Access-time multiplier (>= 1.0) for one device access.
+
+        Throttling episodes model Optane's write-pressure collapse, so only
+        the slow tier is subject; writes take the configured factor in full,
+        reads degrade half as hard (the media is write-limited).
+        """
+        rate = self.config.device_throttle_rate
+        if rate <= 0.0 or kind is not DeviceKind.SLOW:
+            return 1.0
+        if self._device_rng.random() >= rate:
+            return 1.0
+        self._count("chaos.device_throttled")
+        factor = self.config.device_throttle_factor
+        if not is_write:
+            factor = (1.0 + factor) / 2.0
+        return 1.0 / factor
+
+    # -------------------------------------------------------------- profiler
+
+    def drop_faults(self, faults: int) -> int:
+        """How many of ``faults`` profiling samples the handler loses.
+
+        Accounted arithmetically (like the fault counting itself): the
+        expected loss is ``faults * rate`` with one randomized-rounding
+        draw, so a million-fault pass costs one RNG call, not a million.
+        """
+        rate = self.config.profile_drop_rate
+        if rate <= 0.0 or faults <= 0:
+            return 0
+        expected = faults * rate
+        dropped = int(expected)
+        if self._profile_rng.random() < expected - dropped:
+            dropped += 1
+        dropped = min(faults, dropped)
+        if dropped:
+            self._count("chaos.profile_faults_dropped", dropped)
+        return dropped
+
+
+class InvariantAuditor(StepObserver):
+    """Opt-in per-step verifier of the machine's memory accounting.
+
+    Attach as an executor observer; after every step (when the books should
+    balance — all committed work synced) it checks:
+
+    * device usage is non-negative and within capacity on both tiers;
+    * every mapped run is charged to exactly one device — except a demoting
+      run, whose fast frames are still occupied while its slow reservation
+      exists (the documented double-charge window) — and the per-device sums
+      equal the devices' recorded usage byte-for-byte;
+    * no run is migrating to the tier it already occupies.
+
+    Violations raise :class:`~repro.errors.ConsistencyError` naming the
+    invariant, turning silent corruption into a structured failure.
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.audits_run = 0
+
+    # StepObserver hook: audit after each completed step.
+    def on_step_end(self, step: int, result: StepResult) -> None:
+        self.audit()
+
+    def audit(self) -> None:
+        """Run every check now; raises on the first violated invariant."""
+        machine = self.machine
+        page_size = machine.page_size
+        for device in (machine.fast, machine.slow):
+            if device.used < 0:
+                raise ConsistencyError(
+                    "device.usage-non-negative",
+                    f"{device.spec.name}: used={device.used}",
+                )
+            if device.used > device.capacity:
+                raise ConsistencyError(
+                    "device.usage-within-capacity",
+                    f"{device.spec.name}: used={device.used} > "
+                    f"capacity={device.capacity}",
+                )
+        expected_fast = 0
+        expected_slow = 0
+        for run in machine.page_table.entries():
+            if run.migrating_to is run.device and run.migrating_to is not None:
+                raise ConsistencyError(
+                    "migration.destination-differs",
+                    f"run {run.vpn} migrating to its own tier "
+                    f"{run.device.value}",
+                )
+            nbytes = run.npages * page_size
+            # Charging rules mirror the engine's capacity protocol: a
+            # promotion reserves fast (and frees slow) at submission; a
+            # demotion reserves slow at submission but vacates fast only at
+            # commit.
+            if run.device is DeviceKind.FAST or run.migrating_to is DeviceKind.FAST:
+                expected_fast += nbytes
+            if (
+                run.device is DeviceKind.SLOW and run.migrating_to is None
+            ) or run.migrating_to is DeviceKind.SLOW:
+                expected_slow += nbytes
+        if machine.fast.used != expected_fast:
+            raise ConsistencyError(
+                "accounting.fast-usage-matches-page-table",
+                f"fast device used={machine.fast.used} but mapped runs "
+                f"charge {expected_fast}",
+            )
+        if machine.slow.used != expected_slow:
+            raise ConsistencyError(
+                "accounting.slow-usage-matches-page-table",
+                f"slow device used={machine.slow.used} but mapped runs "
+                f"charge {expected_slow}",
+            )
+        self.audits_run += 1

@@ -8,6 +8,7 @@ Commands:
 * ``sweep``      — Sentinel across fast-memory fractions (Figure 10 style).
 * ``maxbatch``   — maximum feasible batch per policy on the GPU platform.
 * ``experiment`` — regenerate one of the paper's tables/figures by id.
+* ``chaos``      — fault-rate sweep under deterministic fault injection.
 * ``models``     — list the model zoo.
 """
 
@@ -19,7 +20,8 @@ from typing import List, Optional, Sequence
 
 from repro.baselines.registry import CPU_ONLY, GPU_ONLY, POLICIES
 from repro.baselines.vdnn import UnsupportedModelError
-from repro.harness.report import format_table, gib, mib
+from repro.chaos import ChaosConfig
+from repro.harness.report import format_counters, format_table, gib, mib
 from repro.harness.runner import OOM_ERRORS, max_batch_size, run_policy
 from repro.mem.platforms import GPU_HM, OPTANE_HM, Platform
 from repro.models.zoo import MODELS
@@ -37,7 +39,20 @@ EXPERIMENTS = {
     "table5": "table5_max_batch",
     "fig12": "fig12_gpu_throughput",
     "fig13": "fig13_breakdown",
+    "robust": "robustness_degradation",
 }
+
+
+def _chaos_from(args) -> Optional[ChaosConfig]:
+    """Build the injected-fault config from ``--fault-rate``/``--chaos-seed``.
+
+    A rate of zero returns ``None`` — the machine is built without an
+    injector at all, keeping the default path bit-identical to pre-chaos
+    builds.
+    """
+    if not args.fault_rate:
+        return None
+    return ChaosConfig.uniform(args.fault_rate, seed=args.chaos_seed)
 
 
 def _platform(name: str) -> Platform:
@@ -66,6 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="fast memory as a fraction of the model's peak (paper: 0.2)",
+    )
+    run.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject faults at this rate (0 = no injector attached)",
+    )
+    run.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault injector",
+    )
+    run.add_argument(
+        "--audit",
+        action="store_true",
+        help="check memory-accounting invariants after every step",
     )
 
     compare = sub.add_parser("compare", help="all applicable policies on one model")
@@ -104,12 +136,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("which", choices=sorted(EXPERIMENTS))
 
+    chaos = sub.add_parser(
+        "chaos", help="fault-rate sweep: throughput degradation per policy"
+    )
+    chaos.add_argument("model", choices=sorted(MODELS))
+    chaos.add_argument(
+        "--policies",
+        nargs="+",
+        default=["sentinel", "ial", "autotm"],
+        choices=sorted(POLICIES),
+    )
+    chaos.add_argument(
+        "--fault-rates",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.05, 0.1, 0.2],
+    )
+    chaos.add_argument("--fast-fraction", type=float, default=0.2)
+    chaos.add_argument("--chaos-seed", type=int, default=1234)
+
     grid = sub.add_parser("grid", help="free-form policy x model sweep")
     grid.add_argument("--policies", nargs="+", default=["slow-only", "ial", "autotm", "sentinel", "fast-only"], choices=sorted(POLICIES))
     grid.add_argument("--models", nargs="+", default=["resnet32", "lstm", "dcgan"], choices=sorted(MODELS))
     grid.add_argument("--fast-fraction", type=float, default=0.2)
     grid.add_argument("--platform", type=_platform, default=OPTANE_HM)
     grid.add_argument("--value", default="step_time", help="RunMetrics field to tabulate")
+    grid.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject faults at this rate on every grid point",
+    )
+    grid.add_argument("--chaos-seed", type=int, default=0)
 
     sub.add_parser("models", help="list the model zoo")
     sub.add_parser("features", help="print Table I (design comparison)")
@@ -119,12 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
 # ------------------------------------------------------------------ commands
 
 def _cmd_run(args) -> int:
+    chaos = _chaos_from(args)
     metrics = run_policy(
         args.policy,
         model=args.model,
         batch_size=args.batch,
         platform=args.platform,
         fast_fraction=args.fast_fraction,
+        chaos=chaos,
+        audit=args.audit,
     )
     rows = [
         ("step time (s)", f"{metrics.step_time:.4f}"),
@@ -277,6 +338,7 @@ def _cmd_grid(args) -> int:
         models=args.models,
         fast_fractions=(args.fast_fraction,),
         platform=args.platform,
+        chaos=_chaos_from(args),
     )
     print(result.to_table(value=args.value))
     failures = [p for p in result if not p.ok]
@@ -285,6 +347,27 @@ def _cmd_grid(args) -> int:
             "\nfailed points: "
             + ", ".join(f"{p.policy}/{p.model} ({p.failure})" for p in failures)
         )
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.harness import experiments
+
+    result = experiments.robustness_degradation(
+        model=args.model,
+        policies=tuple(args.policies),
+        fault_rates=tuple(args.fault_rates),
+        fast_fraction=args.fast_fraction,
+        chaos_seed=args.chaos_seed,
+    )
+    print(result["text"])
+    totals: dict = {}
+    for series in result["records"].values():
+        for record in series:
+            for key in ("retries", "busy_fallbacks", "aborted_bytes", "faults_dropped"):
+                totals[key] = totals.get(key, 0) + record.get(key, 0)
+    print()
+    print(format_counters(totals, title="injected-fault totals"))
     return 0
 
 
@@ -316,6 +399,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "models": _cmd_models,
         "features": _cmd_features,
         "grid": _cmd_grid,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -83,7 +83,12 @@ def evict_coldest(policy, nbytes: int, now: float, ranked_runs: List[PageTableEn
             victims.append(run)
             reclaimed += run.npages * page_size
     if victims:
-        transfer, _ = machine.migration.demote(victims, now, tag="evict-on-demand")
+        # Urgent: a demand miss is waiting on this space, so an injected
+        # transient refusal here would surface as a spurious OOM — the
+        # engine retries the eviction through instead.
+        transfer, _ = machine.migration.demote(
+            victims, now, tag="evict-on-demand", urgent=True
+        )
         if transfer is not None:
             wait_until = max(wait_until, transfer.finish)
     if wait_until <= now:

@@ -72,6 +72,17 @@ class SentinelConfig:
     #: CPU Case-3 handling; GPU forces waiting regardless
     test_and_trial: bool = True
     max_interval_length: Optional[int] = None
+    #: Case-3 patience budget (seconds of simulated time): if finishing the
+    #: pending prefetch would stall longer than this, the runtime falls back
+    #: to running the interval against the slow copies instead of waiting.
+    #: ``None`` (default) keeps the paper's behaviour of unbounded waits.
+    case3_wait_deadline: Optional[float] = None
+    #: Bounded re-profiling: if the profiling step lost more than
+    #: ``reprofile_loss_threshold`` of its fault samples (injected handler
+    #: overflow), spend up to this many extra steps re-profiling before
+    #: accepting the lossy profile as-is.
+    max_reprofile_steps: int = 1
+    reprofile_loss_threshold: float = 0.02
 
     def __post_init__(self) -> None:
         if self.warmup_steps < 0:
@@ -80,6 +91,20 @@ class SentinelConfig:
             raise ValueError(
                 f"fixed interval length must be positive: "
                 f"{self.fixed_interval_length!r}"
+            )
+        if self.case3_wait_deadline is not None and self.case3_wait_deadline <= 0:
+            raise ValueError(
+                f"case3 wait deadline must be positive: "
+                f"{self.case3_wait_deadline!r}"
+            )
+        if self.max_reprofile_steps < 0:
+            raise ValueError(
+                f"max reprofile steps must be >= 0: {self.max_reprofile_steps!r}"
+            )
+        if not 0.0 <= self.reprofile_loss_threshold <= 1.0:
+            raise ValueError(
+                f"reprofile loss threshold must be in [0, 1]: "
+                f"{self.reprofile_loss_threshold!r}"
             )
 
 
@@ -127,6 +152,10 @@ class SentinelPolicy(PlacementPolicy):
         self.trial_steps_used = 0
         self.case2_occurrences = 0
         self.case3_occurrences = 0
+        #: degradation accounting (fault-injection experiments)
+        self.reprofile_steps_used = 0
+        self.case3_fallbacks = 0
+        self._profile_fault_base = (0, 0)
 
     # ----------------------------------------------------------- allocation
 
@@ -200,7 +229,14 @@ class SentinelPolicy(PlacementPolicy):
         elif step == warmup:
             self._begin_profiling()
         elif self.profile is None:
-            self._finish_profiling()
+            if self._should_reprofile():
+                # The profiling step lost too many fault samples (injected
+                # handler overflow): spend one more step re-profiling rather
+                # than planning intervals off an under-counted profile.
+                self.reprofile_steps_used += 1
+                self._begin_profiling()
+            else:
+                self._finish_profiling()
         return 0.0
 
     def _begin_profiling(self) -> None:
@@ -209,12 +245,28 @@ class SentinelPolicy(PlacementPolicy):
         self.mode = PROFILING
         self.profiling_steps_used += 1
         self._collector = ProfileCollector()
+        handler = machine.fault_handler
+        self._profile_fault_base = (handler.faults_taken, handler.faults_dropped)
         machine.page_table.poison_all()
         machine.tlb.flush_all()
         # Preallocated tensors are already mapped; register them so their
         # counters are attributed from the first layer on.
         for mapping in self._mappings.values():
             self._collector.on_alloc(mapping.tensor, mapping)
+
+    def _should_reprofile(self) -> bool:
+        """Whether the just-finished profiling step was too lossy to trust."""
+        if self.reprofile_steps_used >= self.config.max_reprofile_steps:
+            return False
+        machine = self.machine
+        assert machine is not None
+        handler = machine.fault_handler
+        base_taken, base_dropped = self._profile_fault_base
+        taken = handler.faults_taken - base_taken
+        dropped = handler.faults_dropped - base_dropped
+        if taken <= 0 or dropped <= 0:
+            return False
+        return dropped / taken > self.config.reprofile_loss_threshold
 
     def _finish_profiling(self) -> None:
         machine = self.machine
@@ -388,6 +440,15 @@ class SentinelPolicy(PlacementPolicy):
         if not pending:
             return 0.0
         self.case3_occurrences += 1
+        deadline = self.config.case3_wait_deadline
+        if deadline is not None and max(t.finish for t in pending) - now > deadline:
+            # Waiting would blow the per-interval patience budget (the copy
+            # is crawling behind injected aborts/refusals): take the paper's
+            # "leave tensors in slow memory" choice immediately.  The slow
+            # copies stay the valid mapping until each transfer lands, so
+            # the interval runs correctly, just at slow-tier speed.
+            self.case3_fallbacks += 1
+            return 0.0
         if not self.config.test_and_trial:
             return self._wait_for(pending, now)
 

@@ -32,6 +32,7 @@ from repro.dnn.alloc import Allocator, TensorMapping
 from repro.dnn.graph import Graph, Layer
 from repro.dnn.policy import PlacementPolicy
 from repro.dnn.tensor import Tensor
+from repro.errors import ExecutionError
 from repro.mem.machine import Machine
 from repro.sim.clock import Clock
 
@@ -91,10 +92,6 @@ class StepResult:
     def exposed_overhead(self) -> float:
         """Time on the critical path not spent computing."""
         return self.stall_time + self.fault_time
-
-
-class ExecutionError(RuntimeError):
-    """Raised when a step cannot be executed (placement contract violated)."""
 
 
 class Executor:

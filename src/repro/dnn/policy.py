@@ -24,6 +24,7 @@ from repro.dnn.alloc import Allocator, PackedAllocator, TensorMapping
 from repro.dnn.graph import Graph, Layer
 from repro.dnn.ops import TensorAccess
 from repro.dnn.tensor import Tensor
+from repro.errors import ResidencyError
 from repro.mem.devices import DeviceKind
 from repro.mem.machine import Machine
 from repro.mem.page import PageTableEntry
@@ -45,10 +46,6 @@ class AccessCharge:
         self.fault += other.fault
         self.bytes_fast += other.bytes_fast
         self.bytes_slow += other.bytes_slow
-
-
-class ResidencyError(RuntimeError):
-    """Raised when fast memory cannot hold a tensor that must be resident."""
 
 
 def fits_fast(machine: "Machine", nbytes: int) -> bool:

@@ -1,0 +1,83 @@
+"""The common exception hierarchy of the reproduction runtime.
+
+Every structured failure the runtime can raise derives from
+:class:`ReproError`, so harness code can catch "anything this system
+considers a managed failure" without enumerating concrete classes.  Two
+branches matter to callers:
+
+* :class:`MemoryPressureError` — the run hit a genuine capacity wall
+  (device full, residency unsatisfiable).  The batch-size probes treat this
+  branch as "infeasible", not as a bug.
+* everything else — contract violations (:class:`ExecutionError`,
+  :class:`PageError`), broken accounting (:class:`ConsistencyError`), or a
+  migration mechanism failing permanently (:class:`MigrationFailure`).
+  These indicate bugs or injected faults that the degradation machinery
+  failed to absorb, and should surface.
+
+The concrete classes are re-exported from their historical homes
+(``repro.mem.devices.DeviceFullError``, ``repro.dnn.policy.ResidencyError``,
+``repro.dnn.executor.ExecutionError``, ``repro.mem.page.PageError``) so
+existing imports keep working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(RuntimeError):
+    """Base class for all structured failures raised by the runtime."""
+
+
+class MemoryPressureError(ReproError):
+    """A capacity wall: the workload does not fit the configured machine.
+
+    Feasibility probes (``max_batch_size``, sweeps) catch this branch and
+    record the point as out-of-memory rather than failing the experiment.
+    """
+
+
+class DeviceFullError(MemoryPressureError):
+    """Raised when an allocation exceeds a device's remaining capacity."""
+
+
+class ResidencyError(MemoryPressureError):
+    """Raised when fast memory cannot hold a tensor that must be resident."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a step cannot be executed (placement contract violated)."""
+
+
+class PageError(ReproError):
+    """Raised on invalid page-table operations (double map, missing run...)."""
+
+
+class MigrationFailure(ReproError, ValueError):
+    """A migration mechanism failed permanently (not a transient EBUSY).
+
+    Transient submission failures are retried with backoff and, if they
+    persist, degrade into the Case-3 "leave tensors in slow memory" path;
+    this class is reserved for misuse of the engine itself (e.g. discarding
+    an in-flight run), which no amount of retrying can fix.  Also a
+    :class:`ValueError`: these were plain ``ValueError`` before the
+    hierarchy existed and callers may still catch them as such.
+    """
+
+
+class ConsistencyError(ReproError):
+    """An internal invariant was violated; names the broken invariant.
+
+    Raised by the opt-in :class:`repro.chaos.InvariantAuditor` when the
+    machine's memory accounting stops balancing — the failure mode graceful
+    degradation must never introduce silently.
+
+    Attributes:
+        invariant: short stable identifier of the violated invariant
+            (e.g. ``"device.usage-non-negative"``).
+    """
+
+    def __init__(self, invariant: str, detail: str = "") -> None:
+        self.invariant = invariant
+        message = f"invariant violated: {invariant}"
+        if detail:
+            message = f"{message} — {detail}"
+        super().__init__(message)

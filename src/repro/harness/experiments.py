@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.vdnn import UnsupportedModelError
+from repro.chaos import ChaosConfig
 from repro.core.profiler import DynamicProfiler
 from repro.core.runtime import SentinelConfig
 from repro.dnn.executor import Executor
@@ -28,6 +29,7 @@ from repro.harness.runner import (
     max_batch_size,
     run_policy,
 )
+from repro.harness.sweeps import point_seed
 from repro.mem.machine import Machine
 from repro.mem.platforms import GPU_HM, OPTANE_HM, Platform
 from repro.models.zoo import MODELS, build_model
@@ -593,6 +595,110 @@ def fig13_breakdown(models: Sequence[str] = ("resnet200", "bert-large")) -> Dict
         title="Figure 13 — critical-path breakdown (share of step time)",
     )
     return {"records": records, "text": text}
+
+
+# -------------------------------------------------------------------- E13
+
+def robustness_degradation(
+    model: str = "resnet32",
+    policies: Sequence[str] = (SENTINEL_CPU, "ial", "autotm"),
+    fault_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    fast_fraction: float = 0.2,
+    chaos_seed: int = 1234,
+) -> Dict:
+    """Fault-rate sweep: throughput degradation under injected substrate faults.
+
+    Every run gets a deterministic seeded injector (EBUSY migration
+    refusals, mid-flight copy aborts, Optane write-throttling episodes,
+    lossy profiling) plus the per-step invariant auditor; Sentinel
+    additionally runs with a Case-3 patience deadline so a crawling
+    prefetch degrades to the leave-in-slow path instead of an unbounded
+    stall.  The requirement being demonstrated is *graceful* degradation:
+    every policy completes at every rate, throughput decays smoothly with
+    the fault rate, and the memory accounting still balances throughout.
+    """
+    if not policies:
+        raise ValueError("need at least one policy")
+    slow = run_policy("slow-only", model=model)
+    # Patience budget: roughly one slow-tier step.  Waiting longer than that
+    # for a prefetch can never beat just running the interval from slow.
+    deadline = slow.step_time
+    rows = []
+    records: Dict[str, List[Dict[str, float]]] = {}
+    for policy in policies:
+        series: List[Dict[str, float]] = []
+        baseline: Optional[float] = None
+        for rate in fault_rates:
+            # Per-point seeds (not one shared stream) so a point's fault
+            # sequence is independent of which other points ran before it.
+            chaos = ChaosConfig.uniform(
+                rate, seed=point_seed(chaos_seed, policy, model, rate)
+            )
+            config = (
+                _cfg(case3_wait_deadline=deadline)
+                if policy in (SENTINEL_CPU, SENTINEL_GPU)
+                else None
+            )
+            metrics = run_policy(
+                policy,
+                model=model,
+                fast_fraction=fast_fraction,
+                sentinel_config=config,
+                chaos=chaos,
+                audit=True,
+            )
+            if baseline is None:
+                baseline = metrics.throughput
+            point = {
+                "fault_rate": rate,
+                "throughput": metrics.throughput,
+                "step_time": metrics.step_time,
+                "relative": metrics.throughput / baseline if baseline else 0.0,
+                "retries": metrics.extras.get("migration_retries", 0.0),
+                "busy_fallbacks": metrics.extras.get("busy_fallbacks", 0.0),
+                "aborted_bytes": metrics.extras.get("aborted_bytes", 0.0),
+                "faults_dropped": metrics.extras.get("faults_dropped", 0.0),
+                "reprofile_steps": metrics.extras.get("reprofile_steps", 0.0),
+                "case3_fallbacks": metrics.extras.get("case3_fallbacks", 0.0),
+            }
+            series.append(point)
+            rows.append(
+                (
+                    policy,
+                    f"{rate:.0%}",
+                    f"{metrics.throughput:.4g}",
+                    f"{point['relative']:.2f}",
+                    int(point["retries"]),
+                    int(point["busy_fallbacks"]),
+                    f"{mib(point['aborted_bytes']):.0f}",
+                    int(point["faults_dropped"]),
+                    int(point["reprofile_steps"] + point["case3_fallbacks"]),
+                )
+            )
+        records[policy] = series
+    text = format_table(
+        (
+            "policy",
+            "fault rate",
+            "samples/s",
+            "vs 0%",
+            "retries",
+            "refused",
+            "aborted MiB",
+            "dropped faults",
+            "sentinel fallbacks",
+        ),
+        rows,
+        title=f"Robustness — {model} throughput under injected faults "
+        f"(chaos seed {chaos_seed})",
+    )
+    return {
+        "model": model,
+        "fault_rates": tuple(fault_rates),
+        "chaos_seed": chaos_seed,
+        "records": records,
+        "text": text,
+    }
 
 
 def _breakdown(metrics: RunMetrics) -> Dict[str, float]:

@@ -66,6 +66,30 @@ def format_bars(
     return "\n".join(lines)
 
 
+def format_counters(
+    counters: "dict[str, float]", title: str = "counters", indent: int = 2
+) -> str:
+    """Render a counter snapshot (e.g. retry/fallback/chaos counts).
+
+    Keys are sorted so the output is stable across runs; integral values
+    print without a decimal point.
+    """
+    pad = " " * indent
+    lines = [f"{title}:"]
+    if not counters:
+        lines.append(f"{pad}(none)")
+        return "\n".join(lines)
+    width = max(len(name) for name in counters)
+    for name in sorted(counters):
+        value = counters[name]
+        if isinstance(value, float) and value.is_integer():
+            rendered = str(int(value))
+        else:
+            rendered = _cell(value)
+        lines.append(f"{pad}{name.ljust(width)} = {rendered}")
+    return "\n".join(lines)
+
+
 def jsonable(value: object):
     """Recursively convert experiment results to JSON-serializable data.
 

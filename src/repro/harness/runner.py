@@ -18,11 +18,11 @@ from typing import Dict, Optional
 
 from repro.baselines.registry import make_policy
 from repro.baselines.vdnn import UnsupportedModelError
+from repro.chaos import ChaosConfig, FaultInjector, InvariantAuditor
 from repro.core.runtime import SentinelConfig, SentinelPolicy
 from repro.dnn.executor import Executor
 from repro.dnn.graph import Graph
-from repro.dnn.policy import ResidencyError
-from repro.mem.devices import DeviceFullError
+from repro.errors import MemoryPressureError
 from repro.mem.machine import Machine
 from repro.mem.platforms import Platform
 from repro.models.zoo import build_model
@@ -81,6 +81,8 @@ def run_policy(
     fast_capacity: Optional[int] = None,
     steady_steps: int = STEADY_STEPS,
     sentinel_config: Optional[SentinelConfig] = None,
+    chaos: Optional[ChaosConfig] = None,
+    audit: bool = False,
 ) -> RunMetrics:
     """Run one policy on one workload and return steady-state metrics.
 
@@ -88,6 +90,13 @@ def run_policy(
     sized by ``fast_capacity`` (bytes), ``fast_fraction`` (of the graph's
     peak packed consumption — the paper's convention), or left at the
     platform's full size.
+
+    ``chaos`` attaches a seeded :class:`~repro.chaos.FaultInjector` to the
+    machine (deterministic fault injection; ``None`` leaves the fault-free
+    code paths untouched).  ``audit`` adds the per-step
+    :class:`~repro.chaos.InvariantAuditor`, which raises
+    :class:`~repro.errors.ConsistencyError` the moment memory accounting
+    stops balancing.
     """
     if (graph is None) == (model is None):
         raise ValueError("provide exactly one of graph= or model=")
@@ -103,10 +112,14 @@ def run_policy(
         fast_capacity = max(
             platform.page_size, int(graph.peak_memory_bytes() * fast_fraction)
         )
-    machine = Machine.for_platform(platform, fast_capacity=fast_capacity)
+    injector = FaultInjector(chaos) if chaos is not None else None
+    machine = Machine.for_platform(
+        platform, fast_capacity=fast_capacity, injector=injector
+    )
 
     policy = make_policy(policy_name, sentinel_config=_sentinel_config(sentinel_config))
-    executor = Executor(graph, machine, policy)
+    observers = [InvariantAuditor(machine)] if audit else []
+    executor = Executor(graph, machine, policy, observers=observers)
 
     total_steps = steady_steps
     if isinstance(policy, SentinelPolicy):
@@ -120,6 +133,9 @@ def run_policy(
         extras["trial_steps"] = policy.trial_steps_used
         extras["case2"] = policy.case2_occurrences
         extras["case3"] = policy.case3_occurrences
+        if chaos is not None:
+            extras["reprofile_steps"] = policy.reprofile_steps_used
+            extras["case3_fallbacks"] = policy.case3_fallbacks
         if policy.plan is not None:
             extras["interval_length"] = policy.plan.interval_length
             extras["reserved_short_bytes"] = policy.plan.reserved_short_bytes
@@ -131,6 +147,22 @@ def run_policy(
     recompute = getattr(policy, "recompute_time", None)
     if recompute is not None:
         extras["recompute_time"] = recompute
+    if chaos is not None:
+        # Surface the degradation machinery's counters next to the injected
+        # event counts.  Only when chaos is active: a chaos-free run's
+        # metrics stay bit-identical to runs predating fault injection.
+        extras["migration_retries"] = machine.stats.counter(
+            "migration.retries"
+        ).value
+        extras["busy_fallbacks"] = machine.stats.counter(
+            "migration.busy_fallbacks"
+        ).value
+        extras["aborted_bytes"] = machine.stats.counter(
+            "migration.aborted_bytes"
+        ).value
+        extras["faults_dropped"] = machine.fault_handler.faults_dropped
+        for key, count in sorted(injector.counts.items()):
+            extras[key] = count
 
     return RunMetrics(
         model=graph.name,
@@ -153,7 +185,10 @@ def run_policy(
     )
 
 
-OOM_ERRORS = (DeviceFullError, ResidencyError)
+#: The "ran out of memory" branch of the exception hierarchy: feasibility
+#: probes treat it as infeasible-not-broken.  One base class instead of an
+#: enumerated tuple, so new capacity-wall errors are covered automatically.
+OOM_ERRORS = (MemoryPressureError,)
 
 
 def batch_feasible(

@@ -9,13 +9,27 @@ and renders comparisons.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.vdnn import UnsupportedModelError
+from repro.chaos import ChaosConfig
 from repro.harness.report import format_table
 from repro.harness.runner import OOM_ERRORS, RunMetrics, run_policy
 from repro.mem.platforms import OPTANE_HM, Platform
+
+
+def point_seed(base_seed: int, *key: object) -> int:
+    """Deterministic per-grid-point seed, stable across processes.
+
+    Derived with CRC-32 rather than ``hash()`` (whose value changes per
+    interpreter invocation for strings), so a sweep's fault sequence for a
+    given point does not depend on grid order or process: adding a policy
+    to the sweep leaves every other point's faults unchanged.
+    """
+    material = ":".join(str(part) for part in (base_seed,) + key)
+    return zlib.crc32(material.encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -95,12 +109,18 @@ def sweep(
     fast_fractions: Sequence[Optional[float]] = (0.2,),
     batch_sizes: Optional[Dict[str, int]] = None,
     platform: Platform = OPTANE_HM,
+    chaos: Optional[ChaosConfig] = None,
 ) -> SweepResult:
     """Run the cartesian product and collect every outcome.
 
     Policies named ``slow-only``/``fast-only`` ignore the fraction (their
     machines are unconstrained); failures become recorded points rather
     than exceptions, so a single infeasible corner does not kill a grid.
+
+    With ``chaos`` given, every point runs under fault injection; each
+    point's injector is reseeded with :func:`point_seed` so its fault
+    sequence depends only on the point's own coordinates (and the base
+    seed), never on grid order.
     """
     if not policies or not models:
         raise ValueError("need at least one policy and one model")
@@ -112,6 +132,11 @@ def sweep(
                 effective = (
                     None if policy in ("slow-only", "fast-only") else fraction
                 )
+                point_chaos = chaos
+                if chaos is not None:
+                    point_chaos = chaos.reseeded(
+                        point_seed(chaos.seed, policy, model, batch, effective)
+                    )
                 try:
                     metrics = run_policy(
                         policy,
@@ -119,6 +144,7 @@ def sweep(
                         batch_size=batch,
                         platform=platform,
                         fast_fraction=effective,
+                        chaos=point_chaos,
                     )
                     points.append(
                         SweepPoint(policy, model, batch, effective, metrics)

@@ -11,6 +11,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import DeviceFullError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.chaos import FaultInjector
+
+__all__ = [
+    "DeviceKind",
+    "DeviceSpec",
+    "DeviceFullError",
+    "MemoryDevice",
+]
 
 
 class DeviceKind(enum.Enum):
@@ -64,16 +77,26 @@ class DeviceSpec:
         )
 
 
-class DeviceFullError(RuntimeError):
-    """Raised when an allocation exceeds a device's remaining capacity."""
-
-
 class MemoryDevice:
-    """A capacity-tracked memory device instance."""
+    """A capacity-tracked memory device instance.
 
-    def __init__(self, spec: DeviceSpec, kind: DeviceKind) -> None:
+    Args:
+        spec: static device description.
+        kind: tier this device serves.
+        injector: optional :class:`repro.chaos.FaultInjector` whose
+            bandwidth-degradation episodes (Optane write throttling) stretch
+            individual access times.  ``None`` keeps the exact linear model.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        kind: DeviceKind,
+        injector: Optional["FaultInjector"] = None,
+    ) -> None:
         self.spec = spec
         self.kind = kind
+        self.injector = injector
         self._used = 0
         self._peak_used = 0
 
@@ -126,7 +149,13 @@ class MemoryDevice:
         if nbytes < 0:
             raise ValueError(f"cannot access negative bytes {nbytes!r}")
         bandwidth = self.spec.write_bandwidth if is_write else self.spec.read_bandwidth
-        return self.spec.latency + nbytes / bandwidth
+        time = self.spec.latency + nbytes / bandwidth
+        if self.injector is not None:
+            # An active throttling episode (Optane under write pressure)
+            # stretches this access; the neutral return is exactly 1.0 so a
+            # zero-rate injector leaves the linear model bit-identical.
+            time *= self.injector.device_slowdown(self.kind, is_write)
+        return time
 
     def reset_peak(self) -> None:
         self._peak_used = self._used

@@ -21,8 +21,13 @@ touched range; the handler accounts those faults arithmetically.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.mem.page import PageTable, PageTableEntry
 from repro.mem.tlb import TLB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.chaos import FaultInjector
 
 
 class FaultHandler:
@@ -32,15 +37,28 @@ class FaultHandler:
         page_table: the table whose entries carry poison bits and counters.
         tlb: translation cache flushed after every counted access.
         fault_cost: seconds charged per protection fault taken.
+        injector: optional :class:`repro.chaos.FaultInjector` that drops a
+            fraction of the counted samples (the real handler's ring buffer
+            overflows under load, like perf's ``RECORD_LOST``).  Dropped
+            samples still cost fault-handling time — the trap happened — but
+            never reach the per-run counters, so the profile under-reports.
     """
 
-    def __init__(self, page_table: PageTable, tlb: TLB, fault_cost: float) -> None:
+    def __init__(
+        self,
+        page_table: PageTable,
+        tlb: TLB,
+        fault_cost: float,
+        injector: Optional["FaultInjector"] = None,
+    ) -> None:
         if fault_cost < 0:
             raise ValueError(f"fault cost must be non-negative, got {fault_cost!r}")
         self.page_table = page_table
         self.tlb = tlb
         self.fault_cost = fault_cost
+        self.injector = injector
         self.faults_taken = 0
+        self.faults_dropped = 0
         self.overhead = 0.0
 
     def on_access_pass(
@@ -66,10 +84,16 @@ class FaultHandler:
         # -> count, re-poison, flush.  One counter tick per page per pass
         # mirrors the per-page counting of the real handler.
         faults = pages_touched * passes
+        counted = faults
+        if self.injector is not None:
+            dropped = self.injector.drop_faults(faults)
+            if dropped:
+                counted -= dropped
+                self.faults_dropped += dropped
         if is_write:
-            entry.writes += faults
+            entry.writes += counted
         else:
-            entry.reads += faults
+            entry.reads += counted
         self.tlb.flush(entry.vpn)
         self.faults_taken += faults
         cost = faults * self.fault_cost
@@ -78,4 +102,5 @@ class FaultHandler:
 
     def reset(self) -> None:
         self.faults_taken = 0
+        self.faults_dropped = 0
         self.overhead = 0.0

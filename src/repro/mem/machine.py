@@ -9,7 +9,7 @@ placement policies need.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.mem.cache import DRAMCache
 from repro.mem.devices import DeviceKind, MemoryDevice
@@ -21,18 +21,35 @@ from repro.mem.tlb import TLB
 from repro.sim.channel import BandwidthChannel
 from repro.sim.stats import StatsRegistry
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.chaos import FaultInjector
+
 
 class Machine:
-    """A live instance of a heterogeneous-memory platform."""
+    """A live instance of a heterogeneous-memory platform.
 
-    def __init__(self, platform: Platform) -> None:
+    Args:
+        platform: static platform description to instantiate.
+        injector: optional :class:`repro.chaos.FaultInjector` threaded into
+            every fallible component (devices, fault handler, migration
+            engine).  ``None`` — the default — leaves all fault-free code
+            paths byte-identical to a machine built before chaos existed.
+    """
+
+    def __init__(
+        self, platform: Platform, injector: Optional["FaultInjector"] = None
+    ) -> None:
         self.platform = platform
-        self.fast = MemoryDevice(platform.fast, DeviceKind.FAST)
-        self.slow = MemoryDevice(platform.slow, DeviceKind.SLOW)
+        self.injector = injector
+        self.fast = MemoryDevice(platform.fast, DeviceKind.FAST, injector=injector)
+        self.slow = MemoryDevice(platform.slow, DeviceKind.SLOW, injector=injector)
         self.page_table = PageTable(page_size=platform.page_size)
         self.tlb = TLB()
         self.fault_handler = FaultHandler(
-            self.page_table, self.tlb, fault_cost=platform.fault_cost
+            self.page_table,
+            self.tlb,
+            fault_cost=platform.fault_cost,
+            injector=injector,
         )
         self.stats = StatsRegistry()
         self.promote_channel = BandwidthChannel(
@@ -58,12 +75,16 @@ class Machine:
             self.demote_channel,
             stats=self.stats,
             demand_channel=self.demand_channel,
+            injector=injector,
         )
         self._dram_cache: Optional[DRAMCache] = None
 
     @classmethod
     def for_platform(
-        cls, platform: Platform, fast_capacity: Optional[int] = None
+        cls,
+        platform: Platform,
+        fast_capacity: Optional[int] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> "Machine":
         """Build a machine, optionally resizing the fast tier.
 
@@ -73,7 +94,7 @@ class Machine:
         """
         if fast_capacity is not None:
             platform = platform.with_fast_capacity(fast_capacity)
-        return cls(platform)
+        return cls(platform, injector=injector)
 
     @property
     def page_size(self) -> int:

@@ -28,12 +28,16 @@ paper's Case 2 signal).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from repro.errors import MigrationFailure
 from repro.mem.devices import DeviceKind, MemoryDevice
 from repro.mem.page import PageTable, PageTableEntry
 from repro.sim.channel import BandwidthChannel, Transfer
 from repro.sim.stats import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.chaos import FaultInjector
 
 
 @dataclass
@@ -46,7 +50,25 @@ class MigrationRecord:
 
 
 class MigrationEngine:
-    """Schedules page-run migrations over the two helper channels."""
+    """Schedules page-run migrations over the two helper channels.
+
+    With a :class:`repro.chaos.FaultInjector` attached, submissions are
+    subject to two injected failure modes, mirroring real ``move_pages()``
+    behaviour, and *degrade* instead of raising:
+
+    * transient EBUSY — the submission is retried with exponential backoff
+      in simulated time; a background submission that exhausts its retries
+      returns its runs as skipped (the paper's leave-in-slow signal), while
+      an urgent demand-path submission keeps retrying and is never refused.
+    * mid-flight abort — the copy dies partway: the channel time for the
+      transferred prefix is burned (an ``aborted`` transfer), but no page
+      moves and all capacity reservations are rolled back.
+    """
+
+    #: Hard cap on urgent-lane retries: the demand path may never refuse,
+    #: so after this many consecutive EBUSYs it proceeds regardless — as on
+    #: real hardware, where whatever pin causes the EBUSY eventually drains.
+    URGENT_RETRY_CAP = 64
 
     def __init__(
         self,
@@ -57,6 +79,7 @@ class MigrationEngine:
         demote_channel: BandwidthChannel,
         stats: Optional[StatsRegistry] = None,
         demand_channel: Optional[BandwidthChannel] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.page_table = page_table
         self.fast = fast
@@ -69,6 +92,7 @@ class MigrationEngine:
             demand_channel if demand_channel is not None else promote_channel
         )
         self.stats = stats if stats is not None else StatsRegistry()
+        self.injector = injector
         self._pending: List[MigrationRecord] = []
 
     # ------------------------------------------------------------------ sync
@@ -114,8 +138,7 @@ class MigrationEngine:
         """
         self.sync(now)
         page_size = self.page_table.page_size
-        scheduled: List[PageTableEntry] = []
-        skipped: List[PageTableEntry] = []
+        eligible: List[PageTableEntry] = []
         seen: set = set()
         for run in runs:
             if run.vpn in seen:
@@ -123,6 +146,18 @@ class MigrationEngine:
             seen.add(run.vpn)
             if run.device is DeviceKind.FAST or run.in_flight:
                 continue
+            eligible.append(run)
+        if eligible and self.injector is not None:
+            now, refused = self._admit(now, urgent)
+            if refused:
+                # Retries exhausted: degrade instead of raising.  The whole
+                # request comes back as skipped, which callers already treat
+                # as the leave-in-slow (Case 2) signal.
+                self.stats.counter("migration.busy_fallbacks").add(1)
+                return None, [], eligible
+        scheduled: List[PageTableEntry] = []
+        skipped: List[PageTableEntry] = []
+        for run in eligible:
             if run.pinned:
                 skipped.append(run)
                 continue
@@ -141,6 +176,17 @@ class MigrationEngine:
             return None, scheduled, skipped
         total = sum(r.npages for r in scheduled) * page_size
         channel = self.demand_channel if urgent else self.promote_channel
+        if self.injector is not None:
+            now, died = self._survive_aborts(channel, total, now, tag, urgent)
+            if died:
+                # The copy was lost mid-flight; roll the reservations back
+                # and report the runs as skipped.  Page state never changed,
+                # so the source copies remain the valid mapping throughout.
+                for run in scheduled:
+                    nbytes = run.npages * page_size
+                    self.fast.release(nbytes)
+                    self.slow.allocate(nbytes)
+                return None, [], skipped + scheduled
         transfer = channel.submit(total, now, tag=tag)
         for run in scheduled:
             run.begin_migration(DeviceKind.FAST, transfer.finish)
@@ -156,17 +202,23 @@ class MigrationEngine:
     # ---------------------------------------------------------------- demote
 
     def demote(
-        self, runs: Sequence[PageTableEntry], now: float, tag: object = None
+        self,
+        runs: Sequence[PageTableEntry],
+        now: float,
+        tag: object = None,
+        urgent: bool = False,
     ) -> Tuple[Optional[Transfer], List[PageTableEntry]]:
         """Migrate ``runs`` fast -> slow; returns ``(transfer, scheduled)``.
 
         The slow tier is assumed large enough for the whole model (as on the
         paper's platforms); if it is not, the device raises and surfaces the
-        misconfiguration rather than silently dropping pages.
+        misconfiguration rather than silently dropping pages.  ``urgent``
+        marks a capacity-critical eviction (demand-miss path): like urgent
+        promotions it is never refused by injected transient faults.
         """
         self.sync(now)
         page_size = self.page_table.page_size
-        scheduled: List[PageTableEntry] = []
+        eligible: List[PageTableEntry] = []
         seen: set = set()
         for run in runs:
             if run.vpn in seen:
@@ -174,11 +226,29 @@ class MigrationEngine:
             seen.add(run.vpn)
             if run.device is DeviceKind.SLOW or run.in_flight or run.pinned:
                 continue
+            eligible.append(run)
+        if not eligible:
+            return None, eligible
+        if self.injector is not None:
+            now, refused = self._admit(now, urgent)
+            if refused:
+                # Eviction refused: the runs simply stay on fast memory and
+                # the caller's next capacity check sees no room was made.
+                self.stats.counter("migration.busy_fallbacks").add(1)
+                return None, []
+        scheduled: List[PageTableEntry] = []
+        for run in eligible:
             self.slow.allocate(run.npages * page_size)
             scheduled.append(run)
-        if not scheduled:
-            return None, scheduled
         total = sum(r.npages for r in scheduled) * page_size
+        if self.injector is not None:
+            now, died = self._survive_aborts(
+                self.demote_channel, total, now, tag, urgent
+            )
+            if died:
+                for run in scheduled:
+                    self.slow.release(run.npages * page_size)
+                return None, []
         transfer = self.demote_channel.submit(total, now, tag=tag)
         for run in scheduled:
             run.begin_migration(DeviceKind.SLOW, transfer.finish)
@@ -191,10 +261,68 @@ class MigrationEngine:
         )
         return transfer, scheduled
 
+    # ------------------------------------------------------- fault handling
+
+    def _admit(self, now: float, urgent: bool) -> Tuple[float, bool]:
+        """Transient-EBUSY gate; returns ``(submit_time, refused)``.
+
+        Each refused attempt backs off exponentially in simulated time
+        before resubmitting.  Background submissions give up after the
+        configured ``max_retries``; urgent submissions keep retrying (up to
+        :attr:`URGENT_RETRY_CAP`) and are never refused.
+        """
+        injector = self.injector
+        assert injector is not None
+        if not injector.migration_busy():
+            return now, False
+        config = injector.config
+        backoff = config.retry_backoff
+        retries = self.URGENT_RETRY_CAP if urgent else config.max_retries
+        for _ in range(retries):
+            self.stats.counter("migration.retries").add(1)
+            now += backoff
+            backoff *= 2.0
+            if not injector.migration_busy():
+                return now, False
+        return now, not urgent
+
+    def _survive_aborts(
+        self,
+        channel: BandwidthChannel,
+        nbytes: int,
+        now: float,
+        tag: object,
+        urgent: bool,
+    ) -> Tuple[float, bool]:
+        """Mid-flight-abort gate; returns ``(submit_time, copy_lost)``.
+
+        Every abort burns channel time for the fraction of the payload that
+        crossed before the copy died.  A background submission is lost on
+        the first abort (``copy_lost=True`` — the caller rolls back);
+        urgent submissions resubmit after each wreck until one survives.
+        """
+        injector = self.injector
+        assert injector is not None
+        attempts = self.URGENT_RETRY_CAP if urgent else 1
+        for _ in range(attempts):
+            if not injector.migration_abort():
+                return now, False
+            partial = int(nbytes * injector.config.abort_fraction)
+            wreck = channel.submit(partial, now, tag=tag, aborted=True)
+            self.stats.counter("migration.aborted_bytes").add(partial)
+            now = wreck.finish
+            if not urgent:
+                return now, True
+        return now, False
+
     # ------------------------------------------------------------- per-run
 
     def promote_each(
-        self, runs: Sequence[PageTableEntry], now: float, tag: object = None
+        self,
+        runs: Sequence[PageTableEntry],
+        now: float,
+        tag: object = None,
+        urgent: bool = False,
     ) -> List[Transfer]:
         """Promote runs as individual submissions.
 
@@ -204,18 +332,22 @@ class MigrationEngine:
         """
         transfers: List[Transfer] = []
         for run in runs:
-            transfer, _, _ = self.promote([run], now, tag=tag)
+            transfer, _, _ = self.promote([run], now, tag=tag, urgent=urgent)
             if transfer is not None:
                 transfers.append(transfer)
         return transfers
 
     def demote_each(
-        self, runs: Sequence[PageTableEntry], now: float, tag: object = None
+        self,
+        runs: Sequence[PageTableEntry],
+        now: float,
+        tag: object = None,
+        urgent: bool = False,
     ) -> List[Transfer]:
         """Demote runs as individual submissions (see :meth:`promote_each`)."""
         transfers: List[Transfer] = []
         for run in runs:
-            transfer, _ = self.demote([run], now, tag=tag)
+            transfer, _ = self.demote([run], now, tag=tag, urgent=urgent)
             if transfer is not None:
                 transfers.append(transfer)
         return transfers
@@ -233,7 +365,7 @@ class MigrationEngine:
         self.sync(now)
         page_size = self.page_table.page_size
         if run.in_flight:
-            raise ValueError(f"cannot discard in-flight run {run.vpn}")
+            raise MigrationFailure(f"cannot discard in-flight run {run.vpn}")
         if run.device is not DeviceKind.FAST:
             return
         nbytes = run.npages * page_size
@@ -252,7 +384,7 @@ class MigrationEngine:
         self.sync(now)
         page_size = self.page_table.page_size
         if run.in_flight:
-            raise ValueError(f"cannot materialize in-flight run {run.vpn}")
+            raise MigrationFailure(f"cannot materialize in-flight run {run.vpn}")
         if run.device is DeviceKind.FAST:
             return True
         nbytes = run.npages * page_size

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+from repro.errors import PageError
 from repro.mem.devices import DeviceKind
 
 #: Default OS page size (bytes).
@@ -34,10 +35,6 @@ PAGE_SIZE = 4096
 
 #: The reserved PTE bit Sentinel poisons (informational; we store a bool).
 POISON_BIT = 51
-
-
-class PageError(RuntimeError):
-    """Raised on invalid page-table operations (double map, missing run...)."""
 
 
 @dataclass

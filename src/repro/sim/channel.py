@@ -31,6 +31,8 @@ class Transfer:
         start: time the channel began serving the request.
         finish: time the last byte arrives; the payload is usable from then on.
         tag: opaque caller payload (e.g. the set of pages being migrated).
+        aborted: the copy died mid-flight — the channel time through
+            ``finish`` was burned but the payload never became usable.
     """
 
     nbytes: int
@@ -38,6 +40,7 @@ class Transfer:
     start: float
     finish: float
     tag: Any = None
+    aborted: bool = False
 
     @property
     def duration(self) -> float:
@@ -75,6 +78,7 @@ class BandwidthChannel:
         self._next_free = 0.0
         self._busy_time = 0.0
         self._bytes_moved = 0
+        self._aborted_transfers = 0
         self._history: List[Transfer] = []
 
     @property
@@ -93,6 +97,11 @@ class BandwidthChannel:
         return self._busy_time
 
     @property
+    def aborted_transfers(self) -> int:
+        """Number of submissions that died mid-flight (injected faults)."""
+        return self._aborted_transfers
+
+    @property
     def history(self) -> List[Transfer]:
         """All transfers in submission order (shared list, do not mutate)."""
         return self._history
@@ -103,22 +112,34 @@ class BandwidthChannel:
             raise ValueError(f"cannot transfer negative bytes {nbytes!r}")
         return self.latency + nbytes / self.bandwidth
 
-    def submit(self, nbytes: int, now: float, tag: Any = None) -> Transfer:
+    def submit(
+        self, nbytes: int, now: float, tag: Any = None, aborted: bool = False
+    ) -> Transfer:
         """Enqueue a transfer of ``nbytes`` at time ``now`` and return it.
 
         Zero-byte transfers are legal and complete after ``latency``; they are
-        useful as synchronization markers.
+        useful as synchronization markers.  An ``aborted`` submission models
+        a copy that dies mid-flight: it occupies the channel like any other
+        transfer (its bytes really crossed the wire), but the caller must not
+        treat its payload as delivered.
         """
         if nbytes < 0:
             raise ValueError(f"cannot transfer negative bytes {nbytes!r}")
         start = max(now, self._next_free)
         finish = start + self.service_time(nbytes)
         transfer = Transfer(
-            nbytes=nbytes, submitted=now, start=start, finish=finish, tag=tag
+            nbytes=nbytes,
+            submitted=now,
+            start=start,
+            finish=finish,
+            tag=tag,
+            aborted=aborted,
         )
         self._next_free = finish
         self._busy_time += finish - start
         self._bytes_moved += nbytes
+        if aborted:
+            self._aborted_transfers += 1
         self._history.append(transfer)
         return transfer
 
@@ -135,6 +156,7 @@ class BandwidthChannel:
         self._next_free = 0.0
         self._busy_time = 0.0
         self._bytes_moved = 0
+        self._aborted_transfers = 0
         self._history = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

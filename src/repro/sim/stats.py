@@ -120,9 +120,13 @@ class StatsRegistry:
             )
         return existing
 
-    def counters(self) -> Dict[str, float]:
-        """Snapshot of all counter values."""
-        return {name: c.value for name, c in self._counters.items()}
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """Snapshot of all counter values, optionally filtered by prefix."""
+        return {
+            name: c.value
+            for name, c in self._counters.items()
+            if name.startswith(prefix)
+        }
 
     def reset(self) -> None:
         for counter in self._counters.values():

@@ -87,3 +87,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "vdnn" in out
         assert "x" in out  # vDNN cannot run the LSTM
+
+    def test_run_with_fault_injection(self, capsys):
+        assert main(
+            ["run", "dcgan", "sentinel", "--batch", "8", "--fast-fraction", "0.2",
+             "--fault-rate", "0.2", "--chaos-seed", "7", "--audit"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "extras.migration_retries" in out
+        assert "extras.chaos.migration_busy" in out
+
+    def test_run_bad_fault_rate_rejected(self):
+        with pytest.raises(ValueError):
+            main(["run", "dcgan", "sentinel", "--fault-rate", "1.5"])
+
+    def test_chaos_sweep_renders_degradation_table(self, capsys):
+        assert main(
+            ["chaos", "dcgan", "--policies", "sentinel",
+             "--fault-rates", "0.0", "0.2", "--chaos-seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "under injected faults" in out
+        assert "injected-fault totals" in out
+        assert "vs 0%" in out

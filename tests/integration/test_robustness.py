@@ -7,11 +7,14 @@ machines too small to hold anything, graphs at the edge of validity.
 
 import pytest
 
-from repro.baselines.registry import make_policy
+from repro.baselines.registry import GPU_ONLY, POLICIES, make_policy
+from repro.chaos import ChaosConfig
 from repro.core.runtime import SentinelConfig, SentinelPolicy
 from repro.dnn.executor import ExecutionError, Executor
 from repro.dnn.graph import GraphBuilder
 from repro.dnn.policy import PlacementPolicy, ResidencyError
+from repro.harness.runner import run_policy
+from repro.harness.sweeps import point_seed
 from repro.mem.devices import DeviceFullError, DeviceKind
 from repro.mem.machine import Machine
 from repro.mem.platforms import GPU_HM, OPTANE_HM
@@ -81,6 +84,90 @@ class TestDegenerateMachines:
         executor = Executor(graph, machine, policy)
         executor.run_steps(2)
         assert policy.profile is not None  # step 0 was the profiling step
+
+
+class TestGracefulDegradation:
+    """The acceptance bar for fault injection: every policy completes at a
+    20% fault rate, with the invariant auditor attached, and throughput
+    only degrades."""
+
+    MODEL = "dcgan"
+
+    @pytest.mark.parametrize("policy", sorted(set(POLICIES) - GPU_ONLY))
+    def test_cpu_policies_complete_under_heavy_faults(self, policy):
+        fraction = None if policy in ("slow-only", "fast-only") else 0.2
+        chaos = ChaosConfig.uniform(0.2, seed=point_seed(0, policy, self.MODEL))
+        metrics = run_policy(
+            policy,
+            model=self.MODEL,
+            fast_fraction=fraction,
+            chaos=chaos,
+            audit=True,
+        )
+        assert metrics.step_time > 0
+
+    @pytest.mark.parametrize("policy", ["unified-memory", "sentinel-gpu"])
+    def test_gpu_policies_complete_under_heavy_faults(self, policy):
+        chaos = ChaosConfig.uniform(0.2, seed=point_seed(0, policy, self.MODEL))
+        metrics = run_policy(
+            policy,
+            model=self.MODEL,
+            platform=GPU_HM,
+            fast_fraction=0.5,
+            chaos=chaos,
+            audit=True,
+        )
+        assert metrics.step_time > 0
+
+    def test_faults_only_slow_things_down(self):
+        clean = run_policy("sentinel", model=self.MODEL, fast_fraction=0.2)
+        chaotic = run_policy(
+            "sentinel",
+            model=self.MODEL,
+            fast_fraction=0.2,
+            chaos=ChaosConfig.uniform(0.2, seed=17),
+            audit=True,
+        )
+        # Within-noise tolerance: throttling/retries may not hit the one
+        # measured step, but they can never make it meaningfully faster.
+        assert chaotic.throughput <= clean.throughput * 1.02
+
+    def test_lossy_profile_triggers_bounded_reprofiling(self):
+        chaos = ChaosConfig(seed=3, profile_drop_rate=0.5)
+        metrics = run_policy(
+            "sentinel", model=self.MODEL, fast_fraction=0.2, chaos=chaos
+        )
+        assert metrics.extras["reprofile_steps"] == 1  # capped by the budget
+
+    def test_clean_profile_never_reprofiles(self):
+        chaos = ChaosConfig(seed=3, migration_busy_rate=0.2)  # no sample loss
+        metrics = run_policy(
+            "sentinel", model=self.MODEL, fast_fraction=0.2, chaos=chaos
+        )
+        assert metrics.extras["reprofile_steps"] == 0
+
+    def test_case3_deadline_degrades_waits_into_fallbacks(self):
+        chaos = ChaosConfig.uniform(0.2, seed=5)
+        config = SentinelConfig(warmup_steps=2, case3_wait_deadline=1e-9)
+        metrics = run_policy(
+            "sentinel",
+            model=self.MODEL,
+            fast_fraction=0.2,
+            sentinel_config=config,
+            chaos=chaos,
+            audit=True,
+        )
+        # An (effectively) zero patience budget means every Case-3 event
+        # takes the leave-in-slow fallback instead of stalling.
+        assert metrics.extras["case3"] > 0
+        assert metrics.extras["case3_fallbacks"] == metrics.extras["case3"]
+
+    def test_unbounded_patience_never_falls_back(self):
+        chaos = ChaosConfig.uniform(0.2, seed=5)
+        metrics = run_policy(
+            "sentinel", model=self.MODEL, fast_fraction=0.2, chaos=chaos
+        )
+        assert metrics.extras["case3_fallbacks"] == 0
 
 
 class TestGraphEdgeCases:

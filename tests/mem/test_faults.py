@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.chaos import ChaosConfig, FaultInjector
 from repro.mem.devices import DeviceKind
 from repro.mem.faults import FaultHandler
 from repro.mem.page import PageTable
@@ -96,3 +97,71 @@ class TestFaultHandler:
         handler.reset()
         assert handler.overhead == 0.0
         assert handler.faults_taken == 0
+
+    def test_zero_pages_with_multiple_passes_still_free(self, setup):
+        _, _, handler, run = setup
+        run.poisoned = True
+        assert handler.on_access_pass(run, 0, is_write=True, passes=7) == 0.0
+        assert run.writes == 0
+        assert handler.faults_taken == 0
+
+    def test_multi_pass_overhead_scales_linearly(self, setup):
+        _, _, handler, run = setup
+        run.poisoned = True
+        one = handler.on_access_pass(run, 4, is_write=False)
+        handler.reset()
+        many = handler.on_access_pass(run, 4, is_write=False, passes=3)
+        assert many == pytest.approx(3 * one)
+        assert handler.overhead == pytest.approx(many)
+
+    def test_repoison_cycle_resumes_counting(self, setup):
+        """Unpoison (profiling done) -> free accesses; re-poison -> counted."""
+        _, _, handler, run = setup
+        run.poisoned = True
+        handler.on_access_pass(run, 2, is_write=False)
+        run.poisoned = False
+        assert handler.on_access_pass(run, 2, is_write=False) == 0.0
+        assert run.reads == 2  # the unpoisoned pass left no trace
+        run.poisoned = True
+        handler.on_access_pass(run, 2, is_write=False)
+        assert run.reads == 4
+        assert handler.faults_taken == 4
+
+
+class TestLossyProfiling:
+    def make_handler(self, drop_rate):
+        table = PageTable()
+        injector = FaultInjector(ChaosConfig(profile_drop_rate=drop_rate))
+        handler = FaultHandler(table, TLB(), fault_cost=1e-6, injector=injector)
+        run = table.map_run(8, DeviceKind.SLOW)
+        run.poisoned = True
+        return handler, run
+
+    def test_dropped_samples_cost_time_but_miss_the_counters(self):
+        handler, run = self.make_handler(drop_rate=1.0)
+        cost = handler.on_access_pass(run, 8, is_write=False)
+        # Every trap happened and was paid for...
+        assert handler.faults_taken == 8
+        assert cost == pytest.approx(8e-6)
+        # ...but none of the samples reached the per-run profile.
+        assert run.reads == 0
+        assert handler.faults_dropped == 8
+
+    def test_partial_drop_splits_the_accounting(self):
+        handler, run = self.make_handler(drop_rate=0.5)
+        handler.on_access_pass(run, 8, is_write=True)
+        assert handler.faults_taken == 8
+        assert run.writes + handler.faults_dropped == 8
+        assert handler.faults_dropped in (4, 5)
+
+    def test_reset_clears_dropped_count(self):
+        handler, run = self.make_handler(drop_rate=1.0)
+        handler.on_access_pass(run, 4, is_write=False)
+        handler.reset()
+        assert handler.faults_dropped == 0
+
+    def test_zero_rate_injector_changes_nothing(self):
+        handler, run = self.make_handler(drop_rate=0.0)
+        handler.on_access_pass(run, 8, is_write=False)
+        assert run.reads == 8
+        assert handler.faults_dropped == 0

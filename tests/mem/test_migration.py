@@ -81,6 +81,29 @@ class TestPromote:
         assert skipped[0].npages == 6
         assert fast.used == 4 * PAGE
 
+    def test_boundary_split_mid_list_fills_fast_exactly(self):
+        """The run straddling the limit splits; later runs are skipped whole."""
+        table, fast, slow, engine = make_engine(fast_pages=6)
+        first = map_on(table, DeviceKind.SLOW, 4, fast, slow)
+        straddler = map_on(table, DeviceKind.SLOW, 5, fast, slow)
+        late = map_on(table, DeviceKind.SLOW, 3, fast, slow)
+        transfer, scheduled, skipped = engine.promote(
+            [first, straddler, late], now=0.0
+        )
+        assert [r.npages for r in scheduled] == [4, 2]
+        assert fast.used == 6 * PAGE  # filled to the last page
+        assert sum(r.npages for r in skipped) == 3 + 3  # tail + late run
+        assert late in skipped
+
+    def test_split_tail_keeps_slow_accounting(self):
+        table, fast, slow, engine = make_engine(fast_pages=4)
+        run = map_on(table, DeviceKind.SLOW, 10, fast, slow)
+        engine.promote([run], now=0.0)
+        # 4 pages reserved on fast (in flight), 6-page tail still on slow.
+        assert fast.used == 4 * PAGE
+        assert slow.used == 6 * PAGE
+        assert sum(e.npages for e in table.entries()) == 10
+
     def test_promote_duplicate_request_deduped(self):
         table, fast, slow, engine = make_engine()
         run = map_on(table, DeviceKind.SLOW, 2, fast, slow)

@@ -1,0 +1,391 @@
+"""Fault injection and invariant auditing (the chaos layer).
+
+Covers the three contract pillars: determinism (same seed, same faults),
+pay-for-what-you-use (zero rates touch nothing), and graceful degradation
+(the engine retries/rolls back instead of raising).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import ChaosConfig, FaultInjector, InvariantAuditor
+from repro.dnn.executor import Executor
+from repro.errors import ConsistencyError
+from repro.mem.devices import DeviceKind, DeviceSpec, MemoryDevice
+from repro.mem.machine import Machine
+from repro.mem.migration import MigrationEngine
+from repro.mem.page import PageTable
+from repro.mem.platforms import OPTANE_HM
+from repro.models import build_model
+from repro.sim.channel import BandwidthChannel
+
+PAGE = 4096
+
+
+class TestChaosConfig:
+    def test_defaults_are_disabled(self):
+        config = ChaosConfig()
+        assert not config.enabled
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "migration_busy_rate",
+            "migration_abort_rate",
+            "device_throttle_rate",
+            "profile_drop_rate",
+        ],
+    )
+    def test_rates_outside_unit_interval_rejected(self, field):
+        with pytest.raises(ValueError):
+            ChaosConfig(**{field: 1.5})
+        with pytest.raises(ValueError):
+            ChaosConfig(**{field: -0.1})
+
+    def test_throttle_factor_bounds(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(device_throttle_factor=0.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(device_throttle_factor=1.5)
+
+    def test_abort_fraction_open_interval(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(abort_fraction=0.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(abort_fraction=1.0)
+
+    def test_negative_retry_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ChaosConfig(retry_backoff=-1e-6)
+
+    def test_uniform_spreads_the_headline_rate(self):
+        config = ChaosConfig.uniform(0.2, seed=7)
+        assert config.seed == 7
+        assert config.migration_busy_rate == 0.2
+        assert config.migration_abort_rate == 0.1
+        assert config.device_throttle_rate == 0.2
+        assert config.profile_drop_rate == 0.2
+        assert config.enabled
+
+    def test_uniform_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ChaosConfig.uniform(1.2)
+
+    def test_uniform_accepts_overrides(self):
+        config = ChaosConfig.uniform(0.2, migration_abort_rate=0.0)
+        assert config.migration_abort_rate == 0.0
+        assert config.migration_busy_rate == 0.2
+
+    def test_reseeded_changes_only_the_seed(self):
+        config = ChaosConfig.uniform(0.2, seed=1)
+        other = config.reseeded(99)
+        assert other.seed == 99
+        assert dataclasses.replace(other, seed=1) == config
+
+
+class TestFaultInjectorDeterminism:
+    def test_same_seed_same_draw_sequence(self):
+        config = ChaosConfig(seed=42, migration_busy_rate=0.5)
+        a = FaultInjector(config)
+        b = FaultInjector(config)
+        assert [a.migration_busy() for _ in range(200)] == [
+            b.migration_busy() for _ in range(200)
+        ]
+        assert a.counts == b.counts
+
+    def test_different_seeds_differ(self):
+        base = ChaosConfig(migration_busy_rate=0.5)
+        a = FaultInjector(base.reseeded(1))
+        b = FaultInjector(base.reseeded(2))
+        assert [a.migration_busy() for _ in range(200)] != [
+            b.migration_busy() for _ in range(200)
+        ]
+
+    def test_streams_are_independent(self):
+        """Consuming one concern's stream must not shift another's draws."""
+        config = ChaosConfig(
+            seed=3, migration_busy_rate=0.5, device_throttle_rate=0.5
+        )
+        undisturbed = FaultInjector(config)
+        expected = [undisturbed.migration_busy() for _ in range(100)]
+        disturbed = FaultInjector(config)
+        for _ in range(100):
+            disturbed.device_slowdown(DeviceKind.SLOW, is_write=True)
+        assert [disturbed.migration_busy() for _ in range(100)] == expected
+
+
+class TestZeroRateNeutrality:
+    def test_zero_rates_consume_no_randomness(self):
+        injector = FaultInjector(ChaosConfig())
+        states = (
+            injector._migration_rng.getstate(),
+            injector._device_rng.getstate(),
+            injector._profile_rng.getstate(),
+        )
+        assert not injector.migration_busy()
+        assert not injector.migration_abort()
+        assert injector.device_slowdown(DeviceKind.SLOW, is_write=True) == 1.0
+        assert injector.drop_faults(1000) == 0
+        assert states == (
+            injector._migration_rng.getstate(),
+            injector._device_rng.getstate(),
+            injector._profile_rng.getstate(),
+        )
+        assert injector.counts == {}
+
+    def test_fast_tier_never_throttled(self):
+        injector = FaultInjector(ChaosConfig(device_throttle_rate=1.0))
+        assert injector.device_slowdown(DeviceKind.FAST, is_write=True) == 1.0
+        assert injector.counts == {}
+
+
+class TestDropFaults:
+    def test_full_rate_drops_everything(self):
+        injector = FaultInjector(ChaosConfig(profile_drop_rate=1.0))
+        assert injector.drop_faults(123) == 123
+        assert injector.counts["chaos.profile_faults_dropped"] == 123
+
+    def test_partial_rate_rounds_to_adjacent_integers(self):
+        injector = FaultInjector(ChaosConfig(profile_drop_rate=0.5))
+        for _ in range(20):
+            assert injector.drop_faults(9) in (4, 5)
+
+    def test_no_faults_no_drops(self):
+        injector = FaultInjector(ChaosConfig(profile_drop_rate=1.0))
+        assert injector.drop_faults(0) == 0
+
+
+class TestDeviceThrottle:
+    def make_device(self, injector):
+        spec = DeviceSpec("optane", 1 << 30, 1e9, 1e9)
+        return MemoryDevice(spec, DeviceKind.SLOW, injector=injector)
+
+    def test_write_throttled_by_full_factor(self):
+        injector = FaultInjector(
+            ChaosConfig(device_throttle_rate=1.0, device_throttle_factor=0.25)
+        )
+        device = self.make_device(injector)
+        base = MemoryDevice(device.spec, DeviceKind.SLOW).access_time(
+            1 << 20, is_write=True
+        )
+        assert device.access_time(1 << 20, is_write=True) == pytest.approx(base * 4.0)
+
+    def test_read_degrades_half_as_hard(self):
+        injector = FaultInjector(
+            ChaosConfig(device_throttle_rate=1.0, device_throttle_factor=0.25)
+        )
+        device = self.make_device(injector)
+        base = MemoryDevice(device.spec, DeviceKind.SLOW).access_time(
+            1 << 20, is_write=False
+        )
+        # Read factor is (1 + 0.25) / 2 = 0.625 of nominal bandwidth.
+        assert device.access_time(1 << 20, is_write=False) == pytest.approx(
+            base / 0.625
+        )
+
+    def test_zero_rate_is_bit_identical(self):
+        injector = FaultInjector(ChaosConfig())
+        device = self.make_device(injector)
+        clean = MemoryDevice(device.spec, DeviceKind.SLOW)
+        for nbytes in (0, 1, PAGE, 1 << 20):
+            assert device.access_time(nbytes, True) == clean.access_time(nbytes, True)
+
+
+def make_engine(injector, fast_pages=16, slow_pages=1024):
+    table = PageTable(page_size=PAGE)
+    fast = MemoryDevice(
+        DeviceSpec("fast", fast_pages * PAGE, 1e9, 1e9), DeviceKind.FAST
+    )
+    slow = MemoryDevice(
+        DeviceSpec("slow", slow_pages * PAGE, 1e8, 1e8), DeviceKind.SLOW
+    )
+    engine = MigrationEngine(
+        table,
+        fast,
+        slow,
+        BandwidthChannel(1e6, "promote"),
+        BandwidthChannel(1e6, "demote"),
+        injector=injector,
+    )
+    return table, fast, slow, engine
+
+
+def map_on(table, device, npages, fast, slow):
+    run = table.map_run(npages, device)
+    (fast if device is DeviceKind.FAST else slow).allocate(npages * PAGE)
+    return run
+
+
+class TestMigrationBusy:
+    def test_background_promote_refused_after_retries(self):
+        config = ChaosConfig(migration_busy_rate=1.0, max_retries=3)
+        table, fast, slow, engine = make_engine(FaultInjector(config))
+        run = map_on(table, DeviceKind.SLOW, 4, fast, slow)
+        transfer, scheduled, skipped = engine.promote([run], now=0.0)
+        assert transfer is None
+        assert scheduled == []
+        assert skipped == [run]
+        # Nothing moved, nothing reserved: degradation left the books alone.
+        assert fast.used == 0
+        assert slow.used == 4 * PAGE
+        assert not run.in_flight
+        assert engine.stats.counter("migration.retries").value == 3
+        assert engine.stats.counter("migration.busy_fallbacks").value == 1
+
+    def test_urgent_promote_never_refused(self):
+        config = ChaosConfig(migration_busy_rate=1.0)
+        table, fast, slow, engine = make_engine(FaultInjector(config))
+        run = map_on(table, DeviceKind.SLOW, 2, fast, slow)
+        transfer, scheduled, skipped = engine.promote([run], now=0.0, urgent=True)
+        assert transfer is not None
+        assert scheduled == [run]
+        # Every retry paid backoff, so the submission starts strictly later.
+        assert transfer.start > 0.0
+        assert (
+            engine.stats.counter("migration.retries").value
+            == MigrationEngine.URGENT_RETRY_CAP
+        )
+
+    def test_background_demote_refused_leaves_runs_on_fast(self):
+        config = ChaosConfig(migration_busy_rate=1.0, max_retries=2)
+        table, fast, slow, engine = make_engine(FaultInjector(config))
+        run = map_on(table, DeviceKind.FAST, 4, fast, slow)
+        transfer, scheduled = engine.demote([run], now=0.0)
+        assert transfer is None
+        assert scheduled == []
+        assert fast.used == 4 * PAGE
+        assert slow.used == 0
+
+    def test_retry_can_succeed_midway(self):
+        """At a middling rate, some submissions survive the retry loop."""
+        config = ChaosConfig(seed=5, migration_busy_rate=0.5, max_retries=8)
+        table, fast, slow, engine = make_engine(
+            FaultInjector(config), fast_pages=256
+        )
+        outcomes = []
+        for _ in range(20):
+            run = map_on(table, DeviceKind.SLOW, 1, fast, slow)
+            transfer, _, _ = engine.promote([run], now=0.0)
+            outcomes.append(transfer is not None)
+        assert any(outcomes)
+
+
+class TestMigrationAbort:
+    def test_background_abort_rolls_back_promote(self):
+        config = ChaosConfig(migration_abort_rate=1.0, abort_fraction=0.5)
+        table, fast, slow, engine = make_engine(FaultInjector(config))
+        run = map_on(table, DeviceKind.SLOW, 4, fast, slow)
+        transfer, scheduled, skipped = engine.promote([run], now=0.0)
+        assert transfer is None
+        assert scheduled == []
+        assert skipped == [run]
+        assert fast.used == 0
+        assert slow.used == 4 * PAGE
+        assert run.device is DeviceKind.SLOW
+        assert not run.in_flight
+        # Channel time was burned for the half that crossed before the wreck.
+        assert engine.promote_channel.aborted_transfers == 1
+        assert engine.stats.counter("migration.aborted_bytes").value == 2 * PAGE
+
+    def test_background_abort_rolls_back_demote(self):
+        config = ChaosConfig(migration_abort_rate=1.0)
+        table, fast, slow, engine = make_engine(FaultInjector(config))
+        run = map_on(table, DeviceKind.FAST, 4, fast, slow)
+        transfer, scheduled = engine.demote([run], now=0.0)
+        assert transfer is None and scheduled == []
+        assert fast.used == 4 * PAGE
+        assert slow.used == 0
+
+    def test_urgent_resubmits_until_a_copy_survives(self):
+        config = ChaosConfig(seed=11, migration_abort_rate=0.5)
+        table, fast, slow, engine = make_engine(FaultInjector(config))
+        run = map_on(table, DeviceKind.SLOW, 2, fast, slow)
+        transfer, scheduled, _ = engine.promote([run], now=0.0, urgent=True)
+        assert transfer is not None
+        assert scheduled == [run]
+        assert run.in_flight
+
+
+class TestAuditor:
+    def test_healthy_machine_passes(self):
+        machine = Machine(OPTANE_HM)
+        machine.map_run(4, DeviceKind.SLOW)
+        machine.map_run(2, DeviceKind.FAST)
+        auditor = InvariantAuditor(machine)
+        auditor.audit()
+        assert auditor.audits_run == 1
+
+    def test_inflight_promotion_double_charge_window_is_legal(self):
+        machine = Machine(OPTANE_HM)
+        run = machine.map_run(4, DeviceKind.SLOW)
+        machine.migration.promote([run], now=0.0)
+        InvariantAuditor(machine).audit()
+
+    def test_inflight_demotion_double_charge_window_is_legal(self):
+        machine = Machine(OPTANE_HM)
+        run = machine.map_run(4, DeviceKind.FAST)
+        machine.migration.demote([run], now=0.0)
+        InvariantAuditor(machine).audit()
+
+    def test_phantom_fast_allocation_caught(self):
+        machine = Machine(OPTANE_HM)
+        machine.map_run(4, DeviceKind.SLOW)
+        machine.fast.allocate(machine.page_size)  # no run backs this
+        with pytest.raises(ConsistencyError, match="fast-usage-matches"):
+            InvariantAuditor(machine).audit()
+
+    def test_leaked_slow_release_caught(self):
+        machine = Machine(OPTANE_HM)
+        machine.map_run(4, DeviceKind.SLOW)
+        machine.slow.release(machine.page_size)  # run still mapped
+        with pytest.raises(ConsistencyError, match="slow-usage-matches"):
+            InvariantAuditor(machine).audit()
+
+    def test_self_migration_caught(self):
+        machine = Machine(OPTANE_HM)
+        run = machine.map_run(2, DeviceKind.SLOW)
+        run.migrating_to = DeviceKind.SLOW
+        with pytest.raises(ConsistencyError, match="destination-differs"):
+            InvariantAuditor(machine).audit()
+
+    def test_consistency_error_names_the_invariant(self):
+        machine = Machine(OPTANE_HM)
+        machine.map_run(1, DeviceKind.FAST)
+        machine.fast.allocate(machine.page_size)
+        with pytest.raises(ConsistencyError) as excinfo:
+            InvariantAuditor(machine).audit()
+        assert excinfo.value.invariant == "accounting.fast-usage-matches-page-table"
+
+    def test_audit_fires_every_step_during_execution(self):
+        graph = build_model("dcgan", batch_size=8)
+        machine = Machine(OPTANE_HM)
+        from repro.dnn.policy import PlacementPolicy
+
+        auditor = InvariantAuditor(machine)
+        Executor(graph, machine, PlacementPolicy(), observers=[auditor]).run_steps(2)
+        assert auditor.audits_run == 2
+
+    def test_mutation_mid_run_surfaces_as_consistency_error(self):
+        """Deliberate corruption between steps is caught by the next audit."""
+        graph = build_model("dcgan", batch_size=8)
+        machine = Machine(OPTANE_HM)
+        from repro.dnn.executor import StepObserver
+        from repro.dnn.policy import PlacementPolicy
+
+        class Saboteur(StepObserver):
+            def on_step_end(self, step, result):
+                if step == 0:
+                    machine.slow.allocate(machine.page_size)
+
+        # Auditor first: step 0's audit sees a healthy machine, then the
+        # saboteur corrupts it; step 1's audit must catch the imbalance.
+        auditor = InvariantAuditor(machine)
+        executor = Executor(
+            graph, machine, PlacementPolicy(), observers=[auditor, Saboteur()]
+        )
+        executor.run_step()
+        with pytest.raises(ConsistencyError):
+            executor.run_step()
