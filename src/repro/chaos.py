@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.dnn.executor import StepObserver, StepResult
 from repro.errors import ConsistencyError
@@ -38,6 +38,7 @@ from repro.mem.devices import DeviceKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mem.machine import Machine
+    from repro.obs.trace import EventTracer
 
 
 @dataclass(frozen=True)
@@ -146,10 +147,16 @@ class FaultInjector:
         config: the governing :class:`ChaosConfig`.
         counts: injected-event counters (``chaos.*`` keys), surfaced by the
             harness next to the runtime's retry/fallback counters.
+        tracer: optional :class:`repro.obs.EventTracer`, attached by the
+            :class:`~repro.mem.machine.Machine` that adopts this injector;
+            every injected decision then also lands in the trace as a
+            ``chaos``-category instant (timestamped from the tracer's bound
+            clock — the injector itself has no notion of time).
     """
 
     def __init__(self, config: ChaosConfig) -> None:
         self.config = config
+        self.tracer: Optional["EventTracer"] = None
         self._migration_rng = self._stream("migration")
         self._device_rng = self._stream("device")
         self._profile_rng = self._stream("profile")
@@ -160,6 +167,13 @@ class FaultInjector:
 
     def _count(self, key: str, amount: int = 1) -> None:
         self.counts[key] = self.counts.get(key, 0) + amount
+        if self.tracer is not None:
+            self.tracer.instant(
+                key.partition("chaos.")[2] or key,
+                "chaos",
+                track="chaos",
+                amount=amount,
+            )
 
     # ------------------------------------------------------------- migration
 

@@ -9,6 +9,7 @@ Commands:
 * ``maxbatch``   — maximum feasible batch per policy on the GPU platform.
 * ``experiment`` — regenerate one of the paper's tables/figures by id.
 * ``chaos``      — fault-rate sweep under deterministic fault injection.
+* ``trace``      — run one simulation with event tracing and export the trace.
 * ``models``     — list the model zoo.
 """
 
@@ -99,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check memory-accounting invariants after every step",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace of the run to PATH (open in Perfetto)",
+    )
 
     compare = sub.add_parser("compare", help="all applicable policies on one model")
     compare.add_argument("model", choices=sorted(MODELS))
@@ -168,6 +175,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults at this rate on every grid point",
     )
     grid.add_argument("--chaos-seed", type=int, default=0)
+    grid.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="capture every grid point's event trace and write one combined "
+        "Chrome trace (one Perfetto process per point)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run one simulation under event tracing and export it"
+    )
+    trace.add_argument("model", choices=sorted(MODELS))
+    trace.add_argument("policy", choices=sorted(POLICIES))
+    trace.add_argument("--batch", type=int, default=None)
+    trace.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    trace.add_argument("--fast-fraction", type=float, default=0.2)
+    trace.add_argument("--fault-rate", type=float, default=0.0)
+    trace.add_argument("--chaos-seed", type=int, default=0)
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output file (default: print the per-category summary only)",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "summary"),
+        default="chrome",
+        help="chrome: Perfetto-loadable trace_event JSON; jsonl: canonical "
+        "one-event-per-line records; summary: per-category digest table",
+    )
 
     sub.add_parser("models", help="list the model zoo")
     sub.add_parser("features", help="print Table I (design comparison)")
@@ -178,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args) -> int:
     chaos = _chaos_from(args)
+    tracer = None
+    if args.trace:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
     metrics = run_policy(
         args.policy,
         model=args.model,
@@ -186,6 +229,7 @@ def _cmd_run(args) -> int:
         fast_fraction=args.fast_fraction,
         chaos=chaos,
         audit=args.audit,
+        tracer=tracer,
     )
     rows = [
         ("step time (s)", f"{metrics.step_time:.4f}"),
@@ -205,6 +249,13 @@ def _cmd_run(args) -> int:
             title=f"{args.model} / {args.policy} (batch {metrics.batch_size})",
         )
     )
+    if tracer is not None:
+        from repro.obs import write_chrome
+
+        write_chrome(
+            tracer.events, args.trace, process_name=f"{args.model}/{args.policy}"
+        )
+        print(f"trace: {len(tracer)} events -> {args.trace}")
     return 0
 
 
@@ -339,6 +390,7 @@ def _cmd_grid(args) -> int:
         fast_fractions=(args.fast_fraction,),
         platform=args.platform,
         chaos=_chaos_from(args),
+        trace=args.trace is not None,
     )
     print(result.to_table(value=args.value))
     failures = [p for p in result if not p.ok]
@@ -347,6 +399,16 @@ def _cmd_grid(args) -> int:
             "\nfailed points: "
             + ", ".join(f"{p.policy}/{p.model} ({p.failure})" for p in failures)
         )
+    if args.trace:
+        import json
+
+        from repro.obs import combine_chrome
+
+        labeled = [(p.label, p.events) for p in result if p.events]
+        with open(args.trace, "w") as handle:
+            json.dump(combine_chrome(labeled), handle, sort_keys=True)
+        total = sum(len(events) for _, events in labeled)
+        print(f"trace: {total} events from {len(labeled)} points -> {args.trace}")
     return 0
 
 
@@ -368,6 +430,47 @@ def _cmd_chaos(args) -> int:
                 totals[key] = totals.get(key, 0) + record.get(key, 0)
     print()
     print(format_counters(totals, title="injected-fault totals"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.harness.report import format_trace_summary
+    from repro.obs import EventTracer, to_jsonl, write_chrome
+
+    tracer = EventTracer()
+    metrics = run_policy(
+        args.policy,
+        model=args.model,
+        batch_size=args.batch,
+        platform=args.platform,
+        fast_fraction=args.fast_fraction,
+        chaos=_chaos_from(args),
+        tracer=tracer,
+    )
+    events = tracer.events
+    title = (
+        f"{args.model} / {args.policy} (batch {metrics.batch_size}, "
+        f"step {metrics.step_time:.4f}s)"
+    )
+    if args.out is None or args.format == "summary":
+        text = format_trace_summary(events, title=title)
+        if args.out is not None:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        else:
+            print(text)
+    if args.out is not None and args.format == "chrome":
+        write_chrome(events, args.out, process_name=f"{args.model}/{args.policy}")
+    elif args.out is not None and args.format == "jsonl":
+        with open(args.out, "w") as handle:
+            handle.write(to_jsonl(events))
+    if args.out is not None:
+        print(f"trace: {len(events)} events -> {args.out} ({args.format})")
+    if tracer.dropped:
+        print(
+            f"note: ring buffer wrapped; the oldest {tracer.dropped} events "
+            "were dropped (raise EventTracer capacity to keep them)"
+        )
     return 0
 
 
@@ -400,6 +503,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "features": _cmd_features,
         "grid": _cmd_grid,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -91,10 +91,24 @@ def evict_coldest(policy, nbytes: int, now: float, ranked_runs: List[PageTableEn
         )
         if transfer is not None:
             wait_until = max(wait_until, transfer.finish)
-    if wait_until <= now:
+    stall = 0.0 if wait_until <= now else wait_until - now
+    tracer = machine.tracer
+    if tracer is not None and (victims or stall > 0.0):
+        tracer.complete(
+            "evict-on-demand",
+            "gpu",
+            ts=now,
+            dur=stall,
+            track="gpu",
+            nbytes=nbytes,
+            reclaimed=reclaimed,
+            victims=len(victims),
+            inflight_bytes=pending_bytes,
+        )
+    if stall <= 0.0:
         return 0.0
     machine.migration.sync(wait_until)
-    return wait_until - now
+    return stall
 
 
 class SentinelGPUPolicy(SentinelPolicy):
@@ -151,6 +165,16 @@ class SentinelGPUPolicy(SentinelPolicy):
             assert self.graph is not None and self.machine is not None
             sync_bytes = sum(t.nbytes for t in self.graph.preallocated())
             stall += sync_bytes / self.machine.platform.promote_bandwidth
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.instant(
+                    "two-copy-sync",
+                    "gpu",
+                    ts=now,
+                    track="gpu",
+                    nbytes=sync_bytes,
+                    step=step,
+                )
         return stall
 
     # ------------------------------------------------------------ residency
@@ -164,6 +188,16 @@ class SentinelGPUPolicy(SentinelPolicy):
         pending = [t for t in self._prefetch.get(interval, ()) if t.finish > now]
         if pending:
             self.case3_occurrences += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.instant(
+                    "case3",
+                    "gpu",
+                    ts=now,
+                    track="gpu",
+                    interval=interval,
+                    pending=len(pending),
+                )
         return 0.0
 
     def ensure_resident(self, run: PageTableEntry, now: float) -> float:

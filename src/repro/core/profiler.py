@@ -37,6 +37,7 @@ from repro.mem.platforms import Platform
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
+    from repro.obs.trace import EventTracer
 
 
 def estimate_layer_fast_times(graph: Graph, machine: Machine) -> List[float]:
@@ -208,6 +209,9 @@ class ProfilingObserver(StepObserver):
     def on_step_start(self, step: int, now: float) -> None:
         self.machine.page_table.poison_all()
         self.machine.tlb.flush_all()
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.instant("poison-all", "fault", ts=now, track="faults", step=step)
 
     def on_tensor_allocated(
         self, tensor: Tensor, mapping: TensorMapping, now: float
@@ -228,6 +232,15 @@ class ProfilingObserver(StepObserver):
 
     def on_step_end(self, step: int, result: StepResult) -> None:
         self.machine.page_table.unpoison_all()
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.instant(
+                "unpoison-all",
+                "fault",
+                ts=result.end_time,
+                track="faults",
+                step=step,
+            )
 
 
 @dataclass
@@ -253,6 +266,8 @@ class DynamicProfiler:
             attached the fault handler may drop samples, and a pass whose
             loss ratio exceeds ``loss_threshold`` is retried (bounded by
             ``max_reprofiles``) before the lossy profile is accepted.
+        tracer: optional :class:`repro.obs.EventTracer` handed to the
+            machine each pass, so profiling faults land in the trace.
     """
 
     def __init__(
@@ -261,6 +276,7 @@ class DynamicProfiler:
         injector: Optional["FaultInjector"] = None,
         max_reprofiles: int = 1,
         loss_threshold: float = 0.02,
+        tracer: Optional["EventTracer"] = None,
     ) -> None:
         if max_reprofiles < 0:
             raise ValueError(f"max_reprofiles must be >= 0, got {max_reprofiles!r}")
@@ -272,6 +288,7 @@ class DynamicProfiler:
         self.injector = injector
         self.max_reprofiles = max_reprofiles
         self.loss_threshold = loss_threshold
+        self.tracer = tracer
 
     def run(self, graph: Graph) -> ProfilingRun:
         """Execute one poisoned, page-aligned step and build the profile.
@@ -281,7 +298,9 @@ class DynamicProfiler:
         """
         reprofiles = 0
         while True:
-            machine = Machine(self.platform, injector=self.injector)
+            machine = Machine(
+                self.platform, injector=self.injector, tracer=self.tracer
+            )
             policy = PlacementPolicy()  # place() defaults to SLOW everywhere
             policy.bind(machine, graph)
             policy.residency = False  # profiling reads in place, even on GPU HM

@@ -157,6 +157,12 @@ class SentinelPolicy(PlacementPolicy):
         self.case3_fallbacks = 0
         self._profile_fault_base = (0, 0)
 
+    @property
+    def _tracer(self):
+        """The machine's event tracer, or ``None`` when tracing is off."""
+        machine = self.machine
+        return machine.tracer if machine is not None else None
+
     # ----------------------------------------------------------- allocation
 
     def make_allocator(self) -> Allocator:
@@ -243,6 +249,14 @@ class SentinelPolicy(PlacementPolicy):
         machine = self.machine
         assert machine is not None
         self.mode = PROFILING
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                "profiling-begin",
+                "step",
+                step=self._step,
+                reprofile=self.reprofile_steps_used > 0,
+            )
         self.profiling_steps_used += 1
         self._collector = ProfileCollector()
         handler = machine.fault_handler
@@ -287,6 +301,16 @@ class SentinelPolicy(PlacementPolicy):
         self._alloc_demand_by_layer = demand
         self._alloc_demand = max(demand, default=0)
         self.mode = MANAGED
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                "profiling-end",
+                "step",
+                step=self._step,
+                interval_length=self.plan.interval_length,
+                num_intervals=self.plan.num_intervals,
+                reserved_short_bytes=self.plan.reserved_short_bytes,
+            )
 
     def _make_plan(self) -> IntervalPlan:
         machine = self.machine
@@ -440,6 +464,17 @@ class SentinelPolicy(PlacementPolicy):
         if not pending:
             return 0.0
         self.case3_occurrences += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                "case3",
+                "prefetch",
+                ts=now,
+                track="prefetch",
+                interval=interval,
+                pending=len(pending),
+                lag=max(t.finish for t in pending) - now,
+            )
         deadline = self.config.case3_wait_deadline
         if deadline is not None and max(t.finish for t in pending) - now > deadline:
             # Waiting would blow the per-interval patience budget (the copy
@@ -448,6 +483,14 @@ class SentinelPolicy(PlacementPolicy):
             # copies stay the valid mapping until each transfer lands, so
             # the interval runs correctly, just at slow-tier speed.
             self.case3_fallbacks += 1
+            if tracer is not None:
+                tracer.instant(
+                    "case3-fallback",
+                    "prefetch",
+                    ts=now,
+                    track="prefetch",
+                    interval=interval,
+                )
             return 0.0
         if not self.config.test_and_trial:
             return self._wait_for(pending, now)
@@ -532,6 +575,22 @@ class SentinelPolicy(PlacementPolicy):
             self._pending_prefetch[interval] = skipped
         if transfers:
             self._prefetch.setdefault(interval, []).extend(transfers)
+        tracer = self._tracer
+        if tracer is not None and (transfers or skipped):
+            finish = max((t.finish for t in transfers), default=now)
+            tracer.complete(
+                "prefetch",
+                "prefetch",
+                ts=now,
+                dur=max(0.0, finish - now),
+                track="prefetch",
+                interval=interval,
+                nbytes=sum(t.nbytes for t in transfers),
+                scheduled=len(transfers),
+                skipped=len(skipped),
+                lookahead=lookahead,
+                case2=bool(skipped),
+            )
 
     def _retry_pending_prefetch(self, current_interval: int, now: float) -> None:
         """Drain deferred prefetches once mid-interval demotions freed room."""

@@ -112,6 +112,12 @@ class Executor:
         self.observers = list(observers)
         self.tracer = tracer
         self.clock = Clock()
+        #: structured event tracer (repro.obs), owned by the machine; the
+        #: executor's clock becomes its timestamp source so clockless
+        #: components (fault handler, chaos injector) stamp correctly.
+        self._events = machine.tracer
+        if self._events is not None:
+            self._events.bind_clock(self.clock)
         policy.bind(machine, graph)
         self.allocator = allocator if allocator is not None else policy.make_allocator()
         self._steps_run = 0
@@ -150,12 +156,17 @@ class Executor:
         demoted0 = machine.stats.counter("migration.demoted_bytes").value
 
         result = StepResult(step=step, start_time=clock.now, end_time=clock.now)
+        events = self._events
+        if events is not None:
+            events.begin("step", "step", step=step)
         for observer in self.observers:
             observer.on_step_start(step, clock.now)
         self._charge_stall(result, policy.on_step_start(step, clock.now))
 
         for layer in self.graph.layers:
             layer_start = clock.now
+            if events is not None:
+                events.begin("layer", "step", layer=layer.index, label=layer.name)
             stall = policy.on_layer_start(layer, clock.now)
             self._charge_stall(result, stall)
 
@@ -196,10 +207,14 @@ class Executor:
             for observer in self.observers:
                 observer.on_layer_end(layer, clock.now)
             result.layer_spans.append((layer.index, layer_start, clock.now))
+            if events is not None:
+                events.end("layer", "step")
 
         stall = policy.on_step_end(step, clock.now)
         self._charge_stall(result, stall)
         machine.migration.sync(clock.now)
+        if events is not None:
+            events.end("step", "step", step=step)
 
         result.end_time = clock.now
         result.promoted_bytes = int(

@@ -90,6 +90,44 @@ def format_counters(
     return "\n".join(lines)
 
 
+def format_trace_summary(events, title: str = "trace summary") -> str:
+    """Render a per-category digest of a structured event trace.
+
+    One row per :mod:`repro.obs` category present in ``events``: event
+    count, closed span count, total busy (span) time, and total ``nbytes``
+    moved by that category's events — the at-a-glance companion to loading
+    the full Chrome export in Perfetto.
+    """
+    from repro.obs.query import TraceQuery
+
+    events = list(events)
+    query = TraceQuery(events)
+    rows = []
+    for cat in sorted(query.categories()):
+        sub = query.filter(cat=cat)
+        spans = query.spans(cat=cat)
+        busy = sum(span.duration for span in spans)
+        moved = TraceQuery(sub).sum_arg("nbytes")
+        rows.append(
+            (
+                cat,
+                len(sub),
+                len(spans),
+                f"{busy:.4g}",
+                f"{mib(moved):.4g}" if moved else "0",
+            )
+        )
+    if not rows:
+        return f"{title}: (no events)"
+    table = format_table(
+        ("category", "events", "spans", "busy (s)", "moved (MiB)"),
+        rows,
+        title=title,
+    )
+    tracks = ", ".join(sorted(query.tracks()))
+    return f"{table}\ntracks: {tracks}"
+
+
 def jsonable(value: object):
     """Recursively convert experiment results to JSON-serializable data.
 

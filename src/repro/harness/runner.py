@@ -14,7 +14,7 @@ memory".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.baselines.registry import make_policy
 from repro.baselines.vdnn import UnsupportedModelError
@@ -26,6 +26,9 @@ from repro.errors import MemoryPressureError
 from repro.mem.machine import Machine
 from repro.mem.platforms import Platform
 from repro.models.zoo import build_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import EventTracer
 
 #: Warm-up steps for experiments: Sentinel's behaviour before profiling is
 #: policy-free (slow placement), so two steps are enough to exercise the
@@ -83,6 +86,7 @@ def run_policy(
     sentinel_config: Optional[SentinelConfig] = None,
     chaos: Optional[ChaosConfig] = None,
     audit: bool = False,
+    tracer: Optional["EventTracer"] = None,
 ) -> RunMetrics:
     """Run one policy on one workload and return steady-state metrics.
 
@@ -97,6 +101,11 @@ def run_policy(
     :class:`~repro.chaos.InvariantAuditor`, which raises
     :class:`~repro.errors.ConsistencyError` the moment memory accounting
     stops balancing.
+
+    ``tracer`` attaches a :class:`repro.obs.EventTracer` to the machine so
+    the whole run lands in a structured event trace; ``None`` (the default)
+    keeps every traced code path dormant and the metrics bit-identical to
+    untraced runs.
     """
     if (graph is None) == (model is None):
         raise ValueError("provide exactly one of graph= or model=")
@@ -114,7 +123,7 @@ def run_policy(
         )
     injector = FaultInjector(chaos) if chaos is not None else None
     machine = Machine.for_platform(
-        platform, fast_capacity=fast_capacity, injector=injector
+        platform, fast_capacity=fast_capacity, injector=injector, tracer=tracer
     )
 
     policy = make_policy(policy_name, sentinel_config=_sentinel_config(sentinel_config))

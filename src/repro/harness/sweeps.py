@@ -42,10 +42,21 @@ class SweepPoint:
     fast_fraction: Optional[float]
     metrics: Optional[RunMetrics]  # None if the point failed
     failure: Optional[str] = None  # "unsupported" | "oom"
+    #: captured event trace (``sweep(trace=True)``); failed points keep
+    #: whatever was recorded before the failure — often the interesting part.
+    events: Optional[Tuple] = None
 
     @property
     def ok(self) -> bool:
         return self.metrics is not None
+
+    @property
+    def label(self) -> str:
+        """Stable display label for this point (trace export, tables)."""
+        parts = [self.policy, self.model]
+        if self.fast_fraction is not None:
+            parts.append(f"f{self.fast_fraction:g}")
+        return "/".join(parts)
 
 
 @dataclass
@@ -110,6 +121,7 @@ def sweep(
     batch_sizes: Optional[Dict[str, int]] = None,
     platform: Platform = OPTANE_HM,
     chaos: Optional[ChaosConfig] = None,
+    trace: bool = False,
 ) -> SweepResult:
     """Run the cartesian product and collect every outcome.
 
@@ -121,6 +133,11 @@ def sweep(
     point's injector is reseeded with :func:`point_seed` so its fault
     sequence depends only on the point's own coordinates (and the base
     seed), never on grid order.
+
+    With ``trace=True`` every point runs with its own fresh
+    :class:`repro.obs.EventTracer` and the captured events land on
+    :attr:`SweepPoint.events` (each point's timeline starts at 0; use
+    :func:`repro.obs.combine_chrome` to view them side by side).
     """
     if not policies or not models:
         raise ValueError("need at least one policy and one model")
@@ -137,6 +154,15 @@ def sweep(
                     point_chaos = chaos.reseeded(
                         point_seed(chaos.seed, policy, model, batch, effective)
                     )
+                tracer = None
+                if trace:
+                    from repro.obs import EventTracer
+
+                    tracer = EventTracer()
+
+                def captured() -> Optional[Tuple]:
+                    return None if tracer is None else tuple(tracer.events)
+
                 try:
                     metrics = run_policy(
                         policy,
@@ -145,17 +171,27 @@ def sweep(
                         platform=platform,
                         fast_fraction=effective,
                         chaos=point_chaos,
+                        tracer=tracer,
                     )
                     points.append(
-                        SweepPoint(policy, model, batch, effective, metrics)
+                        SweepPoint(
+                            policy, model, batch, effective, metrics,
+                            events=captured(),
+                        )
                     )
                 except UnsupportedModelError:
                     points.append(
-                        SweepPoint(policy, model, batch, effective, None, "unsupported")
+                        SweepPoint(
+                            policy, model, batch, effective, None, "unsupported",
+                            events=captured(),
+                        )
                     )
                 except OOM_ERRORS:
                     points.append(
-                        SweepPoint(policy, model, batch, effective, None, "oom")
+                        SweepPoint(
+                            policy, model, batch, effective, None, "oom",
+                            events=captured(),
+                        )
                     )
                 if policy in ("slow-only", "fast-only"):
                     break  # fraction-independent: one point suffices

@@ -28,6 +28,7 @@ from repro.mem.tlb import TLB
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
+    from repro.obs.trace import EventTracer
 
 
 class FaultHandler:
@@ -42,6 +43,10 @@ class FaultHandler:
             overflows under load, like perf's ``RECORD_LOST``).  Dropped
             samples still cost fault-handling time — the trap happened — but
             never reach the per-run counters, so the profile under-reports.
+        tracer: optional :class:`repro.obs.EventTracer`; each counted access
+            pass then emits a ``fault``-category instant (timestamped from
+            the tracer's bound clock, since the fault path does not carry
+            ``now``).  ``None`` records nothing.
     """
 
     def __init__(
@@ -50,6 +55,7 @@ class FaultHandler:
         tlb: TLB,
         fault_cost: float,
         injector: Optional["FaultInjector"] = None,
+        tracer: Optional["EventTracer"] = None,
     ) -> None:
         if fault_cost < 0:
             raise ValueError(f"fault cost must be non-negative, got {fault_cost!r}")
@@ -57,6 +63,7 @@ class FaultHandler:
         self.tlb = tlb
         self.fault_cost = fault_cost
         self.injector = injector
+        self.tracer = tracer
         self.faults_taken = 0
         self.faults_dropped = 0
         self.overhead = 0.0
@@ -98,6 +105,17 @@ class FaultHandler:
         self.faults_taken += faults
         cost = faults * self.fault_cost
         self.overhead += cost
+        if self.tracer is not None:
+            self.tracer.instant(
+                "protection-fault",
+                "fault",
+                track="faults",
+                vpn=entry.vpn,
+                faults=faults,
+                dropped=faults - counted,
+                write=is_write,
+                cost=cost,
+            )
         return cost
 
     def reset(self) -> None:

@@ -23,6 +23,7 @@ from repro.sim.stats import StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
+    from repro.obs.trace import EventTracer
 
 
 class Machine:
@@ -34,13 +35,24 @@ class Machine:
             every fallible component (devices, fault handler, migration
             engine).  ``None`` — the default — leaves all fault-free code
             paths byte-identical to a machine built before chaos existed.
+        tracer: optional :class:`repro.obs.EventTracer` threaded into every
+            event-emitting component (channels, migration engine, fault
+            handler, and the injector if one is attached).  ``None`` — the
+            default — records nothing: every instrumentation site is one
+            ``is None`` check, so untraced runs stay bit-identical.
     """
 
     def __init__(
-        self, platform: Platform, injector: Optional["FaultInjector"] = None
+        self,
+        platform: Platform,
+        injector: Optional["FaultInjector"] = None,
+        tracer: Optional["EventTracer"] = None,
     ) -> None:
         self.platform = platform
         self.injector = injector
+        self.tracer = tracer
+        if injector is not None and tracer is not None:
+            injector.tracer = tracer
         self.fast = MemoryDevice(platform.fast, DeviceKind.FAST, injector=injector)
         self.slow = MemoryDevice(platform.slow, DeviceKind.SLOW, injector=injector)
         self.page_table = PageTable(page_size=platform.page_size)
@@ -50,22 +62,26 @@ class Machine:
             self.tlb,
             fault_cost=platform.fault_cost,
             injector=injector,
+            tracer=tracer,
         )
         self.stats = StatsRegistry()
         self.promote_channel = BandwidthChannel(
             platform.promote_bandwidth,
             name="promote",
             latency=platform.migration_latency,
+            tracer=tracer,
         )
         self.demote_channel = BandwidthChannel(
             platform.demote_bandwidth,
             name="demote",
             latency=platform.migration_latency,
+            tracer=tracer,
         )
         self.demand_channel = BandwidthChannel(
             platform.promote_bandwidth,
             name="demand-promote",
             latency=platform.migration_latency,
+            tracer=tracer,
         )
         self.migration = MigrationEngine(
             self.page_table,
@@ -76,6 +92,7 @@ class Machine:
             stats=self.stats,
             demand_channel=self.demand_channel,
             injector=injector,
+            tracer=tracer,
         )
         self._dram_cache: Optional[DRAMCache] = None
 
@@ -85,6 +102,7 @@ class Machine:
         platform: Platform,
         fast_capacity: Optional[int] = None,
         injector: Optional["FaultInjector"] = None,
+        tracer: Optional["EventTracer"] = None,
     ) -> "Machine":
         """Build a machine, optionally resizing the fast tier.
 
@@ -94,7 +112,7 @@ class Machine:
         """
         if fast_capacity is not None:
             platform = platform.with_fast_capacity(fast_capacity)
-        return cls(platform, injector=injector)
+        return cls(platform, injector=injector, tracer=tracer)
 
     @property
     def page_size(self) -> int:

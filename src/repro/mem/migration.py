@@ -38,6 +38,7 @@ from repro.sim.stats import StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
+    from repro.obs.trace import EventTracer
 
 
 @dataclass
@@ -80,6 +81,7 @@ class MigrationEngine:
         stats: Optional[StatsRegistry] = None,
         demand_channel: Optional[BandwidthChannel] = None,
         injector: Optional["FaultInjector"] = None,
+        tracer: Optional["EventTracer"] = None,
     ) -> None:
         self.page_table = page_table
         self.fast = fast
@@ -93,6 +95,7 @@ class MigrationEngine:
         )
         self.stats = stats if stats is not None else StatsRegistry()
         self.injector = injector
+        self.tracer = tracer
         self._pending: List[MigrationRecord] = []
 
     # ------------------------------------------------------------------ sync
@@ -154,6 +157,15 @@ class MigrationEngine:
                 # request comes back as skipped, which callers already treat
                 # as the leave-in-slow (Case 2) signal.
                 self.stats.counter("migration.busy_fallbacks").add(1)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "busy-fallback",
+                        "migration",
+                        ts=now,
+                        track="migration",
+                        direction="promote",
+                        runs=len(eligible),
+                    )
                 return None, [], eligible
         scheduled: List[PageTableEntry] = []
         skipped: List[PageTableEntry] = []
@@ -197,6 +209,21 @@ class MigrationEngine:
         self.stats.timeline("migration.promote_bw").record_span(
             transfer.start, transfer.finish, total
         )
+        if self.tracer is not None:
+            self.tracer.complete(
+                "promote",
+                "migration",
+                ts=transfer.start,
+                dur=transfer.duration,
+                track="migration",
+                nbytes=total,
+                runs=len(scheduled),
+                skipped=len(skipped),
+                src="slow",
+                dst="fast",
+                urgent=urgent,
+                tag=None if tag is None else str(tag),
+            )
         return transfer, scheduled, skipped
 
     # ---------------------------------------------------------------- demote
@@ -235,6 +262,15 @@ class MigrationEngine:
                 # Eviction refused: the runs simply stay on fast memory and
                 # the caller's next capacity check sees no room was made.
                 self.stats.counter("migration.busy_fallbacks").add(1)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "busy-fallback",
+                        "migration",
+                        ts=now,
+                        track="migration",
+                        direction="demote",
+                        runs=len(eligible),
+                    )
                 return None, []
         scheduled: List[PageTableEntry] = []
         for run in eligible:
@@ -259,6 +295,21 @@ class MigrationEngine:
         self.stats.timeline("migration.demote_bw").record_span(
             transfer.start, transfer.finish, total
         )
+        if self.tracer is not None:
+            self.tracer.complete(
+                "demote",
+                "migration",
+                ts=transfer.start,
+                dur=transfer.duration,
+                track="migration",
+                nbytes=total,
+                runs=len(scheduled),
+                skipped=0,
+                src="fast",
+                dst="slow",
+                urgent=urgent,
+                tag=None if tag is None else str(tag),
+            )
         return transfer, scheduled
 
     # ------------------------------------------------------- fault handling
@@ -310,6 +361,21 @@ class MigrationEngine:
             partial = int(nbytes * injector.config.abort_fraction)
             wreck = channel.submit(partial, now, tag=tag, aborted=True)
             self.stats.counter("migration.aborted_bytes").add(partial)
+            if self.tracer is not None:
+                # The chaos-lane twin of the wrecked channel span: capacity
+                # reservations for the payload are rolled back by the caller,
+                # so tests can pair this event with balanced accounting.
+                self.tracer.complete(
+                    "abort",
+                    "chaos",
+                    ts=wreck.start,
+                    dur=wreck.duration,
+                    track="chaos",
+                    nbytes=partial,
+                    channel=channel.name,
+                    urgent=urgent,
+                    tag=None if tag is None else str(tag),
+                )
             now = wreck.finish
             if not urgent:
                 return now, True

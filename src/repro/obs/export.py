@@ -1,0 +1,200 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, compact JSONL, digests.
+
+The Chrome format is the interchange target — the emitted JSON loads
+unmodified in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+Simulated seconds become microseconds (the format's unit); each
+:attr:`TraceEvent.track` becomes a named thread so channels, the step
+timeline, and the chaos lane render as separate rows.
+
+JSONL is the canonical machine form: one sorted-key JSON object per event,
+floats via ``repr`` (shortest round-trip — stable across CPython versions),
+no whitespace variance.  :func:`canonical_digest` hashes it; the golden-trace
+regression suite stores those digests and a byte change anywhere in the
+timeline fails the comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.obs.trace import CATEGORIES, PHASES, TraceEvent
+
+#: Microseconds per simulated second (Chrome trace timestamps are in us).
+_US = 1e6
+
+
+def _tracks_of(events: Sequence[TraceEvent]) -> List[str]:
+    """Track names in first-appearance order (stable tid assignment)."""
+    tracks: List[str] = []
+    for event in events:
+        if event.track not in tracks:
+            tracks.append(event.track)
+    return tracks
+
+
+def to_chrome(
+    events: Sequence[TraceEvent],
+    pid: int = 0,
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """Events as a Chrome ``trace_event`` JSON object (dict form).
+
+    Returns the ``{"traceEvents": [...], ...}`` object format so metadata
+    (process/thread names, time unit) travels with the events.
+    """
+    trace: List[Dict[str, Any]] = []
+    tracks = _tracks_of(events)
+    tids = {track: index for index, track in enumerate(tracks)}
+    trace.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    )
+    for track, tid in tids.items():
+        trace.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for event in events:
+        row: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts * _US,
+            "pid": pid,
+            "tid": tids[event.track],
+            "args": dict(event.args),
+        }
+        if event.ph == "X":
+            row["dur"] = event.dur * _US
+        if event.ph == "i":
+            row["s"] = "t"  # instant scope: thread
+        trace.append(row)
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def combine_chrome(
+    labeled: Sequence[Tuple[str, Sequence[TraceEvent]]]
+) -> Dict[str, Any]:
+    """Merge several traces into one Chrome JSON, one process per trace.
+
+    Used by ``repro grid --trace``: every grid point ran on its own clock
+    (each starts at t=0), so points must not share a timeline row —
+    separate pids keep them side by side in Perfetto instead of
+    interleaved.
+    """
+    merged: List[Dict[str, Any]] = []
+    for pid, (label, events) in enumerate(labeled):
+        merged.extend(to_chrome(events, pid=pid, process_name=label)["traceEvents"])
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}
+
+
+def chrome_json(events: Sequence[TraceEvent], **kwargs: Any) -> str:
+    """Chrome trace as a JSON string."""
+    return json.dumps(to_chrome(events, **kwargs), sort_keys=True)
+
+
+def write_chrome(events: Sequence[TraceEvent], path: str, **kwargs: Any) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(chrome_json(events, **kwargs))
+
+
+# ----------------------------------------------------------------- JSONL
+
+
+def _canonical_value(value: Any) -> Any:
+    """Reduce an args value to a JSON-stable primitive."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value  # json emits repr(), shortest round-trip
+    return str(value)
+
+
+def to_jsonl(events: Sequence[TraceEvent]) -> str:
+    """One compact, sorted-key JSON object per line — the canonical form."""
+    lines = []
+    for event in events:
+        lines.append(
+            json.dumps(
+                {
+                    "name": event.name,
+                    "cat": event.cat,
+                    "ph": event.ph,
+                    "ts": event.ts,
+                    "dur": event.dur,
+                    "track": event.track,
+                    "args": {
+                        key: _canonical_value(val)
+                        for key, val in sorted(event.args.items())
+                    },
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def canonical_digest(events: Sequence[TraceEvent]) -> str:
+    """SHA-256 of the canonical JSONL — the golden-trace fingerprint."""
+    return hashlib.sha256(to_jsonl(events).encode("utf-8")).hexdigest()
+
+
+# ------------------------------------------------------------- validation
+
+
+def validate_chrome(obj: Any) -> int:
+    """Validate a loaded Chrome trace against the schema this repo emits.
+
+    Raises :class:`ValueError` naming the first violation; returns the
+    number of non-metadata events on success.  CI runs this against the
+    smoke-run artifact so a malformed export cannot merge.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace is missing the 'traceEvents' list")
+    count = 0
+    for index, row in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(row, dict):
+            raise ValueError(f"{where}: event must be an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in row:
+                raise ValueError(f"{where}: missing required key {key!r}")
+        ph = row["ph"]
+        if ph == "M":
+            continue  # metadata rows carry no timestamp
+        count += 1
+        if ph not in PHASES:
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        if "cat" not in row or row["cat"] not in CATEGORIES:
+            raise ValueError(
+                f"{where}: category {row.get('cat')!r} not in {sorted(CATEGORIES)}"
+            )
+        ts = row.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: ts must be a non-negative number, got {ts!r}")
+        if ph == "X":
+            dur = row.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"{where}: complete event needs non-negative dur, got {dur!r}"
+                )
+        if not isinstance(row.get("args", {}), dict):
+            raise ValueError(f"{where}: args must be an object")
+    return count

@@ -1,0 +1,213 @@
+"""The event tracer: ring-buffered, simulated-time-stamped records.
+
+Event model (a deliberate subset of Chrome's ``trace_event`` phases):
+
+* ``"X"`` — a *complete* span whose duration is known at emission (the
+  channel/migration case: completion times are analytic at submission);
+* ``"B"``/``"E"`` — begin/end of a span whose end is not known up front
+  (step and layer spans), paired per track in LIFO (nesting) order;
+* ``"i"`` — an instant event (a decision, a fault, an injected error).
+
+Timestamps are simulated seconds.  Components that receive ``now`` as an
+argument stamp events with it; components deeper in the substrate (the
+fault handler, the chaos injector) read the executor's clock through
+:meth:`EventTracer.bind_clock` instead of threading ``now`` through every
+call signature.
+
+The buffer is a true ring: once ``capacity`` events are held, the oldest is
+overwritten and ``dropped`` counts the loss — tracing a huge run degrades
+to a sliding window instead of exhausting memory, the same contract a
+kernel trace buffer offers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.clock import Clock
+
+#: The event categories the simulator emits; one lane per subsystem.
+CATEGORIES = frozenset(
+    {"step", "migration", "fault", "prefetch", "channel", "chaos", "gpu"}
+)
+
+#: Allowed Chrome ``trace_event`` phases.
+PHASES = frozenset({"B", "E", "X", "i"})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record.
+
+    Attributes:
+        name: what happened (``"promote"``, ``"step"``, ``"case3"``, ...).
+        cat: one of :data:`CATEGORIES`.
+        ph: Chrome phase — ``"X"`` complete, ``"B"``/``"E"`` span edges,
+            ``"i"`` instant.
+        ts: simulated time in seconds.
+        dur: span length in seconds (``"X"`` events only).
+        track: logical lane the event belongs to (exported as a Chrome
+            thread); channel events use the channel name so per-channel
+            FIFO ordering is visible and testable.
+        args: free-form payload (byte counts, interval indices, tags...).
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    track: str = "main"
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventTracer:
+    """Collects :class:`TraceEvent` records in a bounded ring buffer.
+
+    Args:
+        capacity: maximum events held; beyond it the oldest are overwritten
+            (and counted in :attr:`dropped`).
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buffer: List[TraceEvent] = []
+        self._head = 0  # next overwrite position once the buffer is full
+        self._clock: Optional[Clock] = None
+
+    # -------------------------------------------------------------- plumbing
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Adopt ``clock`` as the timestamp source for clockless call sites.
+
+        The executor binds its clock at construction; components that do not
+        receive ``now`` (fault handler, chaos injector) then stamp events
+        with the current simulated time automatically.
+        """
+        self._clock = clock
+
+    def now(self) -> float:
+        """Current simulated time (0.0 before any clock is bound)."""
+        return self._clock.now if self._clock is not None else 0.0
+
+    def _emit(self, event: TraceEvent) -> None:
+        if event.cat not in CATEGORIES:
+            raise ValueError(
+                f"unknown trace category {event.cat!r}; expected one of "
+                f"{sorted(CATEGORIES)}"
+            )
+        if event.ph not in PHASES:
+            raise ValueError(f"unknown trace phase {event.ph!r}")
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(event)
+        else:
+            self._buffer[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    # ------------------------------------------------------------- emission
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts: Optional[float] = None,
+        track: str = "main",
+        **args: Any,
+    ) -> None:
+        """Record a point event at ``ts`` (default: the bound clock's now)."""
+        self._emit(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="i",
+                ts=self.now() if ts is None else ts,
+                track=track,
+                args=args,
+            )
+        )
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: float,
+        track: str = "main",
+        **args: Any,
+    ) -> None:
+        """Record a span whose duration is already known (an ``"X"`` event)."""
+        if dur < 0.0:
+            raise ValueError(f"span duration must be non-negative, got {dur!r}")
+        self._emit(
+            TraceEvent(
+                name=name, cat=cat, ph="X", ts=ts, dur=dur, track=track, args=args
+            )
+        )
+
+    def begin(
+        self,
+        name: str,
+        cat: str,
+        ts: Optional[float] = None,
+        track: str = "main",
+        **args: Any,
+    ) -> None:
+        """Open a span on ``track``; close it with a matching :meth:`end`."""
+        self._emit(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="B",
+                ts=self.now() if ts is None else ts,
+                track=track,
+                args=args,
+            )
+        )
+
+    def end(
+        self,
+        name: str,
+        cat: str,
+        ts: Optional[float] = None,
+        track: str = "main",
+        **args: Any,
+    ) -> None:
+        """Close the most recent open span on ``track`` (LIFO pairing)."""
+        self._emit(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="E",
+                ts=self.now() if ts is None else ts,
+                track=track,
+                args=args,
+            )
+        )
+
+    # -------------------------------------------------------------- reading
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Events in emission order (oldest first, post-ring-rotation)."""
+        if len(self._buffer) < self.capacity or self._head == 0:
+            return list(self._buffer)
+        return self._buffer[self._head :] + self._buffer[: self._head]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._head = 0
+        self.dropped = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventTracer({len(self._buffer)}/{self.capacity} events, "
+            f"dropped={self.dropped})"
+        )

@@ -18,7 +18,10 @@ event queue: it simply compares the clock against ``transfer.finish``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.trace import EventTracer
 
 
 @dataclass(frozen=True)
@@ -65,9 +68,19 @@ class BandwidthChannel:
         name: label used in stats and error messages.
         latency: fixed per-transfer setup cost in seconds (system call,
             TLB shootdown, DMA setup...), added once per submission.
+        tracer: optional :class:`repro.obs.EventTracer`; every submission
+            then emits a ``channel``-category complete span on a track named
+            after the channel.  ``None`` (the default) records nothing and
+            costs one ``is None`` check per submission.
     """
 
-    def __init__(self, bandwidth: float, name: str = "channel", latency: float = 0.0):
+    def __init__(
+        self,
+        bandwidth: float,
+        name: str = "channel",
+        latency: float = 0.0,
+        tracer: Optional["EventTracer"] = None,
+    ):
         if bandwidth <= 0.0:
             raise ValueError(f"channel bandwidth must be positive, got {bandwidth!r}")
         if latency < 0.0:
@@ -75,6 +88,7 @@ class BandwidthChannel:
         self.bandwidth = float(bandwidth)
         self.name = name
         self.latency = float(latency)
+        self.tracer = tracer
         self._next_free = 0.0
         self._busy_time = 0.0
         self._bytes_moved = 0
@@ -141,6 +155,18 @@ class BandwidthChannel:
         if aborted:
             self._aborted_transfers += 1
         self._history.append(transfer)
+        if self.tracer is not None:
+            self.tracer.complete(
+                "xfer",
+                "channel",
+                ts=start,
+                dur=finish - start,
+                track=self.name,
+                nbytes=nbytes,
+                queued=start - now,
+                aborted=aborted,
+                tag=None if tag is None else str(tag),
+            )
         return transfer
 
     def backlog_at(self, when: float) -> float:

@@ -16,7 +16,13 @@ from typing import Dict, List, Tuple
 
 
 class Counter:
-    """A named numeric accumulator."""
+    """A named monotonic accumulator.
+
+    ``add`` rejects negative amounts: every quantity counted (bytes moved,
+    faults taken, retries) only ever grows, and a negative delta slipping in
+    would silently corrupt differential checks that re-derive counter values
+    from event traces.  Use :meth:`reset` to start over.
+    """
 
     __slots__ = ("name", "value")
 
@@ -25,6 +31,10 @@ class Counter:
         self.value = 0.0
 
     def add(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} is monotonic; cannot add {amount!r}"
+            )
         self.value += amount
 
     def reset(self) -> None:

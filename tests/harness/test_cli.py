@@ -110,3 +110,77 @@ class TestCommands:
         assert "under injected faults" in out
         assert "injected-fault totals" in out
         assert "vs 0%" in out
+
+
+class TestTraceCommands:
+    def test_trace_summary_to_stdout(self, capsys):
+        assert main(["trace", "dcgan", "sentinel", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "category" in out
+        assert "migration" in out
+        assert "tracks:" in out
+
+    def test_trace_chrome_export_validates(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "dcgan", "sentinel", "--batch", "8", "--out", str(path)]
+        ) == 0
+        obj = json.loads(path.read_text())
+        assert validate_chrome(obj) > 0
+        assert "chrome" in capsys.readouterr().out
+
+    def test_trace_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "dcgan", "sentinel", "--batch", "8",
+             "--out", str(path), "--format", "jsonl"]
+        ) == 0
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) > 100
+        record = json.loads(lines[0])
+        assert {"name", "cat", "ph", "ts"} <= set(record)
+
+    def test_trace_with_fault_injection(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "dcgan", "sentinel", "--batch", "8", "--fault-rate", "0.2",
+             "--chaos-seed", "5", "--out", str(path)]
+        ) == 0
+        obj = json.loads(path.read_text())
+        cats = {row.get("cat") for row in obj["traceEvents"]}
+        assert "chaos" in cats
+
+    def test_run_trace_flag_writes_chrome(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome
+
+        path = tmp_path / "run.json"
+        assert main(
+            ["run", "dcgan", "sentinel", "--batch", "8", "--trace", str(path)]
+        ) == 0
+        assert validate_chrome(json.loads(path.read_text())) > 0
+        assert "trace:" in capsys.readouterr().out
+
+    def test_grid_trace_flag_combines_points(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome
+
+        path = tmp_path / "grid.json"
+        assert main(
+            ["grid", "--models", "dcgan", "--policies", "slow-only", "sentinel",
+             "--fast-fraction", "0.3", "--trace", str(path)]
+        ) == 0
+        obj = json.loads(path.read_text())
+        assert validate_chrome(obj) > 0
+        pids = {row["pid"] for row in obj["traceEvents"]}
+        assert len(pids) == 2  # one Perfetto process per grid point

@@ -97,3 +97,38 @@ class TestExperimentDeterminism:
         assert json.dumps(jsonable(first), sort_keys=True) == json.dumps(
             jsonable(second), sort_keys=True
         )
+
+
+class TestTracingZeroOverhead:
+    """Attaching a tracer observes the run; it must never steer it."""
+
+    def test_traced_metrics_equal_untraced_metrics(self):
+        from repro.obs import EventTracer
+
+        plain = run_policy("sentinel", model=MODEL, fast_fraction=0.2)
+        traced = run_policy(
+            "sentinel", model=MODEL, fast_fraction=0.2, tracer=EventTracer()
+        )
+        assert metrics_dict(plain) == metrics_dict(traced)
+
+    def test_traced_metrics_equal_untraced_metrics_under_chaos(self):
+        from repro.obs import EventTracer
+
+        chaos = ChaosConfig.uniform(0.2, seed=31)
+        plain = run_policy("sentinel", model=MODEL, fast_fraction=0.2, chaos=chaos)
+        traced = run_policy(
+            "sentinel",
+            model=MODEL,
+            fast_fraction=0.2,
+            chaos=chaos,
+            tracer=EventTracer(),
+        )
+        assert metrics_dict(plain) == metrics_dict(traced)
+
+    def test_sweep_with_trace_capture_matches_untraced_sweep(self):
+        untraced = sweep(["sentinel"], [MODEL])
+        traced = sweep(["sentinel"], [MODEL], trace=True)
+        for plain, captured in zip(untraced, traced):
+            assert metrics_dict(plain.metrics) == metrics_dict(captured.metrics)
+            assert plain.events is None
+            assert captured.events  # the trace actually landed on the point

@@ -1,0 +1,63 @@
+"""Golden-trace snapshots: the event stream is part of the contract.
+
+A structured trace is only trustworthy if replaying the same run
+reproduces it byte for byte; these tests pin the canonical JSONL digest of
+a small end-to-end run against a checked-in golden value, so any change to
+event ordering, naming, payloads, or the simulation itself shows up as a
+digest mismatch rather than silently shifting what traces mean.
+
+To refresh the golden after an intentional change::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.harness.runner import run_policy
+    from repro.obs import EventTracer, canonical_digest
+    tracer = EventTracer()
+    run_policy("sentinel", model="dcgan", fast_fraction=0.2, tracer=tracer)
+    print(canonical_digest(tracer.events))
+    EOF
+"""
+
+from pathlib import Path
+
+from repro.chaos import ChaosConfig
+from repro.harness.runner import run_policy
+from repro.obs import EventTracer, canonical_digest, to_jsonl
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+MODEL = "dcgan"
+
+
+def traced_run(chaos=None, seed=99):
+    tracer = EventTracer()
+    config = None if chaos is None else ChaosConfig.uniform(chaos, seed=seed)
+    run_policy(
+        "sentinel", model=MODEL, fast_fraction=0.2, chaos=config, tracer=tracer
+    )
+    return tracer.events
+
+
+class TestGoldenTrace:
+    def test_trace_matches_checked_in_golden(self):
+        golden = (GOLDEN_DIR / "dcgan_sentinel_trace.sha256").read_text().strip()
+        assert canonical_digest(traced_run()) == golden
+
+    def test_replay_is_byte_identical(self):
+        first = traced_run()
+        second = traced_run()
+        assert to_jsonl(first) == to_jsonl(second)
+
+    def test_chaos_replay_is_byte_identical(self):
+        first = traced_run(chaos=0.2, seed=99)
+        second = traced_run(chaos=0.2, seed=99)
+        assert to_jsonl(first) == to_jsonl(second)
+
+    def test_different_chaos_seed_changes_the_trace(self):
+        assert canonical_digest(traced_run(chaos=0.2, seed=99)) != canonical_digest(
+            traced_run(chaos=0.2, seed=100)
+        )
+
+    def test_chaos_changes_the_trace_but_not_its_determinism(self):
+        assert canonical_digest(traced_run()) != canonical_digest(
+            traced_run(chaos=0.2, seed=99)
+        )

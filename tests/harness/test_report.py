@@ -88,3 +88,24 @@ class TestUnits:
     def test_conversions(self):
         assert mib(1024**2) == 1.0
         assert gib(1024**3) == 1.0
+
+
+class TestFormatTraceSummary:
+    def test_renders_per_category_rows(self):
+        from repro.harness.report import format_trace_summary
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
+        tracer.begin("step", "step", ts=0.0)
+        tracer.end("step", "step", ts=1.0)
+        tracer.complete("xfer", "channel", ts=0.0, dur=0.5, track="promote",
+                        nbytes=2 * 1024 * 1024)
+        text = format_trace_summary(tracer.events, title="unit")
+        assert "unit" in text
+        assert "channel" in text and "step" in text
+        assert "tracks: main, promote" in text
+
+    def test_empty_trace(self):
+        from repro.harness.report import format_trace_summary
+
+        assert "(no events)" in format_trace_summary([])

@@ -1,0 +1,135 @@
+"""Temporal invariants of event traces, on random workloads.
+
+The tracer observes the substrate passively; these properties check that
+what it records is *physically coherent* — FIFO channels never serve two
+transfers at once, every byte a migration claims to move really crossed a
+channel, profiling faults only happen inside training steps, and aborted
+copies leave the books balanced.  Reusing the fuzz generator means the
+invariants hold on graphs nothing was tuned for.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.chaos import ChaosConfig, FaultInjector, InvariantAuditor
+from repro.core import SentinelConfig
+from repro.core.runtime import SentinelPolicy
+from repro.dnn.executor import Executor
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+from repro.models.synthetic import random_graph
+from repro.obs import EventTracer, TraceQuery
+
+CHANNEL_TRACKS = ("promote", "demote", "demand-promote")
+
+INVARIANT_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def traced_sentinel_run(seed, fault_rate=0.0, steps=5):
+    """Run Sentinel on a random graph with tracing; return (query, machine)."""
+    graph = random_graph(seed, max_layers=10, max_tensor_bytes=1 << 22)
+    capacity = max(
+        OPTANE_HM.page_size * 128, int(graph.peak_memory_bytes() * 0.3)
+    )
+    tracer = EventTracer()
+    injector = (
+        FaultInjector(ChaosConfig.uniform(fault_rate, seed=seed))
+        if fault_rate > 0.0
+        else None
+    )
+    machine = Machine.for_platform(
+        OPTANE_HM, fast_capacity=capacity, injector=injector, tracer=tracer
+    )
+    policy = SentinelPolicy(SentinelConfig(warmup_steps=1))
+    executor = Executor(
+        graph, machine, policy, observers=[InvariantAuditor(machine)]
+    )
+    executor.run_steps(steps)
+    machine.migration.sync(float("inf"))
+    return TraceQuery(tracer.events), machine
+
+
+class TestChannelInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    @INVARIANT_SETTINGS
+    def test_fifo_channels_never_overlap(self, seed):
+        query, _ = traced_sentinel_run(seed)
+        for track in CHANNEL_TRACKS:
+            assert query.overlap_time(track, cat="channel") == 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    @INVARIANT_SETTINGS
+    def test_fifo_channels_never_overlap_under_chaos(self, seed):
+        query, _ = traced_sentinel_run(seed, fault_rate=0.2)
+        for track in CHANNEL_TRACKS:
+            assert query.overlap_time(track, cat="channel") == 0.0
+
+
+class TestMigrationBytesBalance:
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    @INVARIANT_SETTINGS
+    def test_migration_bytes_equal_delivered_channel_bytes(self, seed):
+        query, _ = traced_sentinel_run(seed, fault_rate=0.2)
+        delivered = query.filter(
+            cat="channel", predicate=lambda e: not e.args.get("aborted")
+        )
+        promote_bytes = sum(
+            e.args["nbytes"]
+            for e in delivered
+            if e.track in ("promote", "demand-promote")
+        )
+        demote_bytes = sum(
+            e.args["nbytes"] for e in delivered if e.track == "demote"
+        )
+        assert query.filter(cat="migration", name="promote").sum_arg(
+            "nbytes"
+        ) == promote_bytes
+        assert query.filter(cat="migration", name="demote").sum_arg(
+            "nbytes"
+        ) == demote_bytes
+
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    @INVARIANT_SETTINGS
+    def test_aborted_channel_bytes_match_abort_spans(self, seed):
+        query, _ = traced_sentinel_run(seed, fault_rate=0.3)
+        wrecked = query.filter(
+            cat="channel", predicate=lambda e: e.args.get("aborted")
+        ).sum_arg("nbytes")
+        assert query.filter(cat="chaos", name="abort").sum_arg("nbytes") == wrecked
+
+
+class TestFaultPlacement:
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    @INVARIANT_SETTINGS
+    def test_every_fault_lands_inside_a_step_span(self, seed):
+        query, _ = traced_sentinel_run(seed)
+        steps = query.spans(cat="step", name="step")
+        assert steps, "run emitted no step spans"
+        faults = query.filter(cat="fault")
+        # Sentinel profiles at least one step, so faults must exist...
+        assert faults.count() > 0
+        # ...and every one of them belongs to some step's interval.
+        for event in faults:
+            assert any(span.contains(event.ts) for span in steps), (
+                f"fault at t={event.ts} outside every step span"
+            )
+
+
+class TestChaosRollback:
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    @INVARIANT_SETTINGS
+    def test_abort_heavy_runs_keep_capacity_balanced(self, seed):
+        # The InvariantAuditor inside traced_sentinel_run raises on any
+        # accounting imbalance; here we additionally pin the final state.
+        query, machine = traced_sentinel_run(seed, fault_rate=0.4)
+        from repro.mem.devices import DeviceKind
+
+        assert machine.page_table.bytes_on(DeviceKind.FAST) == machine.fast.used
+        assert machine.page_table.bytes_on(DeviceKind.SLOW) == machine.slow.used
+        # Abort spans never claim more bytes than their wrecked submissions.
+        for span in query.spans(cat="chaos", name="abort"):
+            assert span.args["nbytes"] >= 0
+            assert span.duration >= 0.0

@@ -1,0 +1,115 @@
+"""Exporters: Chrome trace_event JSON, canonical JSONL, digests."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventTracer,
+    canonical_digest,
+    chrome_json,
+    combine_chrome,
+    to_chrome,
+    to_jsonl,
+    validate_chrome,
+    write_chrome,
+)
+
+
+def small_trace():
+    tracer = EventTracer()
+    tracer.begin("step", "step", ts=0.0, step=0)
+    tracer.complete("xfer", "channel", ts=0.1, dur=0.2, track="promote", nbytes=4096)
+    tracer.instant("case3", "prefetch", ts=0.25, track="prefetch", interval=1)
+    tracer.end("step", "step", ts=0.5)
+    return tracer.events
+
+
+class TestChromeExport:
+    def test_roundtrips_through_json_and_validates(self):
+        obj = to_chrome(small_trace())
+        reloaded = json.loads(json.dumps(obj))
+        assert validate_chrome(reloaded) == 4
+
+    def test_timestamps_are_microseconds(self):
+        obj = to_chrome(small_trace())
+        xfer = next(r for r in obj["traceEvents"] if r.get("name") == "xfer")
+        assert xfer["ts"] == pytest.approx(0.1e6)
+        assert xfer["dur"] == pytest.approx(0.2e6)
+
+    def test_tracks_become_named_threads(self):
+        obj = to_chrome(small_trace())
+        names = {
+            row["args"]["name"]
+            for row in obj["traceEvents"]
+            if row["name"] == "thread_name"
+        }
+        assert names == {"main", "promote", "prefetch"}
+        # Events on different tracks carry different tids.
+        tids = {
+            row["tid"]
+            for row in obj["traceEvents"]
+            if row.get("ph") not in ("M",)
+        }
+        assert len(tids) == 3
+
+    def test_write_chrome_produces_loadable_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome(small_trace(), str(path), process_name="unit")
+        obj = json.loads(path.read_text())
+        assert validate_chrome(obj) == 4
+        process = next(
+            row for row in obj["traceEvents"] if row["name"] == "process_name"
+        )
+        assert process["args"]["name"] == "unit"
+
+    def test_chrome_json_is_deterministic(self):
+        assert chrome_json(small_trace()) == chrome_json(small_trace())
+
+    def test_combine_assigns_one_pid_per_trace(self):
+        combined = combine_chrome([("a", small_trace()), ("b", small_trace())])
+        pids = {row["pid"] for row in combined["traceEvents"]}
+        assert pids == {0, 1}
+        assert validate_chrome(combined) == 8
+
+
+class TestValidateChrome:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome([])
+
+    def test_rejects_bad_category(self):
+        obj = to_chrome(small_trace())
+        obj["traceEvents"][-1]["cat"] = "bogus"
+        with pytest.raises(ValueError, match="category"):
+            validate_chrome(obj)
+
+    def test_rejects_missing_duration_on_complete_event(self):
+        obj = to_chrome(small_trace())
+        for row in obj["traceEvents"]:
+            row.pop("dur", None)
+        with pytest.raises(ValueError):
+            validate_chrome(obj)
+
+
+class TestJsonl:
+    def test_one_line_per_event_sorted_keys(self):
+        text = to_jsonl(small_trace())
+        lines = text.strip().split("\n")
+        assert len(lines) == 4
+        for line in lines:
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+
+    def test_digest_is_stable_and_content_sensitive(self):
+        events = small_trace()
+        assert canonical_digest(events) == canonical_digest(small_trace())
+        tracer = EventTracer()
+        tracer.instant("other", "fault", ts=0.0)
+        assert canonical_digest(events) != canonical_digest(tracer.events)
+
+    def test_exotic_arg_values_are_stringified(self):
+        tracer = EventTracer()
+        tracer.instant("x", "chaos", ts=0.0, tag=object())
+        record = json.loads(to_jsonl(tracer.events))
+        assert isinstance(record["args"]["tag"], str)

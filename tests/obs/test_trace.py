@@ -1,0 +1,104 @@
+"""EventTracer: emission, validation, ring-buffer and clock semantics."""
+
+import pytest
+
+from repro.obs import CATEGORIES, EventTracer
+from repro.sim.clock import Clock
+
+
+class TestEmission:
+    def test_instant_records_args_and_track(self):
+        tracer = EventTracer()
+        tracer.instant("case3", "prefetch", ts=1.5, track="prefetch", interval=4)
+        (event,) = tracer.events
+        assert event.ph == "i"
+        assert event.ts == 1.5
+        assert event.track == "prefetch"
+        assert event.args == {"interval": 4}
+
+    def test_complete_records_duration(self):
+        tracer = EventTracer()
+        tracer.complete("xfer", "channel", ts=2.0, dur=0.5, nbytes=4096)
+        (event,) = tracer.events
+        assert event.ph == "X"
+        assert event.dur == 0.5
+
+    def test_negative_duration_rejected(self):
+        tracer = EventTracer()
+        with pytest.raises(ValueError):
+            tracer.complete("xfer", "channel", ts=2.0, dur=-0.1)
+
+    def test_unknown_category_rejected(self):
+        tracer = EventTracer()
+        with pytest.raises(ValueError, match="category"):
+            tracer.instant("x", "not-a-category", ts=0.0)
+
+    def test_every_declared_category_accepted(self):
+        tracer = EventTracer()
+        for cat in sorted(CATEGORIES):
+            tracer.instant("x", cat, ts=0.0)
+        assert len(tracer) == len(CATEGORIES)
+
+    def test_begin_end_are_phase_events(self):
+        tracer = EventTracer()
+        tracer.begin("step", "step", ts=0.0, step=1)
+        tracer.end("step", "step", ts=2.0)
+        first, second = tracer.events
+        assert (first.ph, second.ph) == ("B", "E")
+
+
+class TestClockBinding:
+    def test_unbound_clock_stamps_zero(self):
+        tracer = EventTracer()
+        tracer.instant("x", "fault")
+        assert tracer.events[0].ts == 0.0
+
+    def test_bound_clock_supplies_default_timestamps(self):
+        tracer = EventTracer()
+        clock = Clock()
+        clock.advance(3.25)
+        tracer.bind_clock(clock)
+        tracer.instant("x", "fault")
+        tracer.begin("step", "step")
+        assert [event.ts for event in tracer.events] == [3.25, 3.25]
+
+    def test_explicit_ts_wins_over_clock(self):
+        tracer = EventTracer()
+        clock = Clock()
+        clock.advance(9.0)
+        tracer.bind_clock(clock)
+        tracer.instant("x", "fault", ts=1.0)
+        assert tracer.events[0].ts == 1.0
+
+
+class TestRingBuffer:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_overwrites_oldest_and_counts_drops(self):
+        tracer = EventTracer(capacity=3)
+        for index in range(5):
+            tracer.instant("e", "step", ts=float(index), n=index)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        # Oldest-first order survives the rotation.
+        assert [event.args["n"] for event in tracer.events] == [2, 3, 4]
+
+    def test_exact_fill_drops_nothing(self):
+        tracer = EventTracer(capacity=3)
+        for index in range(3):
+            tracer.instant("e", "step", ts=float(index), n=index)
+        assert tracer.dropped == 0
+        assert [event.args["n"] for event in tracer.events] == [0, 1, 2]
+
+    def test_clear_resets_everything(self):
+        tracer = EventTracer(capacity=2)
+        for index in range(4):
+            tracer.instant("e", "step", ts=float(index))
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.events == []
+        tracer.instant("again", "step", ts=0.0)
+        assert [event.name for event in tracer.events] == ["again"]

@@ -19,6 +19,18 @@ class TestCounter:
         counter.reset()
         assert counter.value == 0.0
 
+    def test_negative_amount_rejected(self):
+        counter = Counter("x")
+        counter.add(3.0)
+        with pytest.raises(ValueError, match="monotonic"):
+            counter.add(-1.0)
+        assert counter.value == 3.0  # the failed add left no trace
+
+    def test_zero_amount_allowed(self):
+        counter = Counter("x")
+        counter.add(0.0)
+        assert counter.value == 0.0
+
 
 class TestTimeline:
     def test_rejects_nonpositive_bin(self):
