@@ -61,6 +61,14 @@ class ChaosConfig:
             degrade half as hard).
         profile_drop_rate: expected fraction of profiling fault samples the
             handler loses (perf-style ``RECORD_LOST``).
+        capacity_shrink_rate: probability per step that the fast tier
+            transiently loses frames (a neighbouring process grabbing
+            DRAM, a ballooning hypervisor); zero disables the concern.
+        capacity_shrink_frames: frames withheld during a shrink episode
+            (the grant is clamped to free frames — resident data is never
+            evicted by the fault itself).
+        capacity_shrink_steps: steps an episode lasts before the frames
+            are restored.
         max_retries: EBUSY retries before a background submission gives up
             and degrades into the leave-in-slow path.
         retry_backoff: seconds before the first EBUSY retry; doubles per
@@ -75,6 +83,9 @@ class ChaosConfig:
     device_throttle_rate: float = 0.0
     device_throttle_factor: float = 0.25
     profile_drop_rate: float = 0.0
+    capacity_shrink_rate: float = 0.0
+    capacity_shrink_frames: int = 64
+    capacity_shrink_steps: int = 1
     max_retries: int = 4
     retry_backoff: float = 5e-5
     abort_fraction: float = 0.5
@@ -85,10 +96,21 @@ class ChaosConfig:
             "migration_abort_rate",
             "device_throttle_rate",
             "profile_drop_rate",
+            "capacity_shrink_rate",
         ):
             rate = getattr(self, field)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{field} must be in [0, 1], got {rate!r}")
+        if self.capacity_shrink_frames < 0:
+            raise ValueError(
+                f"capacity_shrink_frames must be >= 0, got "
+                f"{self.capacity_shrink_frames!r}"
+            )
+        if self.capacity_shrink_steps < 1:
+            raise ValueError(
+                f"capacity_shrink_steps must be >= 1, got "
+                f"{self.capacity_shrink_steps!r}"
+            )
         if not 0.0 < self.device_throttle_factor <= 1.0:
             raise ValueError(
                 f"device_throttle_factor must be in (0, 1], got "
@@ -113,6 +135,7 @@ class ChaosConfig:
             or self.migration_abort_rate > 0.0
             or self.device_throttle_rate > 0.0
             or self.profile_drop_rate > 0.0
+            or self.capacity_shrink_rate > 0.0
         )
 
     @classmethod
@@ -160,6 +183,7 @@ class FaultInjector:
         self._migration_rng = self._stream("migration")
         self._device_rng = self._stream("device")
         self._profile_rng = self._stream("profile")
+        self._capacity_rng = self._stream("capacity")
         self.counts: Dict[str, int] = {}
 
     def _stream(self, concern: str) -> random.Random:
@@ -194,6 +218,18 @@ class FaultInjector:
             return False
         if self._migration_rng.random() < rate:
             self._count("chaos.migration_aborts")
+            return True
+        return False
+
+    # -------------------------------------------------------------- capacity
+
+    def capacity_shrink_begins(self) -> bool:
+        """Whether a transient fast-tier capacity-loss episode starts now."""
+        rate = self.config.capacity_shrink_rate
+        if rate <= 0.0:
+            return False
+        if self._capacity_rng.random() < rate:
+            self._count("chaos.capacity_shrink")
             return True
         return False
 
@@ -239,6 +275,69 @@ class FaultInjector:
         return dropped
 
 
+class CapacityShrinker(StepObserver):
+    """Drives the ``capacity_shrink`` chaos fault as a per-step observer.
+
+    At each step start, an episode may begin (one seeded draw): the fast
+    tier reserves up to ``capacity_shrink_frames`` frames — clamped to
+    free space, so resident data is untouched and the shrink models a
+    neighbour grabbing *available* DRAM.  After ``capacity_shrink_steps``
+    steps the frames are returned.  Episodes do not stack: a new draw is
+    made only once the current episode has been restored.
+    """
+
+    def __init__(self, machine: "Machine", injector: FaultInjector) -> None:
+        self.machine = machine
+        self.injector = injector
+        self.episodes = 0
+        self._remaining_steps = 0
+        self._reserved = 0
+
+    def on_step_start(self, step: int, now: float) -> None:
+        if self._remaining_steps > 0:
+            self._remaining_steps -= 1
+            if self._remaining_steps == 0:
+                self._restore(now)
+            return
+        if not self.injector.capacity_shrink_begins():
+            return
+        config = self.injector.config
+        requested = config.capacity_shrink_frames * self.machine.page_size
+        self._reserved = self.machine.fast.reserve(requested)
+        self._remaining_steps = config.capacity_shrink_steps
+        self.episodes += 1
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.instant(
+                "capacity-shrink",
+                "chaos",
+                ts=now,
+                track="chaos",
+                nbytes=self._reserved,
+                requested=requested,
+            )
+        if self.machine.pressure is not None:
+            # Losing frames is a usage-fraction jump; the governor should
+            # see it immediately, not at the next allocation.
+            self.machine.pressure.note_usage(now)
+
+    def _restore(self, now: float) -> None:
+        restored, self._reserved = self._reserved, 0
+        if restored:
+            self.machine.fast.unreserve(restored)
+            tracer = self.machine.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "capacity-restore",
+                    "chaos",
+                    ts=now,
+                    track="chaos",
+                    nbytes=restored,
+                )
+        if self.machine.pressure is not None:
+            self.machine.pressure.note_usage(now)
+
+
 class InvariantAuditor(StepObserver):
     """Opt-in per-step verifier of the machine's memory accounting.
 
@@ -274,10 +373,22 @@ class InvariantAuditor(StepObserver):
                     "device.usage-non-negative",
                     f"{device.spec.name}: used={device.used}",
                 )
-            if device.used > device.capacity:
+            if device.reserved < 0:
+                raise ConsistencyError(
+                    "device.reserved-non-negative",
+                    f"{device.spec.name}: reserved={device.reserved}",
+                )
+            if device.used + device.reserved > device.capacity:
                 raise ConsistencyError(
                     "device.usage-within-capacity",
-                    f"{device.spec.name}: used={device.used} > "
+                    f"{device.spec.name}: used={device.used} + "
+                    f"reserved={device.reserved} > capacity={device.capacity}",
+                )
+            if device.reserved + device.used + device.free != device.capacity:
+                raise ConsistencyError(
+                    "device.capacity-partition",
+                    f"{device.spec.name}: reserved={device.reserved} + "
+                    f"used={device.used} + free={device.free} != "
                     f"capacity={device.capacity}",
                 )
         expected_fast = 0

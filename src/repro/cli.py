@@ -9,6 +9,7 @@ Commands:
 * ``maxbatch``   — maximum feasible batch per policy on the GPU platform.
 * ``experiment`` — regenerate one of the paper's tables/figures by id.
 * ``chaos``      — fault-rate sweep under deterministic fault injection.
+* ``pressure``   — capacity-pressure survival sweep under the memory governor.
 * ``trace``      — run one simulation with event tracing and export the trace.
 * ``models``     — list the model zoo.
 """
@@ -22,9 +23,16 @@ from typing import List, Optional, Sequence
 from repro.baselines.registry import CPU_ONLY, GPU_ONLY, POLICIES
 from repro.baselines.vdnn import UnsupportedModelError
 from repro.chaos import ChaosConfig
-from repro.harness.report import format_counters, format_table, gib, mib
+from repro.harness.report import (
+    format_counters,
+    format_pressure,
+    format_table,
+    gib,
+    mib,
+)
 from repro.harness.runner import OOM_ERRORS, max_batch_size, run_policy
 from repro.mem.platforms import GPU_HM, OPTANE_HM, Platform
+from repro.mem.pressure import PressureConfig
 from repro.models.zoo import MODELS
 
 EXPERIMENTS = {
@@ -41,7 +49,53 @@ EXPERIMENTS = {
     "fig12": "fig12_gpu_throughput",
     "fig13": "fig13_breakdown",
     "robust": "robustness_degradation",
+    "survival": "pressure_survival",
 }
+
+
+def _watermarks(text: str):
+    """Parse ``--fast-watermarks LOW,HIGH`` (fractions of fast capacity)."""
+    try:
+        low_text, high_text = text.split(",")
+        return float(low_text), float(high_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected LOW,HIGH (e.g. 0.75,0.9), got {text!r}"
+        )
+
+
+def _pressure_from(args) -> Optional[PressureConfig]:
+    """Build the governor config from ``--fast-watermarks``/``--reserve-frames``.
+
+    With neither flag given this returns ``None`` — the machine is built
+    without a governor and the run stays byte-identical to pre-pressure
+    builds.
+    """
+    watermarks = getattr(args, "fast_watermarks", None)
+    reserve = getattr(args, "reserve_frames", 0)
+    if watermarks is None and not reserve:
+        return None
+    low, high = watermarks if watermarks is not None else (1.0, 1.0)
+    return PressureConfig.watermarks(low, high, reserve_frames=reserve)
+
+
+def _add_pressure_flags(parser) -> None:
+    parser.add_argument(
+        "--fast-watermarks",
+        type=_watermarks,
+        metavar="LOW,HIGH",
+        default=None,
+        help="pressure-governor watermarks as fractions of fast capacity "
+        "(e.g. 0.75,0.9): reclaim above LOW, refuse background promotions "
+        "above HIGH",
+    )
+    parser.add_argument(
+        "--reserve-frames",
+        type=int,
+        default=0,
+        help="fast frames reserved for the urgent demand lane (governor "
+        "reserve pool)",
+    )
 
 
 def _chaos_from(args) -> Optional[ChaosConfig]:
@@ -106,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome trace of the run to PATH (open in Perfetto)",
     )
+    _add_pressure_flags(run)
 
     compare = sub.add_parser("compare", help="all applicable policies on one model")
     compare.add_argument("model", choices=sorted(MODELS))
@@ -182,6 +237,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture every grid point's event trace and write one combined "
         "Chrome trace (one Perfetto process per point)",
     )
+    _add_pressure_flags(grid)
+
+    pressure = sub.add_parser(
+        "pressure",
+        help="capacity-pressure survival sweep under the memory governor",
+    )
+    pressure.add_argument(
+        "--models", nargs="+", default=sorted(MODELS), choices=sorted(MODELS)
+    )
+    pressure.add_argument(
+        "--policies",
+        nargs="+",
+        default=["sentinel", "ial"],
+        choices=sorted(POLICIES),
+    )
+    pressure.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=[0.1, 0.05],
+        help="fast memory as fractions of each model's peak",
+    )
+    pressure.add_argument(
+        "--fast-watermarks",
+        type=_watermarks,
+        metavar="LOW,HIGH",
+        default=(0.75, 0.9),
+    )
+    pressure.add_argument("--reserve-frames", type=int, default=32)
+    pressure.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write one combined Chrome trace of every point to PATH",
+    )
 
     trace = sub.add_parser(
         "trace", help="run one simulation under event tracing and export it"
@@ -230,6 +320,7 @@ def _cmd_run(args) -> int:
         chaos=chaos,
         audit=args.audit,
         tracer=tracer,
+        pressure=_pressure_from(args),
     )
     rows = [
         ("step time (s)", f"{metrics.step_time:.4f}"),
@@ -241,7 +332,11 @@ def _cmd_run(args) -> int:
         ("slow traffic (MiB)", f"{mib(metrics.bytes_slow):.0f}"),
         ("peak fast use (GiB)", f"{gib(metrics.peak_fast):.2f}"),
     ]
-    rows += [(f"extras.{key}", f"{value:g}") for key, value in metrics.extras.items()]
+    rows += [
+        (f"extras.{key}", f"{value:g}")
+        for key, value in metrics.extras.items()
+        if not key.startswith(("pressure.", "migration.relocated"))
+    ]
     print(
         format_table(
             ("metric", "value"),
@@ -249,6 +344,9 @@ def _cmd_run(args) -> int:
             title=f"{args.model} / {args.policy} (batch {metrics.batch_size})",
         )
     )
+    if any(key.startswith("pressure.") for key in metrics.extras):
+        print()
+        print(format_pressure(metrics.extras))
     if tracer is not None:
         from repro.obs import write_chrome
 
@@ -391,6 +489,7 @@ def _cmd_grid(args) -> int:
         platform=args.platform,
         chaos=_chaos_from(args),
         trace=args.trace is not None,
+        pressure=_pressure_from(args),
     )
     print(result.to_table(value=args.value))
     failures = [p for p in result if not p.ok]
@@ -430,6 +529,47 @@ def _cmd_chaos(args) -> int:
                 totals[key] = totals.get(key, 0) + record.get(key, 0)
     print()
     print(format_counters(totals, title="injected-fault totals"))
+    return 0
+
+
+def _cmd_pressure(args) -> int:
+    from repro.harness import experiments
+
+    result = experiments.pressure_survival(
+        models=tuple(args.models),
+        policies=tuple(args.policies),
+        fast_fractions=tuple(args.fractions),
+        watermarks=args.fast_watermarks,
+        reserve_frames=args.reserve_frames,
+        trace=args.trace is not None,
+    )
+    print(result["text"])
+    totals: dict = {}
+    for series in result["records"].values():
+        for record in series:
+            for key in (
+                "spills",
+                "spilled_bytes",
+                "refused_promotions",
+                "reclaims",
+                "compaction_moves",
+                "compaction_bytes",
+            ):
+                totals[f"pressure.{key}"] = (
+                    totals.get(f"pressure.{key}", 0) + record.get(key, 0)
+                )
+    print()
+    print(format_counters(totals, title="pressure totals"))
+    if args.trace:
+        import json
+
+        from repro.obs import combine_chrome
+
+        labeled = [pair for pair in result["labeled"] if pair[1]]
+        with open(args.trace, "w") as handle:
+            json.dump(combine_chrome(labeled), handle, sort_keys=True)
+        total = sum(len(events) for _, events in labeled)
+        print(f"trace: {total} events from {len(labeled)} points -> {args.trace}")
     return 0
 
 
@@ -503,6 +643,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "features": _cmd_features,
         "grid": _cmd_grid,
         "chaos": _cmd_chaos,
+        "pressure": _cmd_pressure,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

@@ -630,6 +630,9 @@ class SentinelPolicy(PlacementPolicy):
         # prefetched data that displaces the working set costs more than it
         # saves.
         budget = machine.fast.free - max(0, headroom) - self._upcoming_alloc_demand(1)
+        if machine.pressure is not None:
+            # The demand lane's reserve pool is invisible to prefetch.
+            budget -= machine.pressure.reserve_bytes
         transfers: List[Transfer] = []
         skipped: List[PageTableEntry] = []
         for run in runs:
@@ -679,6 +682,10 @@ class SentinelPolicy(PlacementPolicy):
             # critical path and keeps allocations landing in DRAM.
             slack += self._upcoming_alloc_demand(4)
         demand = prefetch_remaining + self._reservation_headroom() + slack
+        if machine.pressure is not None:
+            # Eviction must also keep the governor's urgent-lane reserve
+            # open, or every demand miss starts by evicting synchronously.
+            demand += machine.pressure.reserve_bytes
         inflight_demotes = sum(
             run.npages * page_size
             for run in machine.page_table.entries()

@@ -149,13 +149,16 @@ class Allocator:
             raise AllocationError(f"tensor {tensor.name!r} is not allocated")
         page_size = self.machine.page_size
         for share in mapping.shares:
-            users = self._run_users[share.run.vpn]
+            users = self._run_users.get(share.run.vpn)
+            if users is None:
+                continue  # run already unmapped underneath the allocator
             users.discard(tensor.tid)
             if not users:
                 self._forget_open(share.run)
                 del self._run_users[share.run.vpn]
                 self.live_page_bytes -= share.run.npages * page_size
-                self.machine.unmap_run(share.run, now)
+                if share.run.vpn in self.machine.page_table:
+                    self.machine.unmap_run(share.run, now)
         self.live_tensor_bytes -= tensor.nbytes
         return mapping
 
@@ -169,7 +172,15 @@ class Allocator:
         if open_page is None:
             return remaining
         room = page_size - open_page.used
-        if room <= 0 or open_page.run.vpn not in self._run_users:
+        if (
+            room <= 0
+            or open_page.run.vpn not in self._run_users
+            or open_page.run.vpn not in self.machine.page_table
+        ):
+            # The run may have been unmapped underneath us (an eviction
+            # through machine.unmap_run bypasses the allocator, leaving a
+            # stale _run_users entry): attaching a new tensor to it would
+            # resurrect a dead mapping.  Drop the open slot and start fresh.
             del self._open[group]
             return remaining
         take = min(room, remaining)
@@ -181,7 +192,7 @@ class Allocator:
 
     def _map_run(self, tensor: Tensor, npages: int, now: float) -> PageTableEntry:
         device = self.place(tensor, now)
-        run = self.machine.map_run(npages, device)
+        run = self.machine.map_run(npages, device, now)
         self.live_page_bytes += npages * self.machine.page_size
         self.peak_page_bytes = max(self.peak_page_bytes, self.live_page_bytes)
         return run

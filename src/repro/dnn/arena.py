@@ -18,12 +18,21 @@ The arena requests page runs from the machine like any allocator, but only
 returns them when :meth:`ArenaAllocator.release_all` is called — freed
 chunks go to a size-bucketed free list instead.  Chunk splitting mirrors
 BFC: a larger free chunk is split, the remainder re-listed.
+
+Under capacity pressure the arena's weakness is *external fragmentation*:
+free bytes scattered across chunks too small for the request sizes the
+workload actually makes.  :meth:`ArenaAllocator.external_fragmentation`
+measures it (free bytes unusable for the largest request class seen) and
+:meth:`ArenaAllocator.compact` runs a bounded BFC-coalescing pass that
+vacates mostly-empty slabs by relocating their tenants into free chunks
+elsewhere — paying real migration-channel time per move — and returns the
+emptied slabs to the machine.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.dnn.alloc import Allocator, RunShare, TensorMapping
@@ -53,6 +62,19 @@ class _Chunk:
         return self.tenant is None
 
 
+@dataclass
+class CompactionReport:
+    """What one bounded compaction pass accomplished."""
+
+    moves: int = 0
+    moved_bytes: int = 0
+    merges: int = 0
+    freed_runs: int = 0
+    freed_bytes: int = 0
+    finish: float = 0.0
+    relocated: List[int] = field(default_factory=list)  # tids moved
+
+
 class ArenaAllocator(Allocator):
     """Best-fit arena: pages persist, chunks are recycled across steps."""
 
@@ -65,6 +87,9 @@ class ArenaAllocator(Allocator):
         self._chunks_by_tid: Dict[int, List[_Chunk]] = {}
         #: every run the arena ever mapped (released only by release_all)
         self._owned_runs: List[PageTableEntry] = []
+        #: largest single allocation seen — the request class external
+        #: fragmentation is measured against
+        self._largest_request = 0
 
     # --------------------------------------------------------------- lookup
 
@@ -108,6 +133,7 @@ class ArenaAllocator(Allocator):
             from repro.dnn.alloc import AllocationError
 
             raise AllocationError(f"tensor {tensor.name!r} is already allocated")
+        self._largest_request = max(self._largest_request, tensor.nbytes)
         chunk = self._take_free_chunk(tensor.nbytes)
         if chunk is None:
             chunk = self._grow(tensor.nbytes, now, tensor)
@@ -161,6 +187,7 @@ class ArenaAllocator(Allocator):
         self._run_users.clear()
         self._mappings.clear()
         self.live_tensor_bytes = 0
+        self._largest_request = 0
 
     # ---------------------------------------------------------------- stats
 
@@ -171,7 +198,257 @@ class ArenaAllocator(Allocator):
             run.npages * self.machine.page_size for run in self._owned_runs
         )
 
+    @property
+    def free_bytes(self) -> int:
+        """Bytes sitting on the free lists."""
+        return sum(
+            chunk.nbytes for chunks in self._bins.values() for chunk in chunks
+        )
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held by tenants."""
+        return sum(
+            chunk.nbytes
+            for chunks in self._chunks_by_tid.values()
+            for chunk in chunks
+        )
+
     def chunk_count(self) -> int:
         return sum(len(chunks) for chunks in self._bins.values()) + sum(
             len(chunks) for chunks in self._chunks_by_tid.values()
         )
+
+    def fragmentation_bytes(self, class_bytes: Optional[int] = None) -> int:
+        """Free bytes unusable for a request of ``class_bytes``.
+
+        Defaults to the largest allocation the arena has served — the
+        request class that will hit the allocator's growth path first.
+        """
+        if class_bytes is None:
+            class_bytes = self._largest_request
+        if class_bytes <= 0:
+            return 0
+        return sum(
+            chunk.nbytes
+            for chunks in self._bins.values()
+            for chunk in chunks
+            if chunk.nbytes < class_bytes
+        )
+
+    def external_fragmentation(self, class_bytes: Optional[int] = None) -> float:
+        """Fraction of free bytes unusable for the request class in [0, 1]."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return self.fragmentation_bytes(class_bytes) / free
+
+    # ----------------------------------------------------------- compaction
+
+    def coalesce(self) -> int:
+        """Merge adjacent free chunks within each run; returns merge count.
+
+        BFC coalescing proper: two free chunks whose byte ranges abut in
+        the same run become one larger chunk, re-binned at its new size
+        class.
+        """
+        by_run: Dict[int, List[_Chunk]] = {}
+        for chunks in self._bins.values():
+            for chunk in chunks:
+                by_run.setdefault(chunk.run.vpn, []).append(chunk)
+        merges = 0
+        merged: List[_Chunk] = []
+        for chunks in by_run.values():
+            chunks.sort(key=lambda c: c.offset)
+            current = chunks[0]
+            for chunk in chunks[1:]:
+                if current.offset + current.nbytes == chunk.offset:
+                    current = _Chunk(
+                        run=current.run,
+                        offset=current.offset,
+                        nbytes=current.nbytes + chunk.nbytes,
+                    )
+                    merges += 1
+                else:
+                    merged.append(current)
+                    current = chunk
+            merged.append(current)
+        if merges:
+            self._bins.clear()
+            for chunk in merged:
+                self._list_free(chunk)
+        return merges
+
+    def _take_target_chunk(
+        self, nbytes: int, exclude_vpn: int, device
+    ) -> Optional[_Chunk]:
+        """Best-fit free chunk outside ``exclude_vpn`` on the same tier."""
+        best: Optional[_Chunk] = None
+        best_bin: Optional[List[_Chunk]] = None
+        best_index = -1
+        for size_class in range(_size_class(nbytes), 64):
+            bin_chunks = self._bins.get(size_class)
+            if not bin_chunks:
+                continue
+            for index, chunk in enumerate(bin_chunks):
+                if (
+                    chunk.nbytes >= nbytes
+                    and chunk.run.vpn != exclude_vpn
+                    and not chunk.run.in_flight
+                    and chunk.run.device is device
+                    and (best is None or chunk.nbytes < best.nbytes)
+                ):
+                    best, best_bin, best_index = chunk, bin_chunks, index
+            if best is not None:
+                break  # smallest adequate size class wins, BFC style
+        if best is not None:
+            best_bin.pop(best_index)
+        return best
+
+    def compact(self, now: float, max_moves: int = 8) -> CompactionReport:
+        """One bounded compaction pass; returns what it accomplished.
+
+        Coalesces free lists, then vacates mostly-empty slabs: each tenant
+        chunk of a candidate slab is relocated into a free chunk of
+        another same-tier slab through the migration engine (paying real
+        demote-channel time), and the emptied slab is unmapped and its
+        frames returned to the machine.  At most ``max_moves`` tenant
+        relocations are performed — compaction must never stall a step for
+        longer than a few transfers.
+        """
+        report = CompactionReport(finish=now)
+        report.merges = self.coalesce()
+        page_size = self.machine.page_size
+        tenants_by_run: Dict[int, List[_Chunk]] = {}
+        for chunks in self._chunks_by_tid.values():
+            for chunk in chunks:
+                tenants_by_run.setdefault(chunk.run.vpn, []).append(chunk)
+        # Candidate slabs: fewest tenant bytes first — the cheapest to
+        # vacate buy back whole runs for the fewest moves.
+        candidates = sorted(
+            (
+                run
+                for run in self._owned_runs
+                if run.vpn in self.machine.page_table
+                and not run.in_flight
+                and not run.pinned
+            ),
+            key=lambda run: sum(
+                c.nbytes for c in tenants_by_run.get(run.vpn, ())
+            ),
+        )
+        budget = max_moves
+        receivers: set = set()  # slabs that gained tenants this pass
+        for run in candidates:
+            if run.vpn in receivers:
+                # The up-front tenant map no longer covers this slab;
+                # vacating it could strand a tenant relocated into it.
+                continue
+            tenants = tenants_by_run.get(run.vpn, [])
+            if len(tenants) > budget:
+                continue
+            if not self._vacate(run, tenants, now, report, receivers):
+                continue
+            budget -= len(tenants)
+            self._release_slab(run, now, report)
+            if budget <= 0:
+                break
+        self._record_compaction(now, report)
+        return report
+
+    def _vacate(
+        self,
+        run: PageTableEntry,
+        tenants: List[_Chunk],
+        now: float,
+        report: CompactionReport,
+        receivers: set,
+    ) -> bool:
+        """Move every tenant of ``run`` elsewhere; False if any has no home.
+
+        Targets are claimed before any move is committed, so a failed
+        placement rolls back cleanly by re-listing the claimed chunks.
+        """
+        claimed: List[tuple] = []  # (tenant, target)
+        for tenant in tenants:
+            target = self._take_target_chunk(
+                tenant.nbytes, run.vpn, run.device
+            )
+            if target is None:
+                for _, unused in claimed:
+                    self._list_free(unused)
+                return False
+            claimed.append((tenant, target))
+        for tenant, target in claimed:
+            if target.nbytes > tenant.nbytes:
+                remainder = _Chunk(
+                    run=target.run,
+                    offset=target.offset + tenant.nbytes,
+                    nbytes=target.nbytes - tenant.nbytes,
+                )
+                self._list_free(remainder)
+            old_vpn = tenant.run.vpn
+            receivers.add(target.run.vpn)
+            tenant.run = target.run
+            tenant.offset = target.offset
+            assert tenant.tenant is not None
+            self._retarget_tenant(tenant.tenant, old_vpn, target.run)
+            transfer = self.machine.migration.relocate(
+                tenant.nbytes, now, tag="compact"
+            )
+            report.finish = max(report.finish, transfer.finish)
+            report.moves += 1
+            report.moved_bytes += tenant.nbytes
+            report.relocated.append(tenant.tenant)
+        return True
+
+    def _retarget_tenant(
+        self, tid: int, old_vpn: int, new_run: PageTableEntry
+    ) -> None:
+        """Point a moved tensor's mapping and run-user records at its new slab."""
+        mapping = self._mappings.get(tid)
+        if mapping is not None:
+            for share in mapping.shares:
+                if share.run.vpn == old_vpn:
+                    share.run = new_run
+        users = self._run_users.get(old_vpn)
+        if users is not None:
+            users.discard(tid)
+        self._run_users.setdefault(new_run.vpn, set()).add(tid)
+
+    def _release_slab(
+        self, run: PageTableEntry, now: float, report: CompactionReport
+    ) -> None:
+        """Return a fully-vacated slab's frames to the machine."""
+        for chunks in self._bins.values():
+            chunks[:] = [c for c in chunks if c.run.vpn != run.vpn]
+        self._run_users.pop(run.vpn, None)
+        self._owned_runs.remove(run)
+        nbytes = run.npages * self.machine.page_size
+        self.live_page_bytes -= nbytes
+        self.machine.unmap_run(run, now)
+        report.freed_runs += 1
+        report.freed_bytes += nbytes
+
+    def _record_compaction(self, now: float, report: CompactionReport) -> None:
+        if report.moves == 0 and report.freed_runs == 0:
+            return
+        stats = self.machine.stats
+        stats.counter("pressure.compaction_passes").add(1)
+        stats.counter("pressure.compaction_moves").add(report.moves)
+        stats.counter("pressure.compaction_bytes").add(report.moved_bytes)
+        stats.counter("pressure.compaction_freed_bytes").add(report.freed_bytes)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.complete(
+                "compaction",
+                "pressure",
+                ts=now,
+                dur=max(0.0, report.finish - now),
+                track="pressure",
+                moves=report.moves,
+                moved_bytes=report.moved_bytes,
+                merges=report.merges,
+                freed_runs=report.freed_runs,
+                freed_bytes=report.freed_bytes,
+            )

@@ -213,6 +213,11 @@ class Executor:
         stall = policy.on_step_end(step, clock.now)
         self._charge_stall(result, stall)
         machine.migration.sync(clock.now)
+        if machine.pressure is not None:
+            # Step boundary: refresh watermark state and, for arena-style
+            # allocators under sustained pressure, run bounded compaction.
+            machine.pressure.end_step(allocator, clock.now)
+            machine.migration.sync(clock.now)
         if events is not None:
             events.end("step", "step", step=step)
 

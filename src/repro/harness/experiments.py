@@ -32,6 +32,7 @@ from repro.harness.runner import (
 from repro.harness.sweeps import point_seed
 from repro.mem.machine import Machine
 from repro.mem.platforms import GPU_HM, OPTANE_HM, Platform
+from repro.mem.pressure import PressureConfig
 from repro.models.zoo import MODELS, build_model
 
 #: CPU evaluation sets (paper §VII-B): small batches for Figure 7/10,
@@ -697,6 +698,117 @@ def robustness_degradation(
         "fault_rates": tuple(fault_rates),
         "chaos_seed": chaos_seed,
         "records": records,
+        "text": text,
+    }
+
+
+def pressure_survival(
+    models: Sequence[str] = tuple(MODELS),
+    policies: Sequence[str] = (SENTINEL_CPU, "ial"),
+    fast_fractions: Sequence[float] = (0.1, 0.05),
+    watermarks: Tuple[float, float] = (0.75, 0.9),
+    reserve_frames: int = 32,
+    trace: bool = False,
+) -> Dict:
+    """Capacity-pressure survival sweep: fast memory down to 5% of peak.
+
+    Every (model, policy, fraction) point runs under the memory-pressure
+    governor — watermark admission control, an urgent-lane reserve pool,
+    spill-to-slow allocation fallback, and (for the arena-backed IAL
+    baseline) bounded compaction — plus the per-step invariant auditor.
+    The requirement being demonstrated is *survival*: every point
+    completes with balanced accounting and no exception, degrading into
+    slow-tier traffic that the spill/refusal/compaction counters make
+    visible instead of dying at the capacity wall.
+
+    With ``trace=True`` every point captures its own event trace and the
+    result carries ``labeled`` (label, events) pairs ready for
+    :func:`repro.obs.combine_chrome`.
+    """
+    if not models or not policies or not fast_fractions:
+        raise ValueError("need at least one model, policy, and fraction")
+    low, high = watermarks
+    pressure = PressureConfig.watermarks(low, high, reserve_frames=reserve_frames)
+    rows = []
+    records: Dict[str, List[Dict[str, float]]] = {}
+    labeled: List[Tuple[str, Tuple]] = []
+    for model in models:
+        for policy in policies:
+            series = records.setdefault(f"{policy}/{model}", [])
+            for fraction in fast_fractions:
+                tracer = None
+                if trace:
+                    from repro.obs import EventTracer
+
+                    tracer = EventTracer()
+                metrics = run_policy(
+                    policy,
+                    model=model,
+                    fast_fraction=fraction,
+                    pressure=pressure,
+                    audit=True,
+                    tracer=tracer,
+                )
+                if tracer is not None:
+                    labeled.append(
+                        (f"{policy}/{model}/f{fraction:g}", tuple(tracer.events))
+                    )
+                extras = metrics.extras
+                point = {
+                    "fast_fraction": fraction,
+                    "step_time": metrics.step_time,
+                    "throughput": metrics.throughput,
+                    "spills": extras.get("pressure.spills", 0.0),
+                    "spilled_bytes": extras.get("pressure.spilled_bytes", 0.0),
+                    "refused_promotions": extras.get(
+                        "pressure.refused_promotions", 0.0
+                    ),
+                    "reclaims": extras.get("pressure.reclaims", 0.0),
+                    "compaction_moves": extras.get(
+                        "pressure.compaction_moves", 0.0
+                    ),
+                    "compaction_bytes": extras.get(
+                        "pressure.compaction_bytes", 0.0
+                    ),
+                }
+                series.append(point)
+                rows.append(
+                    (
+                        model,
+                        policy,
+                        f"{fraction:.0%}",
+                        f"{metrics.step_time:.4f}",
+                        int(point["spills"]),
+                        f"{mib(point['spilled_bytes']):.0f}",
+                        int(point["refused_promotions"]),
+                        int(point["reclaims"]),
+                        int(point["compaction_moves"]),
+                    )
+                )
+    text = format_table(
+        (
+            "model",
+            "policy",
+            "fast",
+            "step (s)",
+            "spills",
+            "spilled MiB",
+            "refused",
+            "reclaims",
+            "compaction moves",
+        ),
+        rows,
+        title=f"Pressure survival — watermarks {low:g}/{high:g}, "
+        f"reserve {reserve_frames} frames (every point must complete)",
+    )
+    return {
+        "models": tuple(models),
+        "policies": tuple(policies),
+        "fast_fractions": tuple(fast_fractions),
+        "watermarks": (low, high),
+        "reserve_frames": reserve_frames,
+        "records": records,
+        "labeled": labeled,
         "text": text,
     }
 

@@ -128,6 +128,63 @@ def format_trace_summary(events, title: str = "trace summary") -> str:
     return f"{table}\ntracks: {tracks}"
 
 
+def format_pressure(extras: "dict[str, float]", title: str = "pressure") -> str:
+    """Render the pressure governor's counter section of a run summary.
+
+    Takes a run's extras (or a raw ``pressure.*`` counter snapshot) and
+    prints the spill / refused-promotion / reclaim / compaction story with
+    a stable shape: every headline counter appears even when zero, so runs
+    can be diffed line by line.
+    """
+    headline = (
+        ("spills", "pressure.spills", "count"),
+        ("spilled", "pressure.spilled_bytes", "mib"),
+        ("refused promotions", "pressure.refused_promotions", "count"),
+        ("refused", "pressure.refused_bytes", "mib"),
+        ("reclaims", "pressure.reclaims", "count"),
+        ("reclaimed", "pressure.reclaimed_bytes", "mib"),
+        ("compaction moves", "pressure.compaction_moves", "count"),
+        ("compaction moved", "pressure.compaction_bytes", "mib"),
+        ("compaction freed", "pressure.compaction_freed_bytes", "mib"),
+        ("high-watermark crossings", "pressure.high_crossings", "count"),
+    )
+    width = max(len(label) for label, _, _ in headline)
+    lines = [f"{title}:"]
+    for label, key, kind in headline:
+        value = extras.get(key, 0)
+        if kind == "mib":
+            rendered = f"{mib(value):.4g} MiB"
+        else:
+            rendered = str(int(value))
+        lines.append(f"  {label.ljust(width)} = {rendered}")
+    return "\n".join(lines)
+
+
+def format_summary(metrics) -> str:
+    """Render one run's headline metrics, with a pressure section when
+    the run carried a governor (``pressure.*`` keys in its extras)."""
+    rows = [
+        ("model", metrics.model),
+        ("policy", metrics.policy),
+        ("batch size", metrics.batch_size),
+        ("fast capacity (MiB)", f"{mib(metrics.fast_capacity):.1f}"),
+        ("step time (s)", f"{metrics.step_time:.4f}"),
+        ("throughput (samples/s)", f"{metrics.throughput:.2f}"),
+        ("compute time (s)", f"{metrics.compute_time:.4f}"),
+        ("memory time (s)", f"{metrics.mem_time:.4f}"),
+        ("stall time (s)", f"{metrics.stall_time:.4f}"),
+        ("fault time (s)", f"{metrics.fault_time:.4f}"),
+        ("promoted (MiB)", f"{mib(metrics.promoted_bytes):.1f}"),
+        ("demoted (MiB)", f"{mib(metrics.demoted_bytes):.1f}"),
+        ("peak fast (MiB)", f"{mib(metrics.peak_fast):.1f}"),
+        ("peak slow (MiB)", f"{mib(metrics.peak_slow):.1f}"),
+    ]
+    parts = [format_table(("metric", "value"), rows)]
+    if any(key.startswith("pressure.") for key in metrics.extras):
+        parts.append(format_pressure(metrics.extras))
+    return "\n\n".join(parts)
+
+
 def jsonable(value: object):
     """Recursively convert experiment results to JSON-serializable data.
 

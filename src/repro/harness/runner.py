@@ -18,13 +18,14 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.baselines.registry import make_policy
 from repro.baselines.vdnn import UnsupportedModelError
-from repro.chaos import ChaosConfig, FaultInjector, InvariantAuditor
+from repro.chaos import CapacityShrinker, ChaosConfig, FaultInjector, InvariantAuditor
 from repro.core.runtime import SentinelConfig, SentinelPolicy
 from repro.dnn.executor import Executor
 from repro.dnn.graph import Graph
 from repro.errors import MemoryPressureError
 from repro.mem.machine import Machine
 from repro.mem.platforms import Platform
+from repro.mem.pressure import PressureConfig
 from repro.models.zoo import build_model
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -87,6 +88,7 @@ def run_policy(
     chaos: Optional[ChaosConfig] = None,
     audit: bool = False,
     tracer: Optional["EventTracer"] = None,
+    pressure: Optional[PressureConfig] = None,
 ) -> RunMetrics:
     """Run one policy on one workload and return steady-state metrics.
 
@@ -106,6 +108,11 @@ def run_policy(
     the whole run lands in a structured event trace; ``None`` (the default)
     keeps every traced code path dormant and the metrics bit-identical to
     untraced runs.
+
+    ``pressure`` attaches a :class:`~repro.mem.pressure.PressureGovernor`
+    (watermark admission control, spill-to-slow, arena compaction); the
+    default ``None`` — or a config with watermarks at 100% and no reserve —
+    leaves the run byte-identical to a governor-free machine.
     """
     if (graph is None) == (model is None):
         raise ValueError("provide exactly one of graph= or model=")
@@ -123,11 +130,19 @@ def run_policy(
         )
     injector = FaultInjector(chaos) if chaos is not None else None
     machine = Machine.for_platform(
-        platform, fast_capacity=fast_capacity, injector=injector, tracer=tracer
+        platform,
+        fast_capacity=fast_capacity,
+        injector=injector,
+        tracer=tracer,
+        pressure=pressure,
     )
 
     policy = make_policy(policy_name, sentinel_config=_sentinel_config(sentinel_config))
-    observers = [InvariantAuditor(machine)] if audit else []
+    observers = []
+    if injector is not None and chaos.capacity_shrink_rate > 0.0:
+        observers.append(CapacityShrinker(machine, injector))
+    if audit:
+        observers.append(InvariantAuditor(machine))
     executor = Executor(graph, machine, policy, observers=observers)
 
     total_steps = steady_steps
@@ -172,6 +187,14 @@ def run_policy(
         extras["faults_dropped"] = machine.fault_handler.faults_dropped
         for key, count in sorted(injector.counts.items()):
             extras[key] = count
+    if machine.pressure is not None:
+        # Only with an enabled governor: pressure-free runs keep metrics
+        # bit-identical to runs predating the governor.
+        for key, value in sorted(machine.stats.counters("pressure.").items()):
+            extras[key] = value
+        extras["migration.relocated_bytes"] = machine.stats.counter(
+            "migration.relocated_bytes"
+        ).value
 
     return RunMetrics(
         model=graph.name,

@@ -18,6 +18,7 @@ from repro.chaos import ChaosConfig
 from repro.harness.report import format_table
 from repro.harness.runner import OOM_ERRORS, RunMetrics, run_policy
 from repro.mem.platforms import OPTANE_HM, Platform
+from repro.mem.pressure import PressureConfig
 
 
 def point_seed(base_seed: int, *key: object) -> int:
@@ -122,6 +123,7 @@ def sweep(
     platform: Platform = OPTANE_HM,
     chaos: Optional[ChaosConfig] = None,
     trace: bool = False,
+    pressure: Optional[PressureConfig] = None,
 ) -> SweepResult:
     """Run the cartesian product and collect every outcome.
 
@@ -138,6 +140,10 @@ def sweep(
     :class:`repro.obs.EventTracer` and the captured events land on
     :attr:`SweepPoint.events` (each point's timeline starts at 0; use
     :func:`repro.obs.combine_chrome` to view them side by side).
+
+    With ``pressure`` given, every point runs under the same
+    :class:`~repro.mem.pressure.PressureConfig` (the governor holds no
+    random state, so no per-point reseeding is needed).
     """
     if not policies or not models:
         raise ValueError("need at least one policy and one model")
@@ -172,6 +178,7 @@ def sweep(
                         fast_fraction=effective,
                         chaos=point_chaos,
                         tracer=tracer,
+                        pressure=pressure,
                     )
                     points.append(
                         SweepPoint(

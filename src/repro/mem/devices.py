@@ -99,6 +99,7 @@ class MemoryDevice:
         self.injector = injector
         self._used = 0
         self._peak_used = 0
+        self._reserved = 0
 
     @property
     def capacity(self) -> int:
@@ -115,17 +116,26 @@ class MemoryDevice:
         return self._peak_used
 
     @property
+    def reserved(self) -> int:
+        """Bytes withheld from allocation (transient capacity loss)."""
+        return self._reserved
+
+    @property
     def free(self) -> int:
-        return self.spec.capacity - self._used
+        return self.spec.capacity - self._used - self._reserved
 
     def allocate(self, nbytes: int) -> None:
         """Reserve ``nbytes``; raises :class:`DeviceFullError` if it doesn't fit."""
         if nbytes < 0:
             raise ValueError(f"cannot allocate negative bytes {nbytes!r}")
-        if self._used + nbytes > self.spec.capacity:
+        if self._used + nbytes > self.spec.capacity - self._reserved:
+            detail = f"({self._used}/{self.spec.capacity} used"
+            if self._reserved:
+                detail += f", {self._reserved} reserved"
+            detail += ")"
             raise DeviceFullError(
                 f"{self.spec.name}: allocation of {nbytes} bytes exceeds capacity "
-                f"({self._used}/{self.spec.capacity} used)"
+                f"{detail}"
             )
         self._used += nbytes
         self._peak_used = max(self._peak_used, self._used)
@@ -142,7 +152,32 @@ class MemoryDevice:
         self._used -= nbytes
 
     def fits(self, nbytes: int) -> bool:
-        return self._used + nbytes <= self.spec.capacity
+        return self._used + nbytes <= self.spec.capacity - self._reserved
+
+    def reserve(self, nbytes: int) -> int:
+        """Withhold up to ``nbytes`` from allocation; returns bytes granted.
+
+        Models a transient capacity loss (the chaos ``capacity_shrink``
+        fault): reserved bytes behave as if the frames do not exist, but
+        allocations already resident are untouched — the grant is clamped
+        to current free space, never forcing an eviction.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot reserve negative bytes {nbytes!r}")
+        granted = min(nbytes, self.free)
+        self._reserved += granted
+        return granted
+
+    def unreserve(self, nbytes: int) -> None:
+        """Return withheld bytes; over-return is a bookkeeping bug."""
+        if nbytes < 0:
+            raise ValueError(f"cannot unreserve negative bytes {nbytes!r}")
+        if nbytes > self._reserved:
+            raise ValueError(
+                f"{self.spec.name}: unreserving {nbytes} bytes but only "
+                f"{self._reserved} reserved"
+            )
+        self._reserved -= nbytes
 
     def access_time(self, nbytes: int, is_write: bool) -> float:
         """Time to move ``nbytes`` to/from the device, latency included."""

@@ -17,6 +17,7 @@ from repro.mem.faults import FaultHandler
 from repro.mem.migration import MigrationEngine
 from repro.mem.page import PageTable, PageTableEntry
 from repro.mem.platforms import Platform
+from repro.mem.pressure import PressureConfig, PressureGovernor
 from repro.mem.tlb import TLB
 from repro.sim.channel import BandwidthChannel
 from repro.sim.stats import StatsRegistry
@@ -40,6 +41,13 @@ class Machine:
             handler, and the injector if one is attached).  ``None`` — the
             default — records nothing: every instrumentation site is one
             ``is None`` check, so untraced runs stay bit-identical.
+        pressure: optional :class:`~repro.mem.pressure.PressureConfig`;
+            when enabled, a :class:`~repro.mem.pressure.PressureGovernor`
+            gates background promotions at the high watermark, reclaims
+            above the low watermark, and spills over-capacity fast
+            allocations to the slow tier.  ``None`` or a disabled config
+            (the defaults: watermarks at 100%, zero reserve) leaves every
+            run byte-identical to a governor-free machine.
     """
 
     def __init__(
@@ -47,6 +55,7 @@ class Machine:
         platform: Platform,
         injector: Optional["FaultInjector"] = None,
         tracer: Optional["EventTracer"] = None,
+        pressure: Optional[PressureConfig] = None,
     ) -> None:
         self.platform = platform
         self.injector = injector
@@ -94,6 +103,10 @@ class Machine:
             injector=injector,
             tracer=tracer,
         )
+        self.pressure: Optional[PressureGovernor] = None
+        if pressure is not None and pressure.enabled:
+            self.pressure = PressureGovernor(pressure, self)
+            self.migration.governor = self.pressure
         self._dram_cache: Optional[DRAMCache] = None
 
     @classmethod
@@ -103,6 +116,7 @@ class Machine:
         fast_capacity: Optional[int] = None,
         injector: Optional["FaultInjector"] = None,
         tracer: Optional["EventTracer"] = None,
+        pressure: Optional[PressureConfig] = None,
     ) -> "Machine":
         """Build a machine, optionally resizing the fast tier.
 
@@ -112,7 +126,7 @@ class Machine:
         """
         if fast_capacity is not None:
             platform = platform.with_fast_capacity(fast_capacity)
-        return cls(platform, injector=injector, tracer=tracer)
+        return cls(platform, injector=injector, tracer=tracer, pressure=pressure)
 
     @property
     def page_size(self) -> int:
@@ -123,10 +137,26 @@ class Machine:
 
     # ------------------------------------------------------------ allocation
 
-    def map_run(self, npages: int, kind: DeviceKind) -> PageTableEntry:
-        """Map a fresh run of ``npages`` on tier ``kind``, charging capacity."""
-        self.device(kind).allocate(npages * self.page_size)
-        return self.page_table.map_run(npages, kind)
+    def map_run(self, npages: int, kind: DeviceKind, now: float = 0.0) -> PageTableEntry:
+        """Map a fresh run of ``npages`` on tier ``kind``, charging capacity.
+
+        With a pressure governor attached, a fast-tier request that does
+        not fit in the non-reserved portion of fast memory spills to the
+        slow tier (recorded as ``pressure.spill``) instead of raising.
+        """
+        nbytes = npages * self.page_size
+        if (
+            kind is DeviceKind.FAST
+            and self.pressure is not None
+            and not self.pressure.admit_allocation(nbytes, now)
+        ):
+            kind = DeviceKind.SLOW
+            self.pressure.record_spill(nbytes, now)
+        self.device(kind).allocate(nbytes)
+        run = self.page_table.map_run(npages, kind)
+        if self.pressure is not None:
+            self.pressure.note_usage(now)
+        return run
 
     def unmap_run(self, run: PageTableEntry, now: float) -> None:
         """Free a run, settling any in-flight migration first."""

@@ -38,6 +38,7 @@ from repro.sim.stats import StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
+    from repro.mem.pressure import PressureGovernor
     from repro.obs.trace import EventTracer
 
 
@@ -96,6 +97,10 @@ class MigrationEngine:
         self.stats = stats if stats is not None else StatsRegistry()
         self.injector = injector
         self.tracer = tracer
+        #: optional :class:`~repro.mem.pressure.PressureGovernor`, attached
+        #: by the machine; gates background promotions at the high
+        #: watermark and withholds the urgent-lane reserve from them.
+        self.governor: Optional["PressureGovernor"] = None
         self._pending: List[MigrationRecord] = []
 
     # ------------------------------------------------------------------ sync
@@ -150,6 +155,13 @@ class MigrationEngine:
             if run.device is DeviceKind.FAST or run.in_flight:
                 continue
             eligible.append(run)
+        if eligible and self.governor is not None and not urgent:
+            total_req = sum(r.npages for r in eligible) * page_size
+            if self.governor.refuse_promotion(total_req, now):
+                # Above the high watermark: the whole background request
+                # comes back as skipped — the established leave-in-slow
+                # (Case 2) signal, so every caller already degrades.
+                return None, [], eligible
         if eligible and self.injector is not None:
             now, refused = self._admit(now, urgent)
             if refused:
@@ -173,7 +185,12 @@ class MigrationEngine:
             if run.pinned:
                 skipped.append(run)
                 continue
-            free_pages = self.fast.free // page_size
+            available = self.fast.free
+            if self.governor is not None and not urgent:
+                # Background promotions may never consume the demand lane's
+                # reserve pool.
+                available = self.governor.available(urgent=False)
+            free_pages = available // page_size
             if free_pages <= 0:
                 skipped.append(run)
                 continue
@@ -209,6 +226,10 @@ class MigrationEngine:
         self.stats.timeline("migration.promote_bw").record_span(
             transfer.start, transfer.finish, total
         )
+        if self.governor is not None:
+            # Promotions are what push usage across the watermarks between
+            # allocations; let the governor see each one land.
+            self.governor.note_usage(now)
         if self.tracer is not None:
             self.tracer.complete(
                 "promote",
@@ -417,6 +438,21 @@ class MigrationEngine:
             if transfer is not None:
                 transfers.append(transfer)
         return transfers
+
+    # ------------------------------------------------------------ relocation
+
+    def relocate(self, nbytes: int, now: float, tag: object = None) -> Transfer:
+        """Charge channel time for an intra-tier copy (arena compaction).
+
+        Compaction moves live chunks between same-tier page runs; no page
+        table state changes and no capacity is reserved, but the copy is
+        real — it rides the demote channel (the direction with spare
+        bandwidth during pressure, since promotions are being refused) and
+        delays everything queued behind it.
+        """
+        transfer = self.demote_channel.submit(nbytes, now, tag=tag)
+        self.stats.counter("migration.relocated_bytes").add(nbytes)
+        return transfer
 
     # ------------------------------------------------- discard / materialize
 

@@ -29,7 +29,7 @@ from repro.sim.clock import Clock
 
 #: The event categories the simulator emits; one lane per subsystem.
 CATEGORIES = frozenset(
-    {"step", "migration", "fault", "prefetch", "channel", "chaos", "gpu"}
+    {"step", "migration", "fault", "prefetch", "channel", "chaos", "gpu", "pressure"}
 )
 
 #: Allowed Chrome ``trace_event`` phases.

@@ -169,3 +169,73 @@ class TestAllocatorProperties:
                 alloc.free(tensor, now=0.0)
             assert m.slow.used == 0
             assert alloc.live_tensor_bytes == 0
+
+
+class TestUnmappedRunHardening:
+    """A run evicted through machine.unmap_run must not poison the packer.
+
+    External actors (arena compaction, pressure reclaim teardown, tests)
+    can unmap a run the allocator still references.  The open-page slot and
+    free() must both tolerate the stale state instead of resurrecting a
+    dead mapping or raising.
+    """
+
+    def test_open_page_not_reused_after_external_unmap(self):
+        m = machine()
+        allocator = PackedAllocator(m, place_slow)
+        first = make_tensor(0, 100)
+        mapping = allocator.alloc(first, now=0.0)
+        run = mapping.shares[0].run
+        m.unmap_run(run, now=0.0)  # eviction behind the allocator's back
+        second = make_tensor(1, 100)
+        mapping2 = allocator.alloc(second, now=0.0)
+        fresh = mapping2.shares[0].run
+        assert fresh.vpn != run.vpn
+        assert fresh.vpn in m.page_table
+
+    def test_open_page_not_reused_after_user_state_lost(self):
+        m = machine()
+        allocator = PackedAllocator(m, place_slow)
+        first = make_tensor(0, 100)
+        mapping = allocator.alloc(first, now=0.0)
+        run = mapping.shares[0].run
+        # Simulate a bookkeeping wipe that left the page table intact.
+        allocator._run_users.pop(run.vpn)
+        second = make_tensor(1, 100)
+        mapping2 = allocator.alloc(second, now=0.0)
+        assert mapping2.shares[0].run.vpn != run.vpn
+
+    def test_free_of_externally_unmapped_tensor_is_quiet(self):
+        m = machine()
+        allocator = PackedAllocator(m, place_slow)
+        first = make_tensor(0, 100)
+        run = allocator.alloc(first, now=0.0).shares[0].run
+        m.unmap_run(run, now=0.0)
+        allocator._run_users.pop(run.vpn, None)  # eviction wiped the books
+        allocator.free(first, now=0.0)  # must not raise
+        assert allocator.live_tensor_bytes == 0
+
+    def test_free_skips_unmap_when_run_already_gone(self):
+        m = machine()
+        allocator = PackedAllocator(m, place_slow)
+        first = make_tensor(0, 100)
+        run = allocator.alloc(first, now=0.0).shares[0].run
+        m.unmap_run(run, now=0.0)
+        # _run_users still names the tensor; free() must drop the books
+        # without calling unmap_run on the dead vpn.
+        allocator.free(first, now=0.0)
+        assert allocator.live_page_bytes == 0
+        assert run.vpn not in allocator._run_users
+
+    def test_survivor_on_shared_page_unaffected(self):
+        m = machine()
+        allocator = PackedAllocator(m, place_slow)
+        first = make_tensor(0, 100)
+        second = make_tensor(1, 100)
+        allocator.alloc(first, now=0.0)
+        mapping2 = allocator.alloc(second, now=0.0)  # same open page
+        shared = mapping2.shares[0].run
+        m.unmap_run(shared, now=0.0)
+        allocator.free(first, now=0.0)
+        allocator.free(second, now=0.0)
+        assert allocator.live_tensor_bytes == 0

@@ -1,0 +1,293 @@
+"""Arena fragmentation accounting and bounded compaction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnn.arena import ArenaAllocator
+from repro.dnn.tensor import Tensor, TensorKind
+from repro.mem.devices import DeviceKind
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+from repro.obs import EventTracer
+
+PAGE = OPTANE_HM.page_size
+SLAB = ArenaAllocator.SLAB_PAGES * PAGE
+
+
+def make_arena(tracer=None):
+    machine = Machine.for_platform(
+        OPTANE_HM, fast_capacity=PAGE * 64, tracer=tracer
+    )
+    arena = ArenaAllocator(machine, lambda tensor, now: DeviceKind.SLOW)
+    return machine, arena
+
+
+def make_tensor(tid, nbytes):
+    tensor = Tensor(tid=tid, name=f"t{tid}", nbytes=nbytes, kind=TensorKind.TEMP)
+    tensor.alloc_layer = 0
+    tensor.free_layer = 0
+    return tensor
+
+
+def two_slab_fragmentation(arena):
+    """Two slabs, each half tenant / half free — one is vacatable."""
+    half = SLAB // 2
+    tensors = [make_tensor(i, half) for i in range(4)]
+    for tensor in tensors:
+        arena.alloc(tensor, now=0.0)
+    arena.free(tensors[1], now=0.0)  # slab A: t0 resident, half free
+    arena.free(tensors[2], now=0.0)  # slab B: t3 resident, half free
+    return tensors
+
+
+class TestFragmentationAccounting:
+    def test_free_plus_resident_covers_arena(self):
+        machine, arena = make_arena()
+        tensors = two_slab_fragmentation(arena)
+        assert arena.free_bytes + arena.resident_bytes == arena.arena_bytes
+
+    def test_fragmentation_bytes_measures_small_chunks(self):
+        machine, arena = make_arena()
+        two_slab_fragmentation(arena)
+        half = SLAB // 2
+        # Both free chunks are half-slab sized: unusable for a full-slab
+        # request, fine for anything half-slab or smaller.
+        assert arena.fragmentation_bytes(SLAB) == 2 * half
+        assert arena.fragmentation_bytes(half) == 0
+
+    def test_default_class_is_largest_request(self):
+        machine, arena = make_arena()
+        two_slab_fragmentation(arena)
+        # Largest request seen is half a slab, which both chunks satisfy.
+        assert arena.fragmentation_bytes() == 0
+        bigger = make_tensor(99, SLAB)
+        arena.alloc(bigger, now=0.0)
+        arena.free(bigger, now=0.0)
+        assert arena.fragmentation_bytes() > 0
+
+    def test_external_fragmentation_bounds(self):
+        machine, arena = make_arena()
+        assert arena.external_fragmentation() == 0.0
+        two_slab_fragmentation(arena)
+        assert 0.0 <= arena.external_fragmentation(SLAB) <= 1.0
+        assert arena.external_fragmentation(SLAB) > 0.0
+
+
+class TestCoalesce:
+    def test_adjacent_free_chunks_merge(self):
+        machine, arena = make_arena()
+        quarter = SLAB // 4
+        tensors = [make_tensor(i, quarter) for i in range(4)]  # one slab
+        for tensor in tensors:
+            arena.alloc(tensor, now=0.0)
+        for tensor in tensors:
+            arena.free(tensor, now=0.0)
+        merges = arena.coalesce()
+        assert merges == 3  # four quarters -> one whole-slab chunk
+        fit = make_tensor(10, SLAB)
+        mapping = arena.alloc(fit, now=0.0)
+        # The merged chunk serves a request no fragment could.
+        assert machine.slow.used == SLAB
+
+    def test_non_adjacent_chunks_stay_split(self):
+        machine, arena = make_arena()
+        two_slab_fragmentation(arena)
+        assert arena.coalesce() == 0
+
+
+class TestCompaction:
+    def test_vacates_slab_and_returns_frames(self):
+        machine, arena = make_arena()
+        tensors = two_slab_fragmentation(arena)
+        assert machine.slow.used == 2 * SLAB
+        report = arena.compact(now=0.0)
+        assert report.moves == 1
+        assert report.freed_runs == 1
+        assert report.freed_bytes == SLAB
+        assert machine.slow.used == SLAB
+        assert arena.arena_bytes == SLAB
+
+    def test_relocated_tenant_mapping_follows(self):
+        machine, arena = make_arena()
+        tensors = two_slab_fragmentation(arena)
+        report = arena.compact(now=0.0)
+        moved_tid = report.relocated[0]
+        moved = tensors[moved_tid]
+        mapping = arena.mapping(moved)
+        surviving_vpns = {run.vpn for run in arena._owned_runs}
+        assert mapping.shares[0].run.vpn in surviving_vpns
+        # The moved tensor can still be freed and its chunk recycled.
+        arena.free(moved, now=1.0)
+        again = make_tensor(50, moved.nbytes)
+        arena.alloc(again, now=1.0)
+        assert machine.slow.used == SLAB
+
+    def test_relocation_pays_channel_time(self):
+        machine, arena = make_arena()
+        two_slab_fragmentation(arena)
+        report = arena.compact(now=0.0)
+        assert report.finish > 0.0
+        assert (
+            machine.stats.counter("migration.relocated_bytes").value
+            == report.moved_bytes
+            > 0
+        )
+        assert machine.demote_channel.bytes_moved == report.moved_bytes
+
+    def test_bounded_by_max_moves(self):
+        machine, arena = make_arena()
+        two_slab_fragmentation(arena)
+        report = arena.compact(now=0.0, max_moves=0)
+        assert report.moves == 0
+        assert machine.slow.used == 2 * SLAB  # nothing vacated
+
+    def test_empty_slab_freed_without_moves(self):
+        machine, arena = make_arena()
+        half = SLAB // 2
+        keep = make_tensor(0, half)
+        arena.alloc(keep, now=0.0)
+        extra = make_tensor(1, SLAB)  # forces a second slab
+        arena.alloc(extra, now=0.0)
+        arena.free(extra, now=0.0)
+        report = arena.compact(now=0.0, max_moves=0)
+        assert report.moves == 0
+        assert report.freed_runs == 1
+        assert machine.slow.used == SLAB
+
+    def test_receiving_slab_not_vacated_same_pass(self):
+        """A slab that gained tenants mid-pass must survive the pass."""
+        machine, arena = make_arena()
+        tensors = two_slab_fragmentation(arena)
+        report = arena.compact(now=0.0, max_moves=8)
+        # One slab absorbed the other's tenant; with budget to spare the
+        # receiver must still be intact (both tenants resident).
+        assert report.freed_runs == 1
+        live = [t for i, t in enumerate(tensors) if i in (0, 3)]
+        for tensor in live:
+            mapping = arena.mapping(tensor)
+            assert mapping.shares[0].run.vpn in machine.page_table
+
+    def test_pinned_slab_not_vacated(self):
+        machine, arena = make_arena()
+        tensors = two_slab_fragmentation(arena)
+        for run in arena._owned_runs:
+            run.pinned = True
+        report = arena.compact(now=0.0)
+        assert report.moves == 0 and report.freed_runs == 0
+        assert machine.slow.used == 2 * SLAB
+
+    def test_compaction_counters_and_trace(self):
+        tracer = EventTracer()
+        machine, arena = make_arena(tracer=tracer)
+        two_slab_fragmentation(arena)
+        report = arena.compact(now=0.0)
+        stats = machine.stats
+        assert stats.counter("pressure.compaction_passes").value == 1
+        assert stats.counter("pressure.compaction_moves").value == report.moves
+        assert (
+            stats.counter("pressure.compaction_bytes").value
+            == report.moved_bytes
+        )
+        assert (
+            stats.counter("pressure.compaction_freed_bytes").value
+            == report.freed_bytes
+        )
+        spans = [
+            e
+            for e in tracer.events
+            if e.cat == "pressure" and e.name == "compaction"
+        ]
+        assert len(spans) == 1
+        assert spans[0].args["moves"] == report.moves
+        assert spans[0].args["freed_bytes"] == report.freed_bytes
+
+    def test_idle_pass_records_nothing(self):
+        tracer = EventTracer()
+        machine, arena = make_arena(tracer=tracer)
+        tensor = make_tensor(0, SLAB)
+        arena.alloc(tensor, now=0.0)
+        report = arena.compact(now=0.0)
+        assert report.moves == 0 and report.freed_runs == 0
+        assert machine.stats.counter("pressure.compaction_passes").value == 0
+        assert not [e for e in tracer.events if e.cat == "pressure"]
+
+
+class TestArenaPressureProperties:
+    """Property suite: the arena's books must balance under any sequence."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=PAGE * 20), min_size=1, max_size=30
+        ),
+        data=st.data(),
+    )
+    def test_free_plus_resident_equals_owned(self, sizes, data):
+        machine, arena = make_arena()
+        live = []
+        for index, nbytes in enumerate(sizes):
+            tensor = make_tensor(index, nbytes)
+            arena.alloc(tensor, now=0.0)
+            live.append(tensor)
+            if live and data.draw(st.booleans()):
+                victim = live.pop(
+                    data.draw(st.integers(min_value=0, max_value=len(live) - 1))
+                )
+                arena.free(victim, now=0.0)
+            # Freed chunks carry their split remainders, so the identity
+            # must hold after *every* operation, not just at the end.
+            assert (
+                arena.free_bytes + arena.resident_bytes == arena.arena_bytes
+            )
+            assert machine.slow.used == arena.arena_bytes
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=PAGE * 8), min_size=1, max_size=20
+        )
+    )
+    def test_release_all_zeroes_fragmentation(self, sizes):
+        machine, arena = make_arena()
+        tensors = [make_tensor(i, s) for i, s in enumerate(sizes)]
+        for tensor in tensors:
+            arena.alloc(tensor, now=0.0)
+        for tensor in tensors[::2]:
+            arena.free(tensor, now=0.0)
+        arena.release_all(now=0.0)
+        assert arena.external_fragmentation() == 0.0
+        assert arena.fragmentation_bytes() == 0
+        assert arena.free_bytes == 0
+        assert machine.slow.used == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=PAGE, max_value=SLAB), min_size=4, max_size=16
+        ),
+        keep_mask=st.lists(st.booleans(), min_size=4, max_size=16),
+    )
+    def test_compaction_preserves_accounting(self, sizes, keep_mask):
+        machine, arena = make_arena()
+        tensors = [make_tensor(i, s) for i, s in enumerate(sizes)]
+        for tensor in tensors:
+            arena.alloc(tensor, now=0.0)
+        survivors = []
+        for index, tensor in enumerate(tensors):
+            if keep_mask[index % len(keep_mask)]:
+                survivors.append(tensor)
+            else:
+                arena.free(tensor, now=0.0)
+        before = arena.resident_bytes
+        arena.compact(now=0.0, max_moves=8)
+        assert arena.resident_bytes == before  # moves never lose tenants
+        assert arena.free_bytes + arena.resident_bytes == arena.arena_bytes
+        assert machine.slow.used == arena.arena_bytes
+        for tensor in survivors:
+            mapping = arena.mapping(tensor)
+            assert mapping is not None
+            assert mapping.shares[0].run.vpn in machine.page_table
+        # Every survivor can still be freed cleanly.
+        for tensor in survivors:
+            arena.free(tensor, now=1.0)
+        assert arena.resident_bytes == 0

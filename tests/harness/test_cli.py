@@ -184,3 +184,80 @@ class TestTraceCommands:
         assert validate_chrome(obj) > 0
         pids = {row["pid"] for row in obj["traceEvents"]}
         assert len(pids) == 2  # one Perfetto process per grid point
+
+
+class TestPressureCommands:
+    def test_watermarks_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "dcgan", "sentinel", "--fast-watermarks", "0.6,0.8"]
+        )
+        assert args.fast_watermarks == (0.6, 0.8)
+
+    def test_watermarks_flag_rejects_garbage(self):
+        for bad in ("0.6", "0.6,0.8,0.9", "high,low"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["run", "dcgan", "sentinel", "--fast-watermarks", bad]
+                )
+
+    def test_run_without_flags_builds_no_governor(self):
+        from repro.cli import _pressure_from
+
+        args = build_parser().parse_args(["run", "dcgan", "sentinel"])
+        assert _pressure_from(args) is None
+
+    def test_run_with_flags_prints_pressure_section(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "dcgan",
+                    "sentinel",
+                    "--batch",
+                    "8",
+                    "--fast-fraction",
+                    "0.05",
+                    "--fast-watermarks",
+                    "0.75,0.9",
+                    "--reserve-frames",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pressure:" in out
+        assert "spills" in out
+        assert "reclaims" in out
+
+    def test_run_without_flags_prints_no_pressure_section(self, capsys):
+        assert main(["run", "dcgan", "sentinel", "--batch", "8"]) == 0
+        assert "pressure:" not in capsys.readouterr().out
+
+    def test_pressure_command_renders_survival_table(self, capsys, tmp_path):
+        trace_path = tmp_path / "pressure.json"
+        assert (
+            main(
+                [
+                    "pressure",
+                    "--models",
+                    "dcgan",
+                    "--policies",
+                    "sentinel",
+                    "--fractions",
+                    "0.1",
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Pressure survival" in out
+        assert "every point must complete" in out
+        import json
+
+        from repro.obs import validate_chrome
+
+        with open(trace_path) as handle:
+            assert validate_chrome(json.load(handle)) > 0

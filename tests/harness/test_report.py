@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.harness.report import format_bars, format_series, format_table, gib, jsonable, mib
+from repro.harness.report import (
+    format_bars,
+    format_pressure,
+    format_series,
+    format_summary,
+    format_table,
+    gib,
+    jsonable,
+    mib,
+)
 
 
 class TestFormatTable:
@@ -109,3 +118,60 @@ class TestFormatTraceSummary:
         from repro.harness.report import format_trace_summary
 
         assert "(no events)" in format_trace_summary([])
+
+
+class TestFormatPressure:
+    def test_all_headline_rows_present_even_when_zero(self):
+        text = format_pressure({})
+        for label in (
+            "spills",
+            "refused promotions",
+            "reclaims",
+            "compaction moves",
+            "high-watermark crossings",
+        ):
+            assert label in text
+        assert text.count("= 0") >= 5
+
+    def test_bytes_render_as_mib(self):
+        text = format_pressure(
+            {"pressure.spills": 3.0, "pressure.spilled_bytes": 2 * 1024.0**2}
+        )
+        assert "spills" in text
+        assert "2 MiB" in text
+
+    def test_ignores_unrelated_extras(self):
+        text = format_pressure({"interval_length": 4.0, "pressure.spills": 1.0})
+        assert "interval_length" not in text
+
+
+class TestFormatSummary:
+    def _metrics(self, extras):
+        from repro.harness.runner import RunMetrics
+
+        return RunMetrics(
+            model="dcgan",
+            policy="sentinel",
+            batch_size=8,
+            fast_capacity=1 << 30,
+            step_time=1.5,
+            throughput=5.33,
+            compute_time=1.0,
+            mem_time=0.4,
+            stall_time=0.1,
+            fault_time=0.0,
+            promoted_bytes=1 << 20,
+            demoted_bytes=1 << 20,
+            bytes_fast=0,
+            bytes_slow=0,
+            peak_fast=1 << 28,
+            peak_slow=1 << 29,
+            extras=extras,
+        )
+
+    def test_pressure_section_only_with_governor_extras(self):
+        bare = format_summary(self._metrics({}))
+        assert "pressure:" not in bare
+        governed = format_summary(self._metrics({"pressure.spills": 2.0}))
+        assert "pressure:" in governed
+        assert "step time (s)" in governed

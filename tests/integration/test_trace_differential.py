@@ -161,3 +161,126 @@ class TestPolicyCounters:
         query, _, injector, _ = clean
         assert injector is None
         assert query.filter(cat="chaos").count() == 0
+
+
+def traced_pressure_run(steps=12):
+    from repro.mem.pressure import PressureConfig
+
+    tracer = EventTracer()
+    graph = build_model("dcgan", batch_size=8)
+    machine = Machine.for_platform(
+        OPTANE_HM,
+        fast_capacity=int(graph.peak_memory_bytes() * 0.08),
+        tracer=tracer,
+        pressure=PressureConfig.watermarks(0.6, 0.8, reserve_frames=16),
+    )
+    policy = SentinelPolicy(SentinelConfig(warmup_steps=2))
+    Executor(graph, machine, policy).run_steps(steps)
+    return TraceQuery(tracer.events), machine
+
+
+@pytest.fixture(scope="module")
+def pressured():
+    return traced_pressure_run()
+
+
+class TestPressureCounters:
+    """Every pressure.* counter must be re-derivable from the trace."""
+
+    def test_governor_was_actually_active(self, pressured):
+        query, machine = pressured
+        assert query.filter(cat="pressure").count() > 0, (
+            "the fixture no longer exercises the governor; "
+            "tighten its capacity or watermarks"
+        )
+
+    @pytest.mark.parametrize(
+        "counter,event",
+        [
+            ("pressure.spills", "spill"),
+            ("pressure.refused_promotions", "refused-promotion"),
+            ("pressure.reclaims", "reclaim"),
+            ("pressure.low_crossings", "watermark-low-enter"),
+            ("pressure.high_crossings", "watermark-high-enter"),
+        ],
+    )
+    def test_event_counts(self, pressured, counter, event):
+        query, machine = pressured
+        traced = query.filter(cat="pressure", name=event).count()
+        assert traced == machine.stats.counter(counter).value
+
+    @pytest.mark.parametrize(
+        "counter,event",
+        [
+            ("pressure.spilled_bytes", "spill"),
+            ("pressure.refused_bytes", "refused-promotion"),
+            ("pressure.reclaimed_bytes", "reclaim"),
+        ],
+    )
+    def test_byte_sums(self, pressured, counter, event):
+        query, machine = pressured
+        traced = query.filter(cat="pressure", name=event).sum_arg("nbytes")
+        assert traced == machine.stats.counter(counter).value
+
+    def test_reclaimed_bytes_flow_through_demote_channel(self, pressured):
+        query, machine = pressured
+        reclaim_tagged = query.filter(
+            cat="migration",
+            name="demote",
+            predicate=lambda e: e.args.get("tag") == "pressure-reclaim",
+        ).sum_arg("nbytes")
+        assert (
+            reclaim_tagged
+            == machine.stats.counter("pressure.reclaimed_bytes").value
+        )
+
+
+class TestCompactionCounters:
+    def make_fragmented_arena(self):
+        from repro.dnn.arena import ArenaAllocator
+        from repro.dnn.tensor import Tensor, TensorKind
+        from repro.mem.devices import DeviceKind
+
+        tracer = EventTracer()
+        machine = Machine.for_platform(
+            OPTANE_HM, fast_capacity=1 << 24, tracer=tracer
+        )
+        arena = ArenaAllocator(machine, lambda tensor, now: DeviceKind.SLOW)
+        slab = ArenaAllocator.SLAB_PAGES * machine.page_size
+        tensors = []
+        for tid in range(6):
+            tensor = Tensor(
+                tid=tid, name=f"t{tid}", nbytes=slab // 2, kind=TensorKind.TEMP
+            )
+            tensor.alloc_layer = tensor.free_layer = 0
+            arena.alloc(tensor, now=0.0)
+            tensors.append(tensor)
+        for tensor in tensors[1::2]:  # every second tenant leaves
+            arena.free(tensor, now=0.0)
+        return machine, arena, tracer
+
+    def test_compaction_span_args_match_counters(self):
+        machine, arena, tracer = self.make_fragmented_arena()
+        arena.compact(now=0.0, max_moves=8)
+        arena.compact(now=1.0, max_moves=8)  # second pass may be a no-op
+        query = TraceQuery(tracer.events)
+        spans = query.filter(cat="pressure", name="compaction")
+        stats = machine.stats
+        assert (
+            spans.count() == stats.counter("pressure.compaction_passes").value
+        )
+        for arg, counter in (
+            ("moves", "pressure.compaction_moves"),
+            ("moved_bytes", "pressure.compaction_bytes"),
+            ("freed_bytes", "pressure.compaction_freed_bytes"),
+        ):
+            assert spans.sum_arg(arg) == stats.counter(counter).value
+
+    def test_relocations_match_engine_counter(self):
+        machine, arena, tracer = self.make_fragmented_arena()
+        report = arena.compact(now=0.0, max_moves=8)
+        assert report.moves > 0, "fixture produced nothing to compact"
+        assert (
+            machine.stats.counter("migration.relocated_bytes").value
+            == report.moved_bytes
+        )

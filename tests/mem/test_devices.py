@@ -124,3 +124,46 @@ class TestTiming:
     def test_negative_bytes_rejected(self):
         with pytest.raises(ValueError):
             make_device().access_time(-1, is_write=False)
+
+
+class TestReservations:
+    def test_reserve_withholds_from_free_not_used(self):
+        device = make_device(capacity=1000)
+        granted = device.reserve(300)
+        assert granted == 300
+        assert device.reserved == 300
+        assert device.used == 0
+        assert device.free == 700
+
+    def test_reserve_grant_clamped_to_free(self):
+        device = make_device(capacity=1000)
+        device.allocate(800)
+        assert device.reserve(500) == 200
+        assert device.free == 0
+
+    def test_allocate_cannot_consume_reserved(self):
+        device = make_device(capacity=1000)
+        device.reserve(400)
+        with pytest.raises(DeviceFullError, match="reserved"):
+            device.allocate(700)
+        assert not device.fits(700)
+        device.allocate(600)  # exactly the unreserved remainder
+
+    def test_unreserve_restores_free(self):
+        device = make_device(capacity=1000)
+        device.reserve(400)
+        device.unreserve(400)
+        assert device.reserved == 0
+        assert device.free == 1000
+
+    def test_unreserve_more_than_reserved_rejected(self):
+        device = make_device(capacity=1000)
+        device.reserve(100)
+        with pytest.raises(ValueError):
+            device.unreserve(200)
+
+    def test_capacity_partition_invariant(self):
+        device = make_device(capacity=1000)
+        device.allocate(250)
+        device.reserve(300)
+        assert device.used + device.reserved + device.free == 1000

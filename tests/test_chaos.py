@@ -389,3 +389,132 @@ class TestAuditor:
         executor.run_step()
         with pytest.raises(ConsistencyError):
             executor.run_step()
+
+
+class TestCapacityShrinkConfig:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(capacity_shrink_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(capacity_shrink_rate=-0.1)
+
+    def test_frames_and_steps_bounds(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(capacity_shrink_frames=-1)
+        with pytest.raises(ValueError):
+            ChaosConfig(capacity_shrink_steps=0)
+
+    def test_shrink_rate_enables(self):
+        assert ChaosConfig(capacity_shrink_rate=0.5).enabled
+
+    def test_uniform_leaves_shrink_off(self):
+        """uniform() predates this fault; enabling it there would change
+        every existing chaos run's deterministic draw sequence."""
+        assert ChaosConfig.uniform(0.3).capacity_shrink_rate == 0.0
+
+
+class TestCapacityShrinker:
+    def _shrinker(self, rate=1.0, frames=8, steps=1, seed=7, fast_pages=64,
+                  pressure=None):
+        from repro.chaos import CapacityShrinker
+        from repro.mem.platforms import OPTANE_HM as platform
+
+        machine = Machine.for_platform(
+            platform, fast_capacity=fast_pages * PAGE, pressure=pressure
+        )
+        injector = FaultInjector(
+            ChaosConfig(
+                capacity_shrink_rate=rate,
+                capacity_shrink_frames=frames,
+                capacity_shrink_steps=steps,
+                seed=seed,
+            )
+        )
+        return machine, CapacityShrinker(machine, injector)
+
+    def test_episode_reserves_and_restores(self):
+        machine, shrinker = self._shrinker(steps=2)
+        shrinker.on_step_start(0, 0.0)
+        assert machine.fast.reserved == 8 * PAGE
+        assert shrinker.episodes == 1
+        shrinker.on_step_start(1, 1.0)  # episode still running
+        assert machine.fast.reserved == 8 * PAGE
+        shrinker.on_step_start(2, 2.0)  # episode expires
+        assert machine.fast.reserved == 0
+
+    def test_episodes_do_not_stack(self):
+        machine, shrinker = self._shrinker(steps=3)
+        for step in range(3):
+            shrinker.on_step_start(step, float(step))
+        assert shrinker.episodes == 1
+        assert machine.fast.reserved == 8 * PAGE
+
+    def test_grant_clamped_to_free_space(self):
+        machine, shrinker = self._shrinker(frames=64, fast_pages=16)
+        machine.map_run(12, DeviceKind.FAST)
+        shrinker.on_step_start(0, 0.0)
+        assert machine.fast.reserved == 4 * PAGE  # only what was free
+        assert machine.fast.free == 0
+
+    def test_same_seed_same_episode_schedule(self):
+        def schedule(seed):
+            _, shrinker = self._shrinker(rate=0.4, seed=seed, steps=1)
+            fired = []
+            for step in range(40):
+                before = shrinker.episodes
+                shrinker.on_step_start(step, float(step))
+                fired.append(shrinker.episodes > before)
+            return fired
+
+        assert schedule(11) == schedule(11)
+        assert schedule(11) != schedule(12)
+
+    def test_zero_rate_never_draws(self):
+        machine, shrinker = self._shrinker(rate=0.0)
+        for step in range(20):
+            shrinker.on_step_start(step, float(step))
+        assert shrinker.episodes == 0
+        assert shrinker.injector.counts.get("chaos.capacity_shrink", 0) == 0
+
+    def test_auditor_passes_during_episode(self):
+        machine, shrinker = self._shrinker(frames=8)
+        machine.map_run(4, DeviceKind.FAST)
+        machine.map_run(4, DeviceKind.SLOW)
+        shrinker.on_step_start(0, 0.0)
+        InvariantAuditor(machine).audit()  # reserved + used + free == capacity
+
+    def test_shrink_pushes_governor_over_watermark(self):
+        from repro.mem.pressure import PressureConfig
+
+        machine, shrinker = self._shrinker(
+            frames=48,
+            fast_pages=64,
+            pressure=PressureConfig.watermarks(0.5, 0.75),
+        )
+        run = machine.map_run(8, DeviceKind.FAST)
+        run.initialized = True
+        assert machine.pressure.used_fraction() < 0.5
+        shrinker.on_step_start(0, 0.0)  # withholds 48 frames: 56/64 occupied
+        assert machine.pressure.used_fraction() > 0.75
+        assert machine.stats.counter("pressure.high_crossings").value == 1
+
+
+class TestAuditorReservedChecks:
+    def test_negative_reserved_caught(self):
+        machine = Machine(OPTANE_HM)
+        machine.fast._reserved = -1
+        with pytest.raises(ConsistencyError, match="reserved-non-negative"):
+            InvariantAuditor(machine).audit()
+
+    def test_reserved_plus_used_over_capacity_caught(self):
+        machine = Machine(OPTANE_HM)
+        machine.fast.reserve(machine.fast.capacity)
+        machine.fast._used = machine.page_size  # corruption: no room for it
+        with pytest.raises(ConsistencyError, match="usage-within-capacity"):
+            InvariantAuditor(machine).audit()
+
+    def test_over_unreserve_raises_at_device(self):
+        machine = Machine(OPTANE_HM)
+        machine.fast.reserve(machine.page_size)
+        with pytest.raises(ValueError):
+            machine.fast.unreserve(2 * machine.page_size)
