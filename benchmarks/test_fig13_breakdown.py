@@ -7,6 +7,7 @@ Sentinel-GPU; and each Sentinel mechanism helps — "direct migration" <
 "+ determined MI" < full Sentinel.
 """
 
+import pytest
 from conftest import run_once
 
 from repro.harness.experiments import fig13_breakdown
@@ -18,6 +19,28 @@ def test_fig13(benchmark, record_experiment):
 
     for model, per_model in result["records"].items():
         full = per_model["sentinel (all)"]
+
+        # The trace-derived critical-path attribution must agree with the
+        # executor's own counters on the measured step: same exposed stall,
+        # and the exclusive components cover the whole step.
+        attribution = per_model["attribution"]
+        assert attribution["trace_stall"] == pytest.approx(
+            attribution["counter_stall"], abs=1e-9
+        ), model
+        component_sum = sum(
+            attribution[key]
+            for key in (
+                "compute",
+                "migration_stall",
+                "channel_contention",
+                "fault",
+                "pressure_reclaim",
+                "idle",
+            )
+        )
+        assert component_sum == pytest.approx(
+            attribution["step_time"], abs=1e-9
+        ), model
         det_mi = per_model["sentinel (det. MI)"]
         direct = per_model["sentinel (direct)"]
 

@@ -11,6 +11,8 @@ Commands:
 * ``chaos``      — fault-rate sweep under deterministic fault injection.
 * ``pressure``   — capacity-pressure survival sweep under the memory governor.
 * ``trace``      — run one simulation with event tracing and export the trace.
+* ``critpath``   — per-step critical-path attribution of a traced run.
+* ``bench``      — attribution benchmark + step-time regression gate.
 * ``models``     — list the model zoo.
 """
 
@@ -48,6 +50,7 @@ EXPERIMENTS = {
     "table5": "table5_max_batch",
     "fig12": "fig12_gpu_throughput",
     "fig13": "fig13_breakdown",
+    "attrib": "step_attribution",
     "robust": "robustness_degradation",
     "survival": "pressure_survival",
 }
@@ -295,6 +298,77 @@ def build_parser() -> argparse.ArgumentParser:
         default="chrome",
         help="chrome: Perfetto-loadable trace_event JSON; jsonl: canonical "
         "one-event-per-line records; summary: per-category digest table",
+    )
+
+    critpath = sub.add_parser(
+        "critpath",
+        help="per-step critical-path attribution of a traced run",
+    )
+    critpath.add_argument("model", choices=sorted(MODELS))
+    critpath.add_argument("policy", choices=sorted(POLICIES))
+    critpath.add_argument("--batch", type=int, default=None)
+    critpath.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    critpath.add_argument("--fast-fraction", type=float, default=0.2)
+    critpath.add_argument("--fault-rate", type=float, default=0.0)
+    critpath.add_argument("--chaos-seed", type=int, default=0)
+    critpath.add_argument(
+        "--capacity",
+        type=int,
+        default=65536,
+        help="tracer ring-buffer capacity; attribution refuses truncated "
+        "windows, so raise this for very large models",
+    )
+    critpath.add_argument(
+        "--bandwidth-scale",
+        type=float,
+        default=None,
+        metavar="K",
+        help="additionally answer the what-if of K-times migration bandwidth",
+    )
+    critpath.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the per-step attribution as canonical JSON to PATH",
+    )
+    _add_pressure_flags(critpath)
+
+    bench = sub.add_parser(
+        "bench",
+        help="attribution benchmark: write BENCH_*.json and gate on the "
+        "committed step-time baseline",
+    )
+    bench.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        choices=sorted(MODELS),
+        help="models to benchmark (default: the CI smoke set)",
+    )
+    bench.add_argument("--policy", choices=sorted(POLICIES), default="sentinel")
+    bench.add_argument("--fast-fraction", type=float, default=0.2)
+    bench.add_argument(
+        "--out-dir",
+        default="bench-artifacts",
+        help="directory for BENCH_attribution.json / BENCH_step_time.json",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="committed BENCH_step_time.json to gate against; written on "
+        "first run when missing",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="maximum allowed relative growth of median step time (0.05 = 5%%)",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
     )
 
     sub.add_parser("models", help="list the model zoo")
@@ -593,7 +667,7 @@ def _cmd_trace(args) -> int:
         f"step {metrics.step_time:.4f}s)"
     )
     if args.out is None or args.format == "summary":
-        text = format_trace_summary(events, title=title)
+        text = format_trace_summary(events, title=title, dropped=tracer.dropped)
         if args.out is not None:
             with open(args.out, "w") as handle:
                 handle.write(text + "\n")
@@ -606,11 +680,133 @@ def _cmd_trace(args) -> int:
             handle.write(to_jsonl(events))
     if args.out is not None:
         print(f"trace: {len(events)} events -> {args.out} ({args.format})")
-    if tracer.dropped:
+    if tracer.dropped and args.out is not None:
+        # The printed summary already carries this warning; repeat it on
+        # stdout for file exports so the truncation is never silent.
         print(
-            f"note: ring buffer wrapped; the oldest {tracer.dropped} events "
-            "were dropped (raise EventTracer capacity to keep them)"
+            f"WARNING: ring buffer dropped {tracer.dropped} events — "
+            "window truncated, attribution may be partial "
+            "(raise EventTracer capacity to keep them)"
         )
+    return 0
+
+
+def _cmd_critpath(args) -> int:
+    from repro.errors import TraceTruncatedError
+    from repro.harness.report import format_attribution
+    from repro.obs import EventTracer, attribute, build_step_dags, critical_path
+
+    tracer = EventTracer(capacity=args.capacity)
+    metrics = run_policy(
+        args.policy,
+        model=args.model,
+        batch_size=args.batch,
+        platform=args.platform,
+        fast_fraction=args.fast_fraction,
+        chaos=_chaos_from(args),
+        pressure=_pressure_from(args),
+        tracer=tracer,
+    )
+    try:
+        attribution = attribute(tracer.events, dropped=tracer.dropped)
+        dags = build_step_dags(tracer.events, dropped=tracer.dropped)
+    except TraceTruncatedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    title = (
+        f"{args.model} / {args.policy} (batch {metrics.batch_size}) — "
+        "step attribution"
+    )
+    print(format_attribution(attribution, title=title))
+    if args.bandwidth_scale is not None and len(attribution):
+        scaled = attribution.what_if_bandwidth_scale(args.bandwidth_scale)
+        print(
+            f"what-if {args.bandwidth_scale:g}x bandwidth = {scaled:.4f} s"
+        )
+    if dags:
+        dag = dags[-1]
+        path = critical_path(dag)
+        by_kind: dict = {}
+        for node in path:
+            by_kind[node.kind] = by_kind.get(node.kind, 0.0) + node.duration
+        composition = ", ".join(
+            f"{kind} {total:.4f}s" for kind, total in sorted(by_kind.items())
+        )
+        print(
+            f"\ncritical path (step {dag.step}): {len(path)} nodes spanning "
+            f"{dag.makespan:.4f}s — {composition}"
+        )
+    if args.json is not None:
+        import json
+
+        payload = {
+            "model": args.model,
+            "policy": args.policy,
+            "steps": [
+                {"step": step.step, "duration": step.duration, **step.components()}
+                for step in attribution
+            ],
+            "median_step_time": attribution.median_step_time(),
+            "what_if_free_migration": attribution.what_if_free_migration(),
+            "what_if_2x_bandwidth": attribution.what_if_bandwidth_scale(2.0),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"attribution: {len(attribution)} steps -> {args.json}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.harness import bench
+
+    models = tuple(args.models) if args.models else bench.DEFAULT_BENCH_MODELS
+    payload = bench.attribution_benchmark(
+        models=models, policy=args.policy, fast_fraction=args.fast_fraction
+    )
+    gate = bench.step_time_payload(payload)
+    out_dir = Path(args.out_dir)
+    bench.write_bench(payload, out_dir / "BENCH_attribution.json")
+    bench.write_bench(gate, out_dir / "BENCH_step_time.json")
+    rows = [
+        (
+            model,
+            f"{entry['median_step_time']:.4f}",
+            f"{entry['what_if_free_migration']:.4f}",
+            f"{entry['what_if_2x_bandwidth']:.4f}",
+        )
+        for model, entry in sorted(payload["models"].items())
+    ]
+    print(
+        format_table(
+            ("model", "median step (s)", "free migration", "2x bandwidth"),
+            rows,
+            title=f"attribution benchmark — {args.policy}, "
+            f"fast = {args.fast_fraction:.0%} of peak",
+        )
+    )
+    print(f"artifacts: {out_dir / 'BENCH_attribution.json'}, "
+          f"{out_dir / 'BENCH_step_time.json'}")
+    if args.baseline is None:
+        return 0
+    baseline_path = Path(args.baseline)
+    baseline = bench.load_bench(baseline_path)
+    if baseline is None or args.update_baseline:
+        bench.write_bench(gate, baseline_path)
+        verb = "updated" if baseline is not None else "committed (first run)"
+        print(f"baseline {verb}: {baseline_path}")
+        return 0
+    problems = bench.check_regression(baseline, gate, threshold=args.threshold)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"benchmark gate passed: no model regressed more than "
+        f"{args.threshold:.0%} vs {baseline_path}"
+    )
     return 0
 
 
@@ -645,6 +841,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "pressure": _cmd_pressure,
         "trace": _cmd_trace,
+        "critpath": _cmd_critpath,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

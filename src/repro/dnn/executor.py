@@ -118,6 +118,11 @@ class Executor:
         self._events = machine.tracer
         if self._events is not None:
             self._events.bind_clock(self.clock)
+        #: optional detailed metrics registry (``Machine(metrics=...)``);
+        #: sampling sites below are one ``is not None`` check each, so
+        #: un-metered runs stay byte-identical.
+        self._metrics = machine.metrics
+        machine.stats.bind_clock(self.clock)
         policy.bind(machine, graph)
         self.allocator = allocator if allocator is not None else policy.make_allocator()
         self._steps_run = 0
@@ -161,14 +166,26 @@ class Executor:
             events.begin("step", "step", step=step)
         for observer in self.observers:
             observer.on_step_start(step, clock.now)
-        self._charge_stall(result, policy.on_step_start(step, clock.now))
+        pre_stall = policy.on_step_start(step, clock.now)
+        self._charge_stall(result, pre_stall)
 
         for layer in self.graph.layers:
             layer_start = clock.now
             if events is not None:
                 events.begin("layer", "step", layer=layer.index, label=layer.name)
+            # Per-layer timing components, mirrored onto the layer-end trace
+            # event so attribution (repro.obs.critpath) can decompose a step
+            # without re-deriving the timing model: the clock only advances
+            # through op_time and _charge_stall, so within a layer span
+            # duration == exec + stall + fault exactly.
+            layer_compute = 0.0
+            layer_mem = 0.0
+            layer_exec = 0.0
+            layer_stall = 0.0
+            layer_fault = 0.0
             stall = policy.on_layer_start(layer, clock.now)
             self._charge_stall(result, stall)
+            layer_stall += stall
 
             for op in layer.ops:
                 self._ensure_allocated(op, clock.now)
@@ -193,25 +210,44 @@ class Executor:
                     fault_time += charge.fault
                     result.bytes_fast += charge.bytes_fast
                     result.bytes_slow += charge.bytes_slow
-                op_time = max(compute_time, mem_time) + stall_time + fault_time
+                op_exec = max(compute_time, mem_time)
+                op_time = op_exec + stall_time + fault_time
                 result.compute_time += compute_time
                 result.mem_time += mem_time
                 result.stall_time += stall_time
                 result.fault_time += fault_time
+                layer_compute += compute_time
+                layer_mem += mem_time
+                layer_exec += op_exec
+                layer_stall += stall_time
+                layer_fault += fault_time
                 clock.advance(op_time)
                 machine.migration.sync(clock.now)
 
             self._free_layer_tensors(layer)
             stall = policy.on_layer_end(layer, clock.now)
             self._charge_stall(result, stall)
+            layer_stall += stall
             for observer in self.observers:
                 observer.on_layer_end(layer, clock.now)
             result.layer_spans.append((layer.index, layer_start, clock.now))
             if events is not None:
-                events.end("layer", "step")
+                events.end(
+                    "layer",
+                    "step",
+                    compute=layer_compute,
+                    mem=layer_mem,
+                    exec=layer_exec,
+                    stall=layer_stall,
+                    fault=layer_fault,
+                )
+            if self._metrics is not None:
+                self._metrics.histogram("executor.layer_time").observe(
+                    clock.now - layer_start
+                )
 
-        stall = policy.on_step_end(step, clock.now)
-        self._charge_stall(result, stall)
+        post_stall = policy.on_step_end(step, clock.now)
+        self._charge_stall(result, post_stall)
         machine.migration.sync(clock.now)
         if machine.pressure is not None:
             # Step boundary: refresh watermark state and, for arena-style
@@ -219,7 +255,12 @@ class Executor:
             machine.pressure.end_step(allocator, clock.now)
             machine.migration.sync(clock.now)
         if events is not None:
-            events.end("step", "step", step=step)
+            # Boundary stalls live outside any layer span; exporting them on
+            # the step-end event is what lets attribution components sum to
+            # the step duration exactly.
+            events.end(
+                "step", "step", step=step, pre_stall=pre_stall, post_stall=post_stall
+            )
 
         result.end_time = clock.now
         result.promoted_bytes = int(
@@ -230,6 +271,12 @@ class Executor:
         )
         result.peak_fast = machine.fast.peak_used
         result.peak_slow = machine.slow.peak_used
+        if self._metrics is not None:
+            self._metrics.counter("executor.steps").add(1)
+            self._metrics.histogram("executor.step_time").observe(result.duration)
+            self._metrics.series("executor.fast_used").sample(
+                machine.fast.used, ts=clock.now
+            )
         for observer in self.observers:
             observer.on_step_end(step, result)
         self._steps_run += 1

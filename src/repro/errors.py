@@ -63,6 +63,28 @@ class MigrationFailure(ReproError, ValueError):
     """
 
 
+class TraceTruncatedError(ReproError):
+    """An analysis refused a trace whose ring buffer dropped events.
+
+    Critical-path attribution reconstructs a dependency DAG from the full
+    event stream; with the observation window truncated the reconstruction
+    would silently attribute only the surviving suffix.  Raised by
+    :mod:`repro.obs.critpath` when ``dropped > 0`` — callers should re-run
+    with a larger ``EventTracer(capacity=...)``.
+
+    Attributes:
+        dropped: number of events the ring buffer overwrote.
+    """
+
+    def __init__(self, dropped: int) -> None:
+        self.dropped = dropped
+        super().__init__(
+            f"trace window truncated: ring buffer dropped {dropped} events — "
+            f"attribution may be partial; re-run with a larger "
+            f"EventTracer(capacity=...)"
+        )
+
+
 class ConsistencyError(ReproError):
     """An internal invariant was violated; names the broken invariant.
 

@@ -565,8 +565,12 @@ def fig13_breakdown(models: Sequence[str] = ("resnet200", "bert-large")) -> Dict
         "sentinel (det. MI)": _cfg(reserve_short=False, co_allocate=False),
         "sentinel (all)": _cfg(),
     }
+    from repro.obs import EventTracer
+    from repro.obs.critpath import attribute
+
     rows = []
     records: Dict[str, Dict[str, Dict[str, float]]] = {}
+    cross_lines: List[str] = []
     for name in models:
         batch = GPU_BATCHES[name][-1]
         per_model: Dict[str, Dict[str, float]] = {}
@@ -580,22 +584,86 @@ def fig13_breakdown(models: Sequence[str] = ("resnet200", "bert-large")) -> Dict
             per_model[policy] = _breakdown(metrics)
             rows.append(_breakdown_row(name, policy, per_model[policy]))
         for label, config in ablations.items():
+            # Trace the full ablation so its breakdown can be cross-checked
+            # against the independent critical-path attribution below.
+            tracer = EventTracer(capacity=1 << 18) if label == "sentinel (all)" else None
             metrics = run_policy(
                 SENTINEL_GPU,
                 model=name,
                 batch_size=batch,
                 platform=GPU_HM,
                 sentinel_config=config,
+                tracer=tracer,
             )
             per_model[label] = _breakdown(metrics)
             rows.append(_breakdown_row(name, label, per_model[label]))
+            if tracer is not None:
+                attribution = attribute(tracer.events, dropped=tracer.dropped)
+                last = attribution.steps[-1]
+                per_model["attribution"] = {
+                    "step_time": last.duration,
+                    "trace_stall": last.stall,
+                    "counter_stall": metrics.stall_time,
+                    **last.components(),
+                }
+                cross_lines.append(
+                    f"  {name}: trace stall {last.stall:.4f}s vs counter "
+                    f"stall {metrics.stall_time:.4f}s "
+                    f"(diff {abs(last.stall - metrics.stall_time):.1e})"
+                )
         records[name] = per_model
     text = format_table(
         ("workload", "policy", "step s", "exposed migration", "recompute"),
         rows,
         title="Figure 13 — critical-path breakdown (share of step time)",
     )
+    if cross_lines:
+        text += (
+            "\n\ncross-check — trace-derived attribution of the measured "
+            "step (sentinel all):\n" + "\n".join(cross_lines)
+        )
     return {"records": records, "text": text}
+
+
+# ------------------------------------------------------------------ E12b
+
+def step_attribution(
+    models: Sequence[str] = ("dcgan", "lstm"),
+    policy: str = SENTINEL_CPU,
+    fast_fraction: float = 0.2,
+) -> Dict:
+    """Per-step critical-path attribution (the Figure 13 companion).
+
+    Where each simulated step's time goes — compute, exposed migration
+    stall, channel contention, fault handling, pressure reclaim, idle —
+    measured from the event trace by :mod:`repro.obs.critpath` rather than
+    from the executor's own counters, plus the what-if answers (free
+    migration, doubled bandwidth) the paper's speedup claims imply.
+    """
+    from repro.harness.report import format_attribution
+    from repro.obs import EventTracer
+    from repro.obs.critpath import attribute
+
+    records: Dict[str, Dict[str, float]] = {}
+    sections: List[str] = []
+    for name in models:
+        tracer = EventTracer(capacity=1 << 18)
+        run_policy(
+            policy, model=name, fast_fraction=fast_fraction, tracer=tracer
+        )
+        attribution = attribute(tracer.events, dropped=tracer.dropped)
+        records[name] = {
+            **attribution.totals(),
+            "median_step_time": attribution.median_step_time(),
+            "what_if_free_migration": attribution.what_if_free_migration(),
+            "what_if_2x_bandwidth": attribution.what_if_bandwidth_scale(2.0),
+        }
+        sections.append(
+            format_attribution(
+                attribution, title=f"{name} / {policy} — step attribution"
+            )
+        )
+    return {"records": records, "text": "\n\n".join(sections)}
 
 
 # -------------------------------------------------------------------- E13

@@ -90,13 +90,17 @@ def format_counters(
     return "\n".join(lines)
 
 
-def format_trace_summary(events, title: str = "trace summary") -> str:
+def format_trace_summary(events, title: str = "trace summary", dropped: int = 0) -> str:
     """Render a per-category digest of a structured event trace.
 
     One row per :mod:`repro.obs` category present in ``events``: event
     count, closed span count, total busy (span) time, and total ``nbytes``
     moved by that category's events — the at-a-glance companion to loading
     the full Chrome export in Perfetto.
+
+    ``dropped`` is the tracer's ring-overwrite count; nonzero appends an
+    explicit truncation warning, since every aggregate below then covers
+    only the surviving window.
     """
     from repro.obs.query import TraceQuery
 
@@ -125,7 +129,80 @@ def format_trace_summary(events, title: str = "trace summary") -> str:
         title=title,
     )
     tracks = ", ".join(sorted(query.tracks()))
-    return f"{table}\ntracks: {tracks}"
+    out = f"{table}\ntracks: {tracks}"
+    if dropped:
+        out += (
+            f"\nWARNING: ring buffer dropped {dropped} events — "
+            f"window truncated, attribution may be partial"
+        )
+    return out
+
+
+def format_attribution(attribution, title: str = "step attribution") -> str:
+    """Render a :class:`repro.obs.critpath.Attribution` as the Figure 13
+    style breakdown: one row per step with the six exclusive components,
+    a totals row, and the two headline what-if answers.
+    """
+    headers = (
+        "step",
+        "duration (s)",
+        "compute",
+        "mig stall",
+        "contention",
+        "fault",
+        "reclaim",
+        "idle",
+    )
+    rows = []
+    for step in attribution:
+        comp = step.components()
+        rows.append(
+            (
+                step.step,
+                f"{step.duration:.4f}",
+                f"{comp['compute']:.4f}",
+                f"{comp['migration_stall']:.4f}",
+                f"{comp['channel_contention']:.4f}",
+                f"{comp['fault']:.4f}",
+                f"{comp['pressure_reclaim']:.4f}",
+                f"{comp['idle']:.4f}",
+            )
+        )
+    totals = attribution.totals()
+    duration_total = sum(step.duration for step in attribution)
+    rows.append(
+        (
+            "total",
+            f"{duration_total:.4f}",
+            f"{totals['compute']:.4f}",
+            f"{totals['migration_stall']:.4f}",
+            f"{totals['channel_contention']:.4f}",
+            f"{totals['fault']:.4f}",
+            f"{totals['pressure_reclaim']:.4f}",
+            f"{totals['idle']:.4f}",
+        )
+    )
+    table = format_table(headers, rows, title=title)
+    if not len(attribution):
+        return table
+    measured = attribution.median_step_time()
+    free = attribution.what_if_free_migration()
+    doubled = attribution.what_if_bandwidth_scale(2.0)
+    lines = [
+        table,
+        f"median step time        = {measured:.4f} s",
+        f"what-if free migration  = {free:.4f} s"
+        f" ({_speedup(measured, free)})",
+        f"what-if 2x bandwidth    = {doubled:.4f} s"
+        f" ({_speedup(measured, doubled)})",
+    ]
+    return "\n".join(lines)
+
+
+def _speedup(measured: float, hypothetical: float) -> str:
+    if hypothetical <= 0.0:
+        return "inf speedup"
+    return f"{measured / hypothetical:.2f}x speedup"
 
 
 def format_pressure(extras: "dict[str, float]", title: str = "pressure") -> str:

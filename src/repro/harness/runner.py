@@ -29,6 +29,7 @@ from repro.mem.pressure import PressureConfig
 from repro.models.zoo import build_model
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import EventTracer
 
 #: Warm-up steps for experiments: Sentinel's behaviour before profiling is
@@ -89,6 +90,7 @@ def run_policy(
     audit: bool = False,
     tracer: Optional["EventTracer"] = None,
     pressure: Optional[PressureConfig] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> RunMetrics:
     """Run one policy on one workload and return steady-state metrics.
 
@@ -113,6 +115,12 @@ def run_policy(
     (watermark admission control, spill-to-slow, arena compaction); the
     default ``None`` — or a config with watermarks at 100% and no reserve —
     leaves the run byte-identical to a governor-free machine.
+
+    ``metrics`` attaches a :class:`repro.obs.metrics.MetricsRegistry` as
+    the machine's stats registry, unlocking the detailed sampling sites
+    (histograms, occupancy series) across the substrate; the default
+    ``None`` keeps them dormant and the run byte-identical to un-metered
+    builds.
     """
     if (graph is None) == (model is None):
         raise ValueError("provide exactly one of graph= or model=")
@@ -135,6 +143,7 @@ def run_policy(
         injector=injector,
         tracer=tracer,
         pressure=pressure,
+        metrics=metrics,
     )
 
     policy = make_policy(policy_name, sentinel_config=_sentinel_config(sentinel_config))

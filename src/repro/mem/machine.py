@@ -19,8 +19,8 @@ from repro.mem.page import PageTable, PageTableEntry
 from repro.mem.platforms import Platform
 from repro.mem.pressure import PressureConfig, PressureGovernor
 from repro.mem.tlb import TLB
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.channel import BandwidthChannel
-from repro.sim.stats import StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
@@ -48,6 +48,15 @@ class Machine:
             allocations to the slow tier.  ``None`` or a disabled config
             (the defaults: watermarks at 100%, zero reserve) leaves every
             run byte-identical to a governor-free machine.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`.  When
+            attached it *becomes* the machine's stats registry (so the
+            established ``migration.*`` / ``pressure.*`` counters land in
+            it) and additionally unlocks the detailed sampling sites —
+            histograms of transfer sizes and queueing delays, occupancy
+            time series — in the executor, channels, migration engine,
+            pressure governor, and Sentinel runtime.  ``None`` — the
+            default — keeps every detailed site dormant behind one
+            ``is not None`` check, so un-metered runs stay byte-identical.
     """
 
     def __init__(
@@ -56,10 +65,12 @@ class Machine:
         injector: Optional["FaultInjector"] = None,
         tracer: Optional["EventTracer"] = None,
         pressure: Optional[PressureConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.platform = platform
         self.injector = injector
         self.tracer = tracer
+        self.metrics = metrics
         if injector is not None and tracer is not None:
             injector.tracer = tracer
         self.fast = MemoryDevice(platform.fast, DeviceKind.FAST, injector=injector)
@@ -73,24 +84,27 @@ class Machine:
             injector=injector,
             tracer=tracer,
         )
-        self.stats = StatsRegistry()
+        self.stats = metrics if metrics is not None else MetricsRegistry()
         self.promote_channel = BandwidthChannel(
             platform.promote_bandwidth,
             name="promote",
             latency=platform.migration_latency,
             tracer=tracer,
+            metrics=metrics,
         )
         self.demote_channel = BandwidthChannel(
             platform.demote_bandwidth,
             name="demote",
             latency=platform.migration_latency,
             tracer=tracer,
+            metrics=metrics,
         )
         self.demand_channel = BandwidthChannel(
             platform.promote_bandwidth,
             name="demand-promote",
             latency=platform.migration_latency,
             tracer=tracer,
+            metrics=metrics,
         )
         self.migration = MigrationEngine(
             self.page_table,
@@ -102,6 +116,7 @@ class Machine:
             demand_channel=self.demand_channel,
             injector=injector,
             tracer=tracer,
+            metrics=metrics,
         )
         self.pressure: Optional[PressureGovernor] = None
         if pressure is not None and pressure.enabled:
@@ -117,6 +132,7 @@ class Machine:
         injector: Optional["FaultInjector"] = None,
         tracer: Optional["EventTracer"] = None,
         pressure: Optional[PressureConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "Machine":
         """Build a machine, optionally resizing the fast tier.
 
@@ -126,7 +142,13 @@ class Machine:
         """
         if fast_capacity is not None:
             platform = platform.with_fast_capacity(fast_capacity)
-        return cls(platform, injector=injector, tracer=tracer, pressure=pressure)
+        return cls(
+            platform,
+            injector=injector,
+            tracer=tracer,
+            pressure=pressure,
+            metrics=metrics,
+        )
 
     @property
     def page_size(self) -> int:

@@ -33,8 +33,8 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 from repro.errors import MigrationFailure
 from repro.mem.devices import DeviceKind, MemoryDevice
 from repro.mem.page import PageTable, PageTableEntry
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.channel import BandwidthChannel, Transfer
-from repro.sim.stats import StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
@@ -79,10 +79,11 @@ class MigrationEngine:
         slow: MemoryDevice,
         promote_channel: BandwidthChannel,
         demote_channel: BandwidthChannel,
-        stats: Optional[StatsRegistry] = None,
+        stats: Optional[MetricsRegistry] = None,
         demand_channel: Optional[BandwidthChannel] = None,
         injector: Optional["FaultInjector"] = None,
         tracer: Optional["EventTracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.page_table = page_table
         self.fast = fast
@@ -94,9 +95,12 @@ class MigrationEngine:
         self.demand_channel = (
             demand_channel if demand_channel is not None else promote_channel
         )
-        self.stats = stats if stats is not None else StatsRegistry()
+        self.stats = stats if stats is not None else MetricsRegistry()
         self.injector = injector
         self.tracer = tracer
+        #: optional detailed metrics registry; ``None`` keeps every
+        #: histogram site below dormant (same contract as ``tracer``)
+        self.metrics = metrics
         #: optional :class:`~repro.mem.pressure.PressureGovernor`, attached
         #: by the machine; gates background promotions at the high
         #: watermark and withholds the urgent-lane reserve from them.
@@ -226,6 +230,11 @@ class MigrationEngine:
         self.stats.timeline("migration.promote_bw").record_span(
             transfer.start, transfer.finish, total
         )
+        if self.metrics is not None:
+            self.metrics.histogram("migration.promote_bytes").observe(total)
+            self.metrics.histogram("migration.promote_exposed").observe(
+                max(0.0, transfer.finish - now)
+            )
         if self.governor is not None:
             # Promotions are what push usage across the watermarks between
             # allocations; let the governor see each one land.
@@ -316,6 +325,8 @@ class MigrationEngine:
         self.stats.timeline("migration.demote_bw").record_span(
             transfer.start, transfer.finish, total
         )
+        if self.metrics is not None:
+            self.metrics.histogram("migration.demote_bytes").observe(total)
         if self.tracer is not None:
             self.tracer.complete(
                 "demote",

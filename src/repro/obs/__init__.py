@@ -32,6 +32,24 @@ from repro.obs.export import (
     write_chrome,
 )
 from repro.obs.query import Span, TraceQuery
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeline,
+    TimeSeries,
+)
+from repro.obs.critpath import (
+    Attribution,
+    DagNode,
+    StepAttribution,
+    StepDag,
+    TraceTruncatedError,
+    attribute,
+    build_step_dags,
+    critical_path,
+)
 
 __all__ = [
     "CATEGORIES",
@@ -46,4 +64,18 @@ __all__ = [
     "to_jsonl",
     "validate_chrome",
     "write_chrome",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timeline",
+    "TimeSeries",
+    "Attribution",
+    "StepAttribution",
+    "DagNode",
+    "StepDag",
+    "TraceTruncatedError",
+    "attribute",
+    "build_step_dags",
+    "critical_path",
 ]

@@ -1,0 +1,496 @@
+"""Critical-path attribution over structured event traces.
+
+This module answers the question Figure 13 of the paper answers for real
+hardware: *where does a training step's time actually go?*  Working purely
+from a :mod:`repro.obs` trace, it
+
+1. decomposes every ``step`` span into the six components
+   ``{compute, migration_stall, channel_contention, fault, pressure_reclaim,
+   idle}`` (:func:`attribute`), with the components summing to the measured
+   step duration by construction;
+2. reconstructs a per-step dependency DAG from the trace spans — the
+   step/layer chain, per-channel FIFO order, and migration-completion →
+   consumer-start edges — (:func:`build_step_dags`) and extracts the
+   longest path through it (:func:`critical_path`), whose length equals the
+   step makespan;
+3. answers the what-if queries the paper's overhead analysis implies:
+   step time if migration were free, or if the slow tier's bandwidth were
+   scaled ``k``-fold (:meth:`StepAttribution.free_migration_time`,
+   :meth:`StepAttribution.bandwidth_scaled_time`).
+
+The exact-sum decomposition leans on the executor's timing model rather
+than re-deriving it: layer-end events carry per-layer ``exec`` / ``stall``
+/ ``fault`` totals and the step-end event carries the boundary stalls, and
+since the executor's clock only advances through op time and charged
+stalls, ``duration == exec + stall + fault`` holds within each span up to
+float rounding (the residue lands in ``idle``).  The stall total is then
+subdivided with channel-span evidence from the same window:
+
+* ``channel_contention`` — stall attributable to queueing behind earlier
+  transfers: capped by the summed ``queued`` delays of promote-side
+  channel spans in the step window;
+* ``pressure_reclaim`` — stall attributable to governor reclaim traffic:
+  capped by the in-window service time of demote-channel spans tagged
+  ``pressure-reclaim``;
+* ``migration_stall`` — the remainder: time waiting for copies in flight.
+
+Truncated traces are refused outright (:class:`TraceTruncatedError`): a
+ring buffer that dropped events has lost an unknown prefix of the
+dependency structure, and attributing the surviving suffix would silently
+produce partial numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TraceTruncatedError
+from repro.obs.query import Span, TraceQuery
+from repro.obs.trace import TraceEvent
+
+__all__ = [
+    "StepAttribution",
+    "Attribution",
+    "DagNode",
+    "StepDag",
+    "attribute",
+    "build_step_dags",
+    "critical_path",
+    "TraceTruncatedError",
+]
+
+#: Channel tracks whose queueing delays count as promote-side contention.
+_PROMOTE_TRACKS = frozenset({"promote", "demand-promote"})
+
+#: Channel-span tags that mark governor reclaim / compaction traffic.
+_RECLAIM_TAGS = frozenset({"pressure-reclaim"})
+
+
+# --------------------------------------------------------------- attribution
+
+
+@dataclass(frozen=True)
+class StepAttribution:
+    """One step's duration decomposed into exclusive components.
+
+    ``compute + migration_stall + channel_contention + fault +
+    pressure_reclaim + idle == duration`` up to float rounding — the
+    differential suite asserts this on every zoo model.
+    """
+
+    step: int
+    start: float
+    end: float
+    compute: float
+    migration_stall: float
+    channel_contention: float
+    fault: float
+    pressure_reclaim: float
+    idle: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def stall(self) -> float:
+        """Total exposed migration-side stall (all three stall buckets)."""
+        return self.migration_stall + self.channel_contention + self.pressure_reclaim
+
+    def components(self) -> Dict[str, float]:
+        """The six exclusive components, in canonical order."""
+        return {
+            "compute": self.compute,
+            "migration_stall": self.migration_stall,
+            "channel_contention": self.channel_contention,
+            "fault": self.fault,
+            "pressure_reclaim": self.pressure_reclaim,
+            "idle": self.idle,
+        }
+
+    # ------------------------------------------------------------- what-ifs
+
+    @property
+    def free_migration_time(self) -> float:
+        """Step time if every migration were free (zero exposed stall).
+
+        Lower bound on what any migration policy could achieve for this
+        step's schedule: compute, fault handling, and idle are untouched.
+        """
+        return self.duration - self.stall
+
+    def bandwidth_scaled_time(self, scale: float) -> float:
+        """Step time if migration-side bandwidth were multiplied by ``scale``.
+
+        First-order model: exposed stalls are transfer-bound, so they
+        shrink (or grow) inversely with bandwidth; compute, fault handling,
+        and idle are unchanged.  ``scale=2.0`` answers the paper's
+        "what if the slow tier were twice as fast" question.
+        """
+        if scale <= 0.0:
+            raise ValueError(f"bandwidth scale must be positive, got {scale!r}")
+        return self.duration - self.stall * (1.0 - 1.0 / scale)
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Per-step attributions for one traced run."""
+
+    steps: Tuple[StepAttribution, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def totals(self) -> Dict[str, float]:
+        """Component sums across all steps (same keys as ``components``)."""
+        out = {
+            "compute": 0.0,
+            "migration_stall": 0.0,
+            "channel_contention": 0.0,
+            "fault": 0.0,
+            "pressure_reclaim": 0.0,
+            "idle": 0.0,
+        }
+        for step in self.steps:
+            for key, value in step.components().items():
+                out[key] += value
+        return out
+
+    def median_step_time(self, last: Optional[int] = None) -> float:
+        """Median step duration, optionally over only the last ``last`` steps
+        (benchmarks use the steady tail, past warmup and profiling)."""
+        steps = self.steps[-last:] if last else self.steps
+        if not steps:
+            raise ValueError("attribution holds no steps")
+        return median(step.duration for step in steps)
+
+    def what_if_free_migration(self, last: Optional[int] = None) -> float:
+        """Median step time under the free-migration what-if."""
+        steps = self.steps[-last:] if last else self.steps
+        if not steps:
+            raise ValueError("attribution holds no steps")
+        return median(step.free_migration_time for step in steps)
+
+    def what_if_bandwidth_scale(
+        self, scale: float, last: Optional[int] = None
+    ) -> float:
+        """Median step time under the bandwidth-scaling what-if."""
+        steps = self.steps[-last:] if last else self.steps
+        if not steps:
+            raise ValueError("attribution holds no steps")
+        return median(step.bandwidth_scaled_time(scale) for step in steps)
+
+
+def _refuse_truncated(dropped: int) -> None:
+    if dropped:
+        raise TraceTruncatedError(dropped)
+
+
+def _layers_within(layer_spans: List[Span], step: Span) -> List[Span]:
+    return [
+        layer
+        for layer in layer_spans
+        if layer.start >= step.start and layer.end <= step.end
+    ]
+
+
+def attribute(events: Iterable[TraceEvent], dropped: int = 0) -> Attribution:
+    """Decompose every step span in ``events`` into exclusive components.
+
+    Args:
+        events: the trace, e.g. ``tracer.events``.
+        dropped: the tracer's ``dropped`` count; nonzero refuses with
+            :class:`TraceTruncatedError` (the window is partial).
+    """
+    _refuse_truncated(dropped)
+    query = TraceQuery(list(events))
+    step_spans = query.spans(cat="step", name="step")
+    layer_spans = query.spans(cat="step", name="layer")
+    channel_spans = query.spans(cat="channel")
+
+    steps: List[StepAttribution] = []
+    for span in step_spans:
+        layers = _layers_within(layer_spans, span)
+        exec_time = sum(layer.args.get("exec", 0.0) for layer in layers)
+        fault = sum(layer.args.get("fault", 0.0) for layer in layers)
+        stall = (
+            sum(layer.args.get("stall", 0.0) for layer in layers)
+            + span.args.get("pre_stall", 0.0)
+            + span.args.get("post_stall", 0.0)
+        )
+
+        window = [
+            c
+            for c in channel_spans
+            if c.start < span.end and c.end > span.start and not c.args.get("aborted")
+        ]
+        contention_evidence = sum(
+            c.args.get("queued", 0.0)
+            for c in window
+            if c.track in _PROMOTE_TRACKS
+        )
+        reclaim_evidence = sum(
+            min(c.end, span.end) - max(c.start, span.start)
+            for c in window
+            if c.args.get("tag") in _RECLAIM_TAGS
+        )
+
+        # Deterministic subdivision of the stall total: contention first
+        # (bounded by observed queueing delays), then reclaim (bounded by
+        # in-window reclaim service time), remainder is plain in-flight
+        # migration stall.  Caps keep each bucket honest: evidence can
+        # exceed exposed stall when transfers overlap compute.
+        contention = min(stall, contention_evidence)
+        reclaim = min(stall - contention, reclaim_evidence)
+        migration_stall = stall - contention - reclaim
+        idle = max(0.0, span.duration - exec_time - stall - fault)
+
+        steps.append(
+            StepAttribution(
+                step=int(span.args.get("step", len(steps))),
+                start=span.start,
+                end=span.end,
+                compute=exec_time,
+                migration_stall=migration_stall,
+                channel_contention=contention,
+                fault=fault,
+                pressure_reclaim=reclaim,
+                idle=idle,
+            )
+        )
+    return Attribution(steps=tuple(steps))
+
+
+# ----------------------------------------------------------------------- DAG
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One node of a step's dependency DAG: a time interval with a role.
+
+    ``kind`` is one of ``"boundary"`` (step-begin/step-end bookkeeping),
+    ``"layer"``, ``"migration"``, or ``"channel"``.  Intervals are clipped
+    to the owning step's window, so no node outlives its step.
+    """
+
+    uid: int
+    kind: str
+    label: str
+    start: float
+    end: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class StepDag:
+    """The dependency DAG reconstructed for one training step.
+
+    Every edge ``u -> v`` satisfies ``u.end <= v.start`` — an edge is a
+    happens-before constraint, so the longest (critical) path can never
+    exceed the step's makespan; the contiguous boundary/layer chain
+    guarantees one path achieves it exactly.
+    """
+
+    step: int
+    start: float
+    end: float
+    nodes: List[DagNode]
+    edges: Dict[int, List[int]]
+
+    @property
+    def makespan(self) -> float:
+        return self.end - self.start
+
+    def node(self, uid: int) -> DagNode:
+        return self.nodes[uid]
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {node.uid: [] for node in self.nodes}
+        for src, dsts in self.edges.items():
+            for dst in dsts:
+                preds[dst].append(src)
+        return preds
+
+
+def build_step_dags(
+    events: Iterable[TraceEvent], dropped: int = 0
+) -> List[StepDag]:
+    """Reconstruct one dependency DAG per step span in ``events``.
+
+    Edges encode three dependency families:
+
+    * the execution chain — step-begin → layer₀ → … → layerₙ → step-end,
+      contiguous by construction (the executor's clock never jumps between
+      layer spans), so this path's length is exactly the makespan;
+    * per-channel FIFO order — consecutive transfers on one channel track;
+    * migration/channel completion → the first layer starting at or after
+      it (the consumer whose accesses the copy unblocks), and the last
+      layer ending at or before a transfer's start → that transfer (its
+      submitter).
+
+    Raises :class:`TraceTruncatedError` when ``dropped`` is nonzero.
+    """
+    _refuse_truncated(dropped)
+    query = TraceQuery(list(events))
+    step_spans = query.spans(cat="step", name="step")
+    layer_spans = query.spans(cat="step", name="layer")
+    migration_spans = query.spans(cat="migration")
+    channel_spans = query.spans(cat="channel")
+
+    dags: List[StepDag] = []
+    for span in step_spans:
+        nodes: List[DagNode] = []
+        edges: Dict[int, List[int]] = {}
+
+        def add_node(kind: str, label: str, start: float, end: float, **args):
+            node = DagNode(
+                uid=len(nodes),
+                kind=kind,
+                label=label,
+                start=max(start, span.start),
+                end=min(end, span.end),
+                args=args,
+            )
+            nodes.append(node)
+            edges[node.uid] = []
+            return node
+
+        def add_edge(src: DagNode, dst: DagNode) -> bool:
+            # Happens-before only: refuse edges that would run backwards in
+            # time (possible when clipping squeezes an interval).
+            if src.end <= dst.start and src.uid != dst.uid:
+                edges[src.uid].append(dst.uid)
+                return True
+            return False
+
+        layers = _layers_within(layer_spans, span)
+        first_layer_start = layers[0].start if layers else span.end
+        last_layer_end = layers[-1].end if layers else first_layer_start
+
+        begin = add_node("boundary", "step-begin", span.start, first_layer_start)
+        layer_nodes = [
+            add_node(
+                "layer",
+                str(layer.args.get("label", f"layer{index}")),
+                layer.start,
+                layer.end,
+                layer=layer.args.get("layer", index),
+            )
+            for index, layer in enumerate(layers)
+        ]
+        end = add_node("boundary", "step-end", last_layer_end, span.end)
+
+        chain = [begin, *layer_nodes, end]
+        for src, dst in zip(chain, chain[1:]):
+            add_edge(src, dst)
+
+        def consumer_edges(node: DagNode) -> None:
+            """Link a transfer to its submitter and its first consumer."""
+            submitter = None
+            for layer_node in layer_nodes:
+                if layer_node.end <= node.start:
+                    submitter = layer_node
+                else:
+                    break
+            add_edge(submitter if submitter is not None else begin, node)
+            for layer_node in layer_nodes:
+                if layer_node.start >= node.end:
+                    add_edge(node, layer_node)
+                    return
+            add_edge(node, end)
+
+        for mig in migration_spans:
+            if mig.start < span.end and mig.end > span.start:
+                node = add_node(
+                    "migration",
+                    mig.name,
+                    mig.start,
+                    mig.end,
+                    nbytes=mig.args.get("nbytes"),
+                    tag=mig.args.get("tag"),
+                )
+                consumer_edges(node)
+
+        by_track: Dict[str, List[DagNode]] = {}
+        for xfer in channel_spans:
+            if xfer.start < span.end and xfer.end > span.start:
+                node = add_node(
+                    "channel",
+                    f"{xfer.track}:xfer",
+                    xfer.start,
+                    xfer.end,
+                    nbytes=xfer.args.get("nbytes"),
+                    tag=xfer.args.get("tag"),
+                )
+                by_track.setdefault(xfer.track, []).append(node)
+                consumer_edges(node)
+        for track_nodes in by_track.values():
+            for src, dst in zip(track_nodes, track_nodes[1:]):
+                add_edge(src, dst)  # FIFO service order within the channel
+
+        dags.append(
+            StepDag(
+                step=int(span.args.get("step", len(dags))),
+                start=span.start,
+                end=span.end,
+                nodes=nodes,
+                edges=edges,
+            )
+        )
+    return dags
+
+
+def critical_path(dag: StepDag) -> List[DagNode]:
+    """The longest path through ``dag`` by summed node duration.
+
+    Processed in topological order (Kahn), so correctness does not depend
+    on timestamp tie-breaking among zero-duration nodes.  The returned
+    nodes are in execution order; their summed duration equals
+    :attr:`StepDag.makespan` — the boundary/layer chain is contiguous and
+    no happens-before path can be longer than the window it sits in.
+    """
+    preds = dag.predecessors()
+    indegree = {node.uid: len(preds[node.uid]) for node in dag.nodes}
+    ready = [node.uid for node in dag.nodes if indegree[node.uid] == 0]
+    dist: Dict[int, float] = {}
+    best_pred: Dict[int, Optional[int]] = {}
+    processed = 0
+    while ready:
+        uid = ready.pop()
+        processed += 1
+        best = 0.0
+        choice: Optional[int] = None
+        for pred in preds[uid]:
+            if dist[pred] > best:
+                best = dist[pred]
+                choice = pred
+        dist[uid] = best + dag.node(uid).duration
+        best_pred[uid] = choice
+        for succ in dag.edges[uid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if processed != len(dag.nodes):
+        raise ValueError(
+            f"dependency graph for step {dag.step} has a cycle "
+            f"({processed}/{len(dag.nodes)} nodes ordered)"
+        )
+    if not dist:
+        return []
+    tail = max(dist, key=lambda uid: (dist[uid], -uid))
+    path: List[DagNode] = []
+    cursor: Optional[int] = tail
+    while cursor is not None:
+        path.append(dag.node(cursor))
+        cursor = best_pred[cursor]
+    path.reverse()
+    return path

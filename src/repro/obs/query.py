@@ -76,10 +76,13 @@ class TraceQuery:
 
     def between(self, start: float, end: float) -> "TraceQuery":
         """Events whose timestamp falls in ``[start, end)`` (``X`` events
-        qualify if their span intersects the window)."""
+        qualify if their span intersects the window; a zero-duration ``X``
+        is treated like an instant at its timestamp, so one sitting exactly
+        on ``start`` is included — a strict ``ts + dur > start`` test would
+        drop it while admitting an ``i`` event at the same time)."""
         out = []
         for event in self.events:
-            if event.ph == "X":
+            if event.ph == "X" and event.dur > 0.0:
                 if event.ts < end and event.ts + event.dur > start:
                     out.append(event)
             elif start <= event.ts < end:
@@ -211,7 +214,7 @@ class TraceQuery:
         """``(bin_start, arg_per_second)`` pairs from matching spans.
 
         Each span's ``arg`` total is spread uniformly over its duration —
-        exactly how :class:`repro.sim.stats.Timeline` builds the Figure 9
+        exactly how :class:`repro.obs.metrics.Timeline` builds the Figure 9
         bandwidth plot, but re-derived from the trace.
         """
         if bin_width <= 0.0:

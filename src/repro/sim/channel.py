@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import EventTracer
 
 
@@ -72,6 +73,10 @@ class BandwidthChannel:
             then emits a ``channel``-category complete span on a track named
             after the channel.  ``None`` (the default) records nothing and
             costs one ``is None`` check per submission.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; every
+            submission then observes its payload size and queueing delay
+            into per-channel histograms.  ``None`` (the default) records
+            nothing, same contract as ``tracer``.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class BandwidthChannel:
         name: str = "channel",
         latency: float = 0.0,
         tracer: Optional["EventTracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ):
         if bandwidth <= 0.0:
             raise ValueError(f"channel bandwidth must be positive, got {bandwidth!r}")
@@ -89,6 +95,7 @@ class BandwidthChannel:
         self.name = name
         self.latency = float(latency)
         self.tracer = tracer
+        self.metrics = metrics
         self._next_free = 0.0
         self._busy_time = 0.0
         self._bytes_moved = 0
@@ -166,6 +173,12 @@ class BandwidthChannel:
                 queued=start - now,
                 aborted=aborted,
                 tag=None if tag is None else str(tag),
+            )
+        if self.metrics is not None:
+            self.metrics.counter(f"channel.{self.name}.transfers").add(1)
+            self.metrics.histogram(f"channel.{self.name}.bytes").observe(nbytes)
+            self.metrics.histogram(f"channel.{self.name}.queue_delay").observe(
+                start - now
             )
         return transfer
 

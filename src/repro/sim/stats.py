@@ -1,145 +1,30 @@
-"""Lightweight statistics collection for simulation runs.
+"""Deprecated compatibility shim over :mod:`repro.obs.metrics`.
 
-Three primitives cover everything the experiments need:
+This module used to define the ad-hoc statistics primitives (``Counter``,
+``Timeline``, ``StatsRegistry``).  They now live in the typed metrics
+registry at :mod:`repro.obs.metrics` — alongside gauges, log-spaced
+histograms, sim-clock time series, and the Prometheus/canonical-JSON
+expositions — and this module only re-exports them so existing imports
+keep working.
 
-* :class:`Counter` — a named monotonic accumulator (bytes migrated, faults...).
-* :class:`Timeline` — time-binned accumulation, used to reproduce the
-  bandwidth-over-time plot of Figure 9.
-* :class:`StatsRegistry` — a namespace of the two, so substrate components can
-  record without threading many objects through call sites.
+The contracts are unchanged: ``Counter.add`` still rejects negative
+amounts (the monotonic guarantee the differential trace suites rely on),
+``Timeline`` still bins with the same arithmetic, and ``StatsRegistry`` is
+the registry class itself under its historical name — ``counter()``,
+``timeline()``, ``counters()``, and ``reset()`` behave identically, and
+``isinstance`` checks against either name agree.
+
+New code should import from :mod:`repro.obs.metrics` directly; see the
+deprecation note in ``docs/INTERNALS.md``.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Tuple
+from repro.obs.metrics import Counter, MetricsRegistry, Timeline
 
+#: Historical name of :class:`repro.obs.metrics.MetricsRegistry`.  A plain
+#: alias (not a subclass): registries constructed under either name are the
+#: same type, so components can pass them interchangeably.
+StatsRegistry = MetricsRegistry
 
-class Counter:
-    """A named monotonic accumulator.
-
-    ``add`` rejects negative amounts: every quantity counted (bytes moved,
-    faults taken, retries) only ever grows, and a negative delta slipping in
-    would silently corrupt differential checks that re-derive counter values
-    from event traces.  Use :meth:`reset` to start over.
-    """
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0.0
-
-    def add(self, amount: float) -> None:
-        if amount < 0:
-            raise ValueError(
-                f"counter {self.name!r} is monotonic; cannot add {amount!r}"
-            )
-        self.value += amount
-
-    def reset(self) -> None:
-        self.value = 0.0
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self.name!r}, {self.value!r})"
-
-
-class Timeline:
-    """Accumulates quantities into fixed-width time bins.
-
-    Used for bandwidth traces: ``record(t, nbytes)`` adds ``nbytes`` to the
-    bin containing ``t``; :meth:`series` then yields ``(bin_start, rate)``
-    pairs where ``rate`` is bytes per second within the bin.
-    """
-
-    def __init__(self, bin_width: float) -> None:
-        if bin_width <= 0.0:
-            raise ValueError(f"bin width must be positive, got {bin_width!r}")
-        self.bin_width = float(bin_width)
-        self._bins: Dict[int, float] = {}
-
-    def record(self, when: float, amount: float) -> None:
-        if when < 0.0:
-            raise ValueError(f"cannot record at negative time {when!r}")
-        index = int(when / self.bin_width)
-        self._bins[index] = self._bins.get(index, 0.0) + amount
-
-    def record_span(self, start: float, end: float, amount: float) -> None:
-        """Spread ``amount`` uniformly over the interval [start, end)."""
-        if end < start:
-            raise ValueError(f"span end {end!r} precedes start {start!r}")
-        if end == start:
-            self.record(start, amount)
-            return
-        rate = amount / (end - start)
-        if not math.isfinite(rate):
-            # Span too short for finite rate arithmetic (denormal widths):
-            # treat it as an instantaneous event.
-            self.record(start, amount)
-            return
-        first = int(start / self.bin_width)
-        last = int(end / self.bin_width)
-        for index in range(first, last + 1):
-            bin_start = index * self.bin_width
-            bin_end = bin_start + self.bin_width
-            overlap = min(end, bin_end) - max(start, bin_start)
-            if overlap > 0.0:
-                self._bins[index] = self._bins.get(index, 0.0) + rate * overlap
-
-    def series(self) -> List[Tuple[float, float]]:
-        """Return ``(bin_start_time, amount_per_second)`` sorted by time."""
-        return [
-            (index * self.bin_width, total / self.bin_width)
-            for index, total in sorted(self._bins.items())
-        ]
-
-    def total(self) -> float:
-        return sum(self._bins.values())
-
-    def reset(self) -> None:
-        self._bins.clear()
-
-
-class StatsRegistry:
-    """Namespace of named counters and timelines."""
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._timelines: Dict[str, Timeline] = {}
-
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter called ``name``."""
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
-
-    def timeline(self, name: str, bin_width: float = 0.01) -> Timeline:
-        """Get or create the timeline called ``name``.
-
-        The bin width is fixed by the first call; later calls with a different
-        width raise to avoid silently mixing resolutions.
-        """
-        existing = self._timelines.get(name)
-        if existing is None:
-            self._timelines[name] = Timeline(bin_width)
-            return self._timelines[name]
-        if existing.bin_width != bin_width:
-            raise ValueError(
-                f"timeline {name!r} already exists with bin width "
-                f"{existing.bin_width!r}, requested {bin_width!r}"
-            )
-        return existing
-
-    def counters(self, prefix: str = "") -> Dict[str, float]:
-        """Snapshot of all counter values, optionally filtered by prefix."""
-        return {
-            name: c.value
-            for name, c in self._counters.items()
-            if name.startswith(prefix)
-        }
-
-    def reset(self) -> None:
-        for counter in self._counters.values():
-            counter.reset()
-        for timeline in self._timelines.values():
-            timeline.reset()
+__all__ = ["Counter", "Timeline", "StatsRegistry"]

@@ -261,3 +261,185 @@ class TestPressureCommands:
 
         with open(trace_path) as handle:
             assert validate_chrome(json.load(handle)) > 0
+
+
+class TestCritpathCommand:
+    def test_prints_attribution_and_critical_path(self, capsys):
+        assert main(["critpath", "dcgan", "sentinel", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "step attribution" in out
+        assert "mig stall" in out and "contention" in out
+        assert "what-if free migration" in out
+        assert "critical path (step" in out
+
+    def test_bandwidth_scale_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "critpath",
+                    "dcgan",
+                    "sentinel",
+                    "--batch",
+                    "8",
+                    "--bandwidth-scale",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert "what-if 4x bandwidth" in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "attribution.json"
+        assert (
+            main(
+                ["critpath", "dcgan", "sentinel", "--batch", "8", "--json", str(path)]
+            )
+            == 0
+        )
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["model"] == "dcgan"
+        for step in payload["steps"]:
+            components = sum(
+                step[key]
+                for key in (
+                    "compute",
+                    "migration_stall",
+                    "channel_contention",
+                    "fault",
+                    "pressure_reclaim",
+                    "idle",
+                )
+            )
+            assert abs(components - step["duration"]) < 1e-6
+
+    def test_truncated_trace_refused_with_error(self, capsys):
+        # A tiny ring buffer guarantees drops on any real run; the command
+        # must refuse clearly instead of printing partial numbers.
+        assert (
+            main(
+                ["critpath", "dcgan", "sentinel", "--batch", "8", "--capacity", "64"]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "attribution may be partial" in captured.err
+
+
+class TestBenchCommand:
+    def test_writes_artifacts_and_commits_first_baseline(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--models",
+                    "dcgan",
+                    "--out-dir",
+                    str(out_dir),
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "attribution benchmark" in out
+        assert "first run" in out
+        assert (out_dir / "BENCH_attribution.json").exists()
+        assert (out_dir / "BENCH_step_time.json").exists()
+        assert baseline.exists()
+
+        # Second run against the just-written baseline passes the gate.
+        assert (
+            main(
+                [
+                    "bench",
+                    "--models",
+                    "dcgan",
+                    "--out-dir",
+                    str(out_dir),
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert "benchmark gate passed" in capsys.readouterr().out
+
+    def test_regression_fails_with_nonzero_exit(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "artifacts"
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--models",
+                    "dcgan",
+                    "--out-dir",
+                    str(out_dir),
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doctored = json.loads(baseline.read_text())
+        doctored["models"]["dcgan"]["median_step_time"] *= 0.5
+        baseline.write_text(json.dumps(doctored))
+        assert (
+            main(
+                [
+                    "bench",
+                    "--models",
+                    "dcgan",
+                    "--out-dir",
+                    str(out_dir),
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 1
+        )
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_update_baseline_rewrites_instead_of_gating(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "artifacts"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "models": {
+                        "dcgan": {"median_step_time": 1e-9, "step_times": [1e-9]}
+                    },
+                }
+            )
+        )
+        assert (
+            main(
+                [
+                    "bench",
+                    "--models",
+                    "dcgan",
+                    "--out-dir",
+                    str(out_dir),
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert "baseline updated" in capsys.readouterr().out
+        refreshed = json.loads(baseline.read_text())
+        assert refreshed["models"]["dcgan"]["median_step_time"] > 1e-3

@@ -61,3 +61,24 @@ class TestGoldenTrace:
         assert canonical_digest(traced_run()) != canonical_digest(
             traced_run(chaos=0.2, seed=99)
         )
+
+    def test_metrics_registry_never_perturbs_the_trace(self):
+        # The detailed metrics sites are observation only: attaching a
+        # registry must leave the simulated timeline — and therefore the
+        # golden digest — byte-identical to an un-metered run.
+        from repro.obs import EventTracer, MetricsRegistry
+
+        golden = (GOLDEN_DIR / "dcgan_sentinel_trace.sha256").read_text().strip()
+        tracer = EventTracer()
+        registry = MetricsRegistry()
+        run_policy(
+            "sentinel",
+            model=MODEL,
+            fast_fraction=0.2,
+            tracer=tracer,
+            metrics=registry,
+        )
+        assert canonical_digest(tracer.events) == golden
+        # ...while the registry itself saw the run in detail.
+        assert registry.histogram("executor.step_time").count > 0
+        assert registry.counter("migration.promoted_bytes").value > 0

@@ -119,6 +119,61 @@ class TestFormatTraceSummary:
 
         assert "(no events)" in format_trace_summary([])
 
+    def test_dropped_events_append_truncation_warning(self):
+        from repro.harness.report import format_trace_summary
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
+        tracer.instant("mark", "chaos", ts=0.0)
+        text = format_trace_summary(tracer.events, dropped=7)
+        assert "WARNING: ring buffer dropped 7 events" in text
+        assert "window truncated" in text
+        assert "attribution may be partial" in text
+        clean = format_trace_summary(tracer.events, dropped=0)
+        assert "WARNING" not in clean
+
+
+class TestFormatAttribution:
+    def build(self):
+        from repro.obs.critpath import Attribution, StepAttribution
+
+        steps = tuple(
+            StepAttribution(
+                step=index,
+                start=float(index) * 4.0,
+                end=float(index) * 4.0 + 4.0,
+                compute=3.0,
+                migration_stall=0.5,
+                channel_contention=0.25,
+                fault=0.125,
+                pressure_reclaim=0.0,
+                idle=0.125,
+            )
+            for index in range(3)
+        )
+        return Attribution(steps=steps)
+
+    def test_rows_totals_and_what_ifs(self):
+        from repro.harness.report import format_attribution
+
+        text = format_attribution(self.build(), title="unit attribution")
+        assert "unit attribution" in text
+        for header in ("compute", "mig stall", "contention", "reclaim", "idle"):
+            assert header in text
+        assert "total" in text
+        assert "median step time        = 4.0000 s" in text
+        # stall = 0.75 per step; free migration and 2x bandwidth bounds.
+        assert "what-if free migration  = 3.2500 s" in text
+        assert "what-if 2x bandwidth    = 3.6250 s" in text
+        assert "speedup" in text
+
+    def test_empty_attribution_renders_headers_only(self):
+        from repro.harness.report import format_attribution
+        from repro.obs.critpath import Attribution
+
+        text = format_attribution(Attribution(steps=()))
+        assert "what-if" not in text
+
 
 class TestFormatPressure:
     def test_all_headline_rows_present_even_when_zero(self):

@@ -45,6 +45,24 @@ class TestFilter:
         # layer B at 0.5, fault at 0.75, both xfers intersect [0.4, 0.8).
         assert names == ["layer", "protection-fault", "xfer", "xfer"]
 
+    def test_between_keeps_zero_duration_complete_on_window_start(self):
+        # Regression: a dur=0 X event sitting exactly on the window start
+        # used to vanish (ts + dur > start is false), while an instant at
+        # the same timestamp was kept.  Both must behave identically.
+        tracer = EventTracer()
+        tracer.complete("noop", "channel", ts=1.0, dur=0.0, track="t")
+        tracer.instant("mark", "chaos", ts=1.0)
+        window = TraceQuery(tracer.events).between(1.0, 2.0)
+        assert sorted(event.name for event in window) == ["mark", "noop"]
+
+    def test_between_excludes_zero_duration_complete_on_window_end(self):
+        # The half-open [start, end) convention instants follow applies to
+        # dur=0 X events too: sitting exactly on the end is outside.
+        tracer = EventTracer()
+        tracer.complete("noop", "channel", ts=2.0, dur=0.0, track="t")
+        assert TraceQuery(tracer.events).between(1.0, 2.0).count() == 0
+        assert TraceQuery(tracer.events).between(2.0, 3.0).count() == 1
+
 
 class TestSpans:
     def test_begin_end_pairs_nest_lifo(self):
@@ -65,6 +83,15 @@ class TestSpans:
         tracer = EventTracer()
         tracer.begin("step", "step", ts=0.0)
         assert TraceQuery(tracer.events).spans() == []
+
+    def test_same_timestamp_begin_end_yields_zero_duration_span(self):
+        # Regression audit: a B/E pair at the same timestamp must still
+        # close into a (zero-duration) span rather than dangle or crash.
+        tracer = EventTracer()
+        tracer.begin("flash", "step", ts=1.0)
+        tracer.end("flash", "step", ts=1.0)
+        (span,) = TraceQuery(tracer.events).spans()
+        assert (span.start, span.end, span.duration) == (1.0, 1.0, 0.0)
 
     def test_total_span_time(self):
         query = build_query()
@@ -89,6 +116,16 @@ class TestOverlap:
         tracer.complete("xfer", "channel", ts=0.6, dur=1.0, track="t")
         query = TraceQuery(tracer.events)
         assert query.overlap_time("t") == pytest.approx(0.4)
+
+    def test_zero_duration_span_contributes_no_overlap(self):
+        # Regression audit: a dur=0 span inside a busy one adds an end
+        # marker at the same timestamp as its start; the sweep must not
+        # count negative or phantom overlap from the tie.
+        tracer = EventTracer()
+        tracer.complete("xfer", "channel", ts=0.0, dur=1.0, track="t")
+        tracer.complete("blip", "channel", ts=0.5, dur=0.0, track="t")
+        query = TraceQuery(tracer.events)
+        assert query.overlap_time("t") == 0.0
 
 
 class TestAggregates:
