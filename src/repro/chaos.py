@@ -180,6 +180,9 @@ class FaultInjector:
     def __init__(self, config: ChaosConfig) -> None:
         self.config = config
         self.tracer: Optional["EventTracer"] = None
+        #: optional discrete-event engine; injected faults then also fire
+        #: as typed FAULT engine events (set by ``Machine.bind_engine``)
+        self.engine = None
         self._migration_rng = self._stream("migration")
         self._device_rng = self._stream("device")
         self._profile_rng = self._stream("profile")
@@ -197,6 +200,14 @@ class FaultInjector:
                 "chaos",
                 track="chaos",
                 amount=amount,
+            )
+        if self.engine is not None:
+            from repro.sim.engine import EventKind
+
+            self.engine.emit(
+                EventKind.FAULT,
+                key.partition("chaos.")[2] or key,
+                {"amount": amount},
             )
 
     # ------------------------------------------------------------- migration

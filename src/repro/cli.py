@@ -10,6 +10,7 @@ Commands:
 * ``experiment`` — regenerate one of the paper's tables/figures by id.
 * ``chaos``      — fault-rate sweep under deterministic fault injection.
 * ``pressure``   — capacity-pressure survival sweep under the memory governor.
+* ``concurrent`` — co-schedule several models on one machine (event engine).
 * ``trace``      — run one simulation with event tracing and export the trace.
 * ``critpath``   — per-step critical-path attribution of a traced run.
 * ``bench``      — attribution benchmark + step-time regression gate.
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "attrib": "step_attribution",
     "robust": "robustness_degradation",
     "survival": "pressure_survival",
+    "contention": "multi_tenant_contention",
 }
 
 
@@ -274,6 +276,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write one combined Chrome trace of every point to PATH",
+    )
+
+    concurrent = sub.add_parser(
+        "concurrent",
+        help="co-schedule several models on one machine (event engine)",
+    )
+    concurrent.add_argument(
+        "models", nargs="+", choices=sorted(MODELS), help="one workload per model"
+    )
+    concurrent.add_argument(
+        "--policies",
+        nargs="+",
+        default=["sentinel"],
+        choices=sorted(POLICIES),
+        help="one policy per model, or a single policy for all workloads",
+    )
+    concurrent.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    concurrent.add_argument(
+        "--fast-fraction",
+        type=float,
+        default=0.2,
+        help="fast memory as a fraction of the workloads' combined peak",
+    )
+    concurrent.add_argument(
+        "--steps", type=int, default=None, help="steady steps per workload"
+    )
+    concurrent.add_argument(
+        "--isolated",
+        action="store_true",
+        help="also run each workload alone at the same fast capacity and "
+        "report the co-scheduling slowdown",
+    )
+    concurrent.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace (one track per workload) to PATH",
     )
 
     trace = sub.add_parser(
@@ -647,6 +686,95 @@ def _cmd_pressure(args) -> int:
     return 0
 
 
+def _cmd_concurrent(args) -> int:
+    from repro.harness.cluster import WorkloadSpec, run_concurrent
+    from repro.models.zoo import build_model
+
+    policies = args.policies
+    if len(policies) == 1:
+        policies = policies * len(args.models)
+    if len(policies) != len(args.models):
+        print(
+            f"error: {len(args.models)} models but {len(policies)} policies "
+            "(give one per model, or one for all)",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = None
+    if args.trace:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
+    specs = []
+    for index, (model, policy) in enumerate(zip(args.models, policies)):
+        spec_kwargs = {} if args.steps is None else {"steps": args.steps}
+        specs.append(
+            WorkloadSpec(
+                name=f"{model}-{index}", model=model, policy=policy, **spec_kwargs
+            )
+        )
+    combined_peak = sum(
+        build_model(model, scale="small").peak_memory_bytes()
+        for model in args.models
+    )
+    cap = max(args.platform.page_size, int(combined_peak * args.fast_fraction))
+    report = run_concurrent(
+        specs, platform=args.platform, fast_capacity=cap, tracer=tracer
+    )
+    isolated = {}
+    if args.isolated:
+        for model, policy in zip(args.models, policies):
+            if model not in isolated:
+                isolated[model] = run_policy(
+                    policy, model=model, platform=args.platform, fast_capacity=cap
+                ).step_time
+    rows = []
+    for spec, workload in zip(specs, report.workloads):
+        row = [
+            workload.name,
+            workload.policy,
+            str(workload.steps),
+            f"{workload.steady_step_time:.4f}",
+            f"{workload.steps_per_second:.3f}",
+        ]
+        if args.isolated:
+            iso = isolated[spec.model]
+            row.append(
+                f"{workload.steady_step_time / iso:.2f}x" if iso > 0 else "-"
+            )
+        rows.append(tuple(row))
+    headers = ["workload", "policy", "steps", "steady step (s)", "steps/s"]
+    if args.isolated:
+        headers.append("vs isolated")
+    print(
+        format_table(
+            tuple(headers),
+            rows,
+            title=f"{len(specs)} workloads co-scheduled, fast = "
+            f"{args.fast_fraction:.0%} of combined peak "
+            f"({mib(cap):.0f} MiB)",
+        )
+    )
+    print(
+        f"\nmakespan {report.makespan:.4f}s | aggregate "
+        f"{report.aggregate_steps_per_second:.3f} steps/s | fairness "
+        f"{report.fairness:.3f} | migrated {mib(report.promoted_bytes + report.demoted_bytes):.0f} MiB"
+    )
+    delays = ", ".join(
+        f"{name} {delay * 1e3:.2f}ms"
+        for name, delay in sorted(report.channel_queue_delay.items())
+    )
+    print(f"mean channel queueing delay: {delays}")
+    if tracer is not None:
+        from repro.obs import write_chrome
+
+        write_chrome(
+            tracer.events, args.trace, process_name="+".join(args.models)
+        )
+        print(f"trace: {len(tracer)} events -> {args.trace}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.harness.report import format_trace_summary
     from repro.obs import EventTracer, to_jsonl, write_chrome
@@ -840,6 +968,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "grid": _cmd_grid,
         "chaos": _cmd_chaos,
         "pressure": _cmd_pressure,
+        "concurrent": _cmd_concurrent,
         "trace": _cmd_trace,
         "critpath": _cmd_critpath,
         "bench": _cmd_bench,

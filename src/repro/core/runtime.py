@@ -156,6 +156,30 @@ class SentinelPolicy(PlacementPolicy):
         self.reprofile_steps_used = 0
         self.case3_fallbacks = 0
         self._profile_fault_base = (0, 0)
+        #: event-driven prefetch bookkeeping, fed by TRANSFER_DONE
+        #: subscriptions when an engine drives the run (Table III
+        #: cross-check: landed == issued - aborted for fault-free runs)
+        self.prefetch_landed_bytes = 0
+        self.prefetch_landed_transfers = 0
+
+    def on_engine(self, engine) -> None:
+        """Subscribe prefetch bookkeeping to channel-completion events.
+
+        Counts the bytes of every prefetch-tagged transfer at the instant
+        its last byte lands.  Pure internal accounting — no trace or
+        metrics emission — so engine-driven runs keep the golden digests.
+        """
+        from repro.sim.engine import EventKind
+
+        def on_done(event) -> None:
+            transfer = event.payload.get("transfer")
+            if transfer is None or transfer.aborted:
+                return
+            if transfer.tag == "prefetch":
+                self.prefetch_landed_bytes += transfer.nbytes
+                self.prefetch_landed_transfers += 1
+
+        engine.subscribe(EventKind.TRANSFER_DONE, on_done)
 
     @property
     def _tracer(self):

@@ -21,12 +21,34 @@ tensors (weights, inputs, globals) are mapped once before the first step and
 persist; every other tensor is allocated at its first access and freed at
 the end of the last layer that touches it, *every step* — which is what lets
 Sentinel re-organize them across steps without creating wild pointers.
+
+Execution model
+---------------
+
+The step body lives in :meth:`Executor.step_process`, a generator that
+yields every interval the simulated clock must advance through (op
+execution, policy stalls).  Two drivers consume it:
+
+* the **engine driver** (the default): :meth:`Executor.run_step` spawns the
+  generator as a :class:`repro.sim.engine.Process` on a discrete-event
+  engine shared with the machine, so channel completions, migration
+  commits, and — in cluster mode — *other workloads* interleave with this
+  step at their true simulated instants;
+* the **inline driver** (:meth:`Executor._run_step_inline`): advances the
+  clock directly per yield with no engine, reproducing the original
+  lockstep loop.  The differential suite pins both drivers to identical
+  per-step times, traffic, and trace digests.
+
+``run_step()``/``run_steps()`` remain the public API (they now drive the
+engine internally — see the migration note in docs/API.md); new code that
+co-schedules workloads should spawn :meth:`step_process` on a shared
+engine via :func:`repro.harness.cluster.run_concurrent`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.dnn.alloc import Allocator, TensorMapping
 from repro.dnn.graph import Graph, Layer
@@ -35,6 +57,7 @@ from repro.dnn.tensor import Tensor
 from repro.errors import ExecutionError
 from repro.mem.machine import Machine
 from repro.sim.clock import Clock
+from repro.sim.engine import Engine
 
 
 class StepObserver:
@@ -62,7 +85,15 @@ class StepObserver:
 
 @dataclass
 class StepResult:
-    """Timing and traffic breakdown of one training step."""
+    """Timing and traffic breakdown of one training step.
+
+    In cluster runs (several executors on one machine) the
+    ``promoted_bytes``/``demoted_bytes`` deltas and ``peak_fast``/
+    ``peak_slow`` fields read *machine-global* state: they attribute all
+    migration traffic during the step's wall-span to this workload.  For a
+    single workload that is exact; for co-scheduled workloads use the
+    cluster report's aggregate counters instead.
+    """
 
     step: int
     start_time: float
@@ -95,7 +126,25 @@ class StepResult:
 
 
 class Executor:
-    """Executes training steps of one graph under one policy."""
+    """Executes training steps of one graph under one policy.
+
+    Args:
+        graph: the workload.
+        machine: the memory system; shared between executors in cluster
+            mode.
+        policy: placement policy instance (one per executor — policies
+            hold per-workload state).
+        allocator: override the policy's allocator.
+        observers: instrumentation hooks.
+        tracer: optional per-access tracer (profiler-style).
+        engine: share an existing discrete-event engine (cluster mode).
+            The executor adopts the engine's clock so all co-scheduled
+            workloads tick the same timeline.  ``None`` (the default)
+            creates a private engine lazily on the first ``run_step()``.
+        track: trace-track label for this workload's step/layer spans;
+            the default ``"main"`` keeps single-workload traces
+            byte-identical to historical ones.
+    """
 
     def __init__(
         self,
@@ -105,13 +154,17 @@ class Executor:
         allocator: Optional[Allocator] = None,
         observers: Sequence[StepObserver] = (),
         tracer: Optional["Tracer"] = None,
+        engine: Optional[Engine] = None,
+        track: str = "main",
     ) -> None:
         self.graph = graph
         self.machine = machine
         self.policy = policy
         self.observers = list(observers)
         self.tracer = tracer
-        self.clock = Clock()
+        self.track = track
+        self.engine = engine
+        self.clock = engine.clock if engine is not None else Clock()
         #: structured event tracer (repro.obs), owned by the machine; the
         #: executor's clock becomes its timestamp source so clockless
         #: components (fault handler, chaos injector) stamp correctly.
@@ -124,6 +177,9 @@ class Executor:
         self._metrics = machine.metrics
         machine.stats.bind_clock(self.clock)
         policy.bind(machine, graph)
+        if engine is not None:
+            machine.bind_engine(engine)
+            policy.on_engine(engine)
         self.allocator = allocator if allocator is not None else policy.make_allocator()
         self._steps_run = 0
         self._frees_by_layer = self._index_frees(graph)
@@ -147,13 +203,20 @@ class Executor:
 
     # ------------------------------------------------------------ execution
 
-    def run_step(self) -> StepResult:
-        """Execute one training step and return its breakdown."""
+    def step_process(self) -> Generator[float, None, StepResult]:
+        """One training step as an engine process.
+
+        Yields the intervals the clock must advance through (op execution
+        times and policy stalls); the driver — engine or inline — performs
+        the advance, so the body never touches the clock directly.  The
+        generator's return value is the step's :class:`StepResult`.
+        """
         step = self._steps_run
         clock = self.clock
         policy = self.policy
         machine = self.machine
         allocator = self.allocator
+        track = self.track
 
         machine.fast.reset_peak()
         machine.slow.reset_peak()
@@ -163,16 +226,18 @@ class Executor:
         result = StepResult(step=step, start_time=clock.now, end_time=clock.now)
         events = self._events
         if events is not None:
-            events.begin("step", "step", step=step)
+            events.begin("step", "step", track=track, step=step)
         for observer in self.observers:
             observer.on_step_start(step, clock.now)
         pre_stall = policy.on_step_start(step, clock.now)
-        self._charge_stall(result, pre_stall)
+        yield from self._charge_stall(result, pre_stall)
 
         for layer in self.graph.layers:
             layer_start = clock.now
             if events is not None:
-                events.begin("layer", "step", layer=layer.index, label=layer.name)
+                events.begin(
+                    "layer", "step", track=track, layer=layer.index, label=layer.name
+                )
             # Per-layer timing components, mirrored onto the layer-end trace
             # event so attribution (repro.obs.critpath) can decompose a step
             # without re-deriving the timing model: the clock only advances
@@ -184,7 +249,7 @@ class Executor:
             layer_stall = 0.0
             layer_fault = 0.0
             stall = policy.on_layer_start(layer, clock.now)
-            self._charge_stall(result, stall)
+            yield from self._charge_stall(result, stall)
             layer_stall += stall
 
             for op in layer.ops:
@@ -221,12 +286,12 @@ class Executor:
                 layer_exec += op_exec
                 layer_stall += stall_time
                 layer_fault += fault_time
-                clock.advance(op_time)
+                yield op_time
                 machine.migration.sync(clock.now)
 
             self._free_layer_tensors(layer)
             stall = policy.on_layer_end(layer, clock.now)
-            self._charge_stall(result, stall)
+            yield from self._charge_stall(result, stall)
             layer_stall += stall
             for observer in self.observers:
                 observer.on_layer_end(layer, clock.now)
@@ -235,6 +300,7 @@ class Executor:
                 events.end(
                     "layer",
                     "step",
+                    track=track,
                     compute=layer_compute,
                     mem=layer_mem,
                     exec=layer_exec,
@@ -247,7 +313,7 @@ class Executor:
                 )
 
         post_stall = policy.on_step_end(step, clock.now)
-        self._charge_stall(result, post_stall)
+        yield from self._charge_stall(result, post_stall)
         machine.migration.sync(clock.now)
         if machine.pressure is not None:
             # Step boundary: refresh watermark state and, for arena-style
@@ -259,7 +325,12 @@ class Executor:
             # the step-end event is what lets attribution components sum to
             # the step duration exactly.
             events.end(
-                "step", "step", step=step, pre_stall=pre_stall, post_stall=post_stall
+                "step",
+                "step",
+                track=track,
+                step=step,
+                pre_stall=pre_stall,
+                post_stall=post_stall,
             )
 
         result.end_time = clock.now
@@ -282,19 +353,64 @@ class Executor:
         self._steps_run += 1
         return result
 
+    def _ensure_engine(self) -> Engine:
+        if self.engine is None:
+            if self.machine.engine is not None:
+                raise ExecutionError(
+                    "machine is already driven by an engine; pass engine= to "
+                    "Executor so co-scheduled workloads share one timeline"
+                )
+            self.engine = Engine(self.clock)
+            self.machine.bind_engine(self.engine)
+            self.policy.on_engine(self.engine)
+        return self.engine
+
+    def run_step(self) -> StepResult:
+        """Execute one training step and return its breakdown.
+
+        Compatibility shim over the event engine: the step body runs as an
+        engine process, interleaved with channel-completion events, and
+        events scheduled beyond the step's end (transfers still in flight)
+        stay queued for the next step.  Times are byte-identical to the
+        historical lockstep loop — the differential suite pins this.
+        """
+        engine = self._ensure_engine()
+        proc = engine.process(
+            self.step_process(), name=f"{self.track}:step-{self._steps_run}"
+        )
+        return engine.run_until_complete(proc)
+
     def run_steps(self, count: int) -> List[StepResult]:
         if count <= 0:
             raise ValueError(f"step count must be positive, got {count!r}")
         return [self.run_step() for _ in range(count)]
 
+    def _run_step_inline(self) -> StepResult:
+        """Drive one step with direct clock advances and no engine.
+
+        This is the original lockstep loop, kept as the reference
+        implementation for the engine-vs-inline differential suite.  It
+        must not be mixed with engine-driven steps on the same machine.
+        """
+        gen = self.step_process()
+        try:
+            delay = next(gen)
+            while True:
+                self.clock.advance(delay)
+                delay = gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+
     # -------------------------------------------------------------- helpers
 
-    def _charge_stall(self, result: StepResult, stall: float) -> None:
+    def _charge_stall(
+        self, result: StepResult, stall: float
+    ) -> Generator[float, None, None]:
         if stall < 0:
             raise ExecutionError(f"policy returned negative stall {stall!r}")
         if stall:
             result.stall_time += stall
-            self.clock.advance(stall)
+            yield stall
 
     def _ensure_allocated(self, op, now: float) -> None:
         for access in op.accesses:

@@ -90,6 +90,16 @@ class PlacementPolicy:
         assert self.machine is not None, "bind() must run before make_allocator()"
         return PackedAllocator(self.machine, self.place)
 
+    def on_engine(self, engine) -> None:
+        """Hook: the executor attached a discrete-event engine.
+
+        Policies that track asynchronous completions (Sentinel's prefetch
+        bookkeeping) override this to subscribe to engine events; the base
+        policy ignores it.  Must not emit trace or metrics events —
+        subscriptions are internal bookkeeping so engine-driven runs stay
+        byte-identical to the legacy loop.
+        """
+
     # ----------------------------------------------------------- decisions
 
     def place(self, tensor: Tensor, now: float) -> DeviceKind:

@@ -166,6 +166,7 @@ def run_policy(
         extras["trial_steps"] = policy.trial_steps_used
         extras["case2"] = policy.case2_occurrences
         extras["case3"] = policy.case3_occurrences
+        extras["prefetch_landed_bytes"] = policy.prefetch_landed_bytes
         if chaos is not None:
             extras["reprofile_steps"] = policy.reprofile_steps_used
             extras["case3_fallbacks"] = policy.case3_fallbacks

@@ -25,6 +25,7 @@ from repro.sim.channel import BandwidthChannel
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
     from repro.obs.trace import EventTracer
+    from repro.sim.engine import Engine
 
 
 class Machine:
@@ -123,6 +124,29 @@ class Machine:
             self.pressure = PressureGovernor(pressure, self)
             self.migration.governor = self.pressure
         self._dram_cache: Optional[DRAMCache] = None
+        self.engine: Optional["Engine"] = None
+
+    def bind_engine(self, engine: "Engine") -> None:
+        """Attach the machine's components to a discrete-event engine.
+
+        Channels schedule :data:`~repro.sim.engine.EventKind.TRANSFER_DONE`
+        events at their analytic finish times, and the migration engine
+        subscribes to them so commits happen at the true completion instant
+        instead of the next lazy ``sync``.  Idempotent per engine; binding
+        a *different* engine mid-run is a scheduling bug and raises.
+        """
+        if self.engine is engine:
+            return
+        if self.engine is not None:
+            raise RuntimeError("machine is already bound to a different engine")
+        self.engine = engine
+        self.promote_channel.bind_engine(engine)
+        self.demote_channel.bind_engine(engine)
+        self.demand_channel.bind_engine(engine)
+        self.migration.bind_engine(engine)
+        self.fault_handler.engine = engine
+        if self.injector is not None:
+            self.injector.engine = engine
 
     @classmethod
     def for_platform(

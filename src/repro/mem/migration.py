@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
     from repro.mem.pressure import PressureGovernor
     from repro.obs.trace import EventTracer
+    from repro.sim.engine import Engine, Event
 
 
 @dataclass
@@ -106,6 +107,29 @@ class MigrationEngine:
         #: watermark and withholds the urgent-lane reserve from them.
         self.governor: Optional["PressureGovernor"] = None
         self._pending: List[MigrationRecord] = []
+        self._engine: Optional["Engine"] = None
+
+    # ---------------------------------------------------------------- engine
+
+    def bind_engine(self, engine: "Engine") -> None:
+        """Commit migrations event-driven instead of by polling.
+
+        Subscribes to :data:`~repro.sim.engine.EventKind.TRANSFER_DONE`:
+        when a channel's last byte lands, :meth:`sync` runs at exactly that
+        instant and commits the finished record.  This is observationally
+        identical to the legacy lazy commit — ``sync`` is idempotent, every
+        capacity-reading path already calls it first, and commit emits no
+        trace events — but it means demoted fast frames free at the true
+        finish time, which concurrent workloads on the same machine can
+        see.
+        """
+        from repro.sim.engine import EventKind
+
+        self._engine = engine
+        engine.subscribe(EventKind.TRANSFER_DONE, self._on_transfer_done)
+
+    def _on_transfer_done(self, event: "Event") -> None:
+        self.sync(event.time)
 
     # ------------------------------------------------------------------ sync
 

@@ -139,6 +139,19 @@ class PressureGovernor:
         self._above_high = False
         self._reclaiming = False
 
+    def _emit_engine(self, name: str, **payload) -> None:
+        """Mirror a governor action as a typed PRESSURE engine event.
+
+        Observation-only: fires synchronously at the current instant so
+        engine subscribers (cluster stats) see reclaim/spill activity, and
+        changes no simulated state — engine-free runs skip it entirely.
+        """
+        engine = self.machine.engine
+        if engine is not None:
+            from repro.sim.engine import EventKind
+
+            engine.emit(EventKind.PRESSURE, name, payload)
+
     # ------------------------------------------------------------- geometry
 
     @property
@@ -194,6 +207,7 @@ class PressureGovernor:
         stats = self.machine.stats
         stats.counter("pressure.spills").add(1)
         stats.counter("pressure.spilled_bytes").add(nbytes)
+        self._emit_engine("spill", nbytes=nbytes)
         tracer = self.machine.tracer
         if tracer is not None:
             tracer.instant(
@@ -217,6 +231,7 @@ class PressureGovernor:
         stats = self.machine.stats
         stats.counter("pressure.refused_promotions").add(1)
         stats.counter("pressure.refused_bytes").add(nbytes)
+        self._emit_engine("refused-promotion", nbytes=nbytes)
         tracer = self.machine.tracer
         if tracer is not None:
             tracer.instant(
@@ -310,6 +325,7 @@ class PressureGovernor:
         stats = machine.stats
         stats.counter("pressure.reclaims").add(1)
         stats.counter("pressure.reclaimed_bytes").add(nbytes)
+        self._emit_engine("reclaim", nbytes=nbytes, runs=len(scheduled))
         if machine.metrics is not None:
             machine.metrics.histogram("pressure.reclaim_bytes").observe(nbytes)
         tracer = machine.tracer

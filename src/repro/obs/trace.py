@@ -29,7 +29,17 @@ from repro.sim.clock import Clock
 
 #: The event categories the simulator emits; one lane per subsystem.
 CATEGORIES = frozenset(
-    {"step", "migration", "fault", "prefetch", "channel", "chaos", "gpu", "pressure"}
+    {
+        "step",
+        "migration",
+        "fault",
+        "prefetch",
+        "channel",
+        "chaos",
+        "gpu",
+        "pressure",
+        "cluster",
+    }
 )
 
 #: Allowed Chrome ``trace_event`` phases.

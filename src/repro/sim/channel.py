@@ -13,6 +13,14 @@ transfer is known analytically the moment it is submitted::
 
 which lets the executor overlap computation with transfers without a general
 event queue: it simply compares the clock against ``transfer.finish``.
+
+When a channel is bound to a :class:`repro.sim.engine.Engine` (via
+:meth:`BandwidthChannel.bind_engine`), each submission *additionally*
+schedules a :data:`~repro.sim.engine.EventKind.TRANSFER_DONE` event at the
+analytic finish time, so subscribers (migration commit, prefetch
+bookkeeping, cluster stats) learn about completions without polling.  The
+analytic model stays the source of truth for times either way — the engine
+only changes *when code runs*, never *what times it computes*.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import TYPE_CHECKING, Any, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import EventTracer
+    from repro.sim.engine import Engine, Event
 
 
 @dataclass(frozen=True)
@@ -101,6 +110,23 @@ class BandwidthChannel:
         self._bytes_moved = 0
         self._aborted_transfers = 0
         self._history: List[Transfer] = []
+        self._engine: Optional["Engine"] = None
+        self._pending_events: List["Event"] = []
+
+    def bind_engine(self, engine: "Engine") -> None:
+        """Schedule a TRANSFER_DONE event for every future submission.
+
+        The event fires at the transfer's analytic ``finish`` time with
+        payload ``{"transfer": t, "channel": self}``.  Binding changes no
+        computed times — it only gives subscribers a callback at the
+        instant the last byte lands.
+        """
+        self._engine = engine
+
+    @property
+    def engine(self) -> Optional["Engine"]:
+        """The bound event engine, if any."""
+        return self._engine
 
     @property
     def next_free(self) -> float:
@@ -162,6 +188,18 @@ class BandwidthChannel:
         if aborted:
             self._aborted_transfers += 1
         self._history.append(transfer)
+        if self._engine is not None:
+            from repro.sim.engine import EventKind
+
+            event = self._engine.schedule_at(
+                finish,
+                EventKind.TRANSFER_DONE,
+                name=self.name,
+                payload={"transfer": transfer, "channel": self},
+            )
+            self._pending_events.append(event)
+            if len(self._pending_events) > 64:
+                self._prune_fired_events()
         if self.tracer is not None:
             self.tracer.complete(
                 "xfer",
@@ -190,13 +228,32 @@ class BandwidthChannel:
         """Whether the channel has no queued work at time ``when``."""
         return self._next_free <= when
 
+    def _prune_fired_events(self) -> None:
+        if self._engine is None:
+            self._pending_events = []
+            return
+        now = self._engine.now
+        self._pending_events = [
+            ev for ev in self._pending_events if ev.time > now and not ev.cancelled
+        ]
+
     def reset(self) -> None:
-        """Clear all queued/recorded work (used between simulated steps)."""
+        """Clear all queued/recorded work (used between simulated steps).
+
+        Every counter the channel accumulates is zeroed: the FIFO horizon
+        (``next_free``), busy time, bytes moved, the aborted-transfer
+        count, and the history list.  If an engine is bound, completion
+        events scheduled for not-yet-finished transfers are cancelled too —
+        a reset channel must not deliver ghosts of discarded work.
+        """
         self._next_free = 0.0
         self._busy_time = 0.0
         self._bytes_moved = 0
         self._aborted_transfers = 0
         self._history = []
+        for event in self._pending_events:
+            event.cancel()
+        self._pending_events = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

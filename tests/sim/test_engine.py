@@ -1,0 +1,361 @@
+"""Unit tests for the discrete-event kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim.clock import Clock, ClockError
+from repro.sim.engine import (
+    Acquire,
+    Engine,
+    EngineError,
+    EventKind,
+    Resource,
+    Timeout,
+    WaitUntil,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, name="c", callback=lambda e: order.append(e.name))
+        engine.schedule(1.0, name="a", callback=lambda e: order.append(e.name))
+        engine.schedule(2.0, name="b", callback=lambda e: order.append(e.name))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        engine = Engine()
+        order = []
+        for name in "abcde":
+            engine.schedule(1.0, name=name, callback=lambda e: order.append(e.name))
+        engine.run()
+        assert order == list("abcde")
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(5.0, callback=lambda e: fired.append(engine.now))
+        engine.run()
+        assert fired == [5.0]
+
+    def test_scheduling_into_the_past_raises(self):
+        engine = Engine()
+        engine.schedule(1.0, callback=lambda e: None)
+        engine.run()
+        with pytest.raises(EngineError):
+            engine.schedule(-0.5)
+        with pytest.raises(EngineError):
+            engine.schedule_at(0.5)
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = Engine()
+        fired = []
+        ev = engine.schedule(1.0, callback=lambda e: fired.append("cancelled"))
+        engine.schedule(2.0, callback=lambda e: fired.append("kept"))
+        ev.cancel()
+        engine.run()
+        assert fired == ["kept"]
+        assert engine.fired == 1
+
+    def test_run_until_leaves_later_events_queued(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, callback=lambda e: fired.append(1.0))
+        engine.schedule(5.0, callback=lambda e: fired.append(5.0))
+        engine.run(until=2.0)
+        assert fired == [1.0]
+        assert engine.now == 2.0
+        assert engine.pending == 1
+        engine.run()
+        assert fired == [1.0, 5.0]
+
+    def test_external_clock_is_shared(self):
+        clock = Clock()
+        engine = Engine(clock)
+        engine.schedule(2.5, callback=lambda e: None)
+        engine.run()
+        assert clock.now == 2.5
+
+    def test_clock_never_goes_backwards(self):
+        engine = Engine()
+        engine.schedule(1.0, callback=lambda e: None)
+        engine.run()
+        with pytest.raises(ClockError):
+            engine.clock.advance_to(0.5)
+
+
+class TestSubscriptions:
+    def test_kind_subscription_sees_only_that_kind(self):
+        engine = Engine()
+        seen = []
+        engine.subscribe(EventKind.FAULT, lambda e: seen.append(e.name))
+        engine.schedule(1.0, EventKind.FAULT, name="f")
+        engine.schedule(2.0, EventKind.TIMER, name="t")
+        engine.run()
+        assert seen == ["f"]
+
+    def test_any_subscription_sees_everything_in_order(self):
+        engine = Engine()
+        seen = []
+        engine.subscribe(None, lambda e: seen.append((e.kind, e.name)))
+        engine.schedule(2.0, EventKind.TIMER, name="t")
+        engine.schedule(1.0, EventKind.PRESSURE, name="p")
+        engine.run()
+        assert seen == [(EventKind.PRESSURE, "p"), (EventKind.TIMER, "t")]
+
+    def test_callback_runs_before_subscribers(self):
+        engine = Engine()
+        order = []
+        engine.subscribe(EventKind.TIMER, lambda e: order.append("sub"))
+        engine.schedule(1.0, callback=lambda e: order.append("cb"))
+        engine.run()
+        assert order == ["cb", "sub"]
+
+    def test_unsubscribe(self):
+        engine = Engine()
+        seen = []
+        handler = lambda e: seen.append(e.name)  # noqa: E731
+        engine.subscribe(EventKind.TIMER, handler)
+        engine.schedule(1.0, name="first")
+        engine.run()
+        engine.unsubscribe(EventKind.TIMER, handler)
+        engine.schedule(1.0, name="second")
+        engine.run()
+        assert seen == ["first"]
+
+
+class TestProcesses:
+    def test_process_yields_advance_time(self):
+        engine = Engine()
+        trail = []
+
+        def work():
+            trail.append(engine.now)
+            yield 1.5
+            trail.append(engine.now)
+            yield Timeout(0.5)
+            trail.append(engine.now)
+            return "done"
+
+        proc = engine.process(work(), name="w")
+        result = engine.run_until_complete(proc)
+        assert result == "done"
+        assert trail == [0.0, 1.5, 2.0]
+        assert proc.done
+
+    def test_wait_until_absolute(self):
+        engine = Engine()
+
+        def work():
+            yield WaitUntil(4.0)
+            return engine.now
+
+        proc = engine.process(work())
+        assert engine.run_until_complete(proc) == 4.0
+
+    def test_two_processes_interleave_deterministically(self):
+        engine = Engine()
+        trail = []
+
+        def worker(name, delay, steps):
+            for _ in range(steps):
+                yield delay
+                trail.append((name, engine.now))
+
+        a = engine.process(worker("a", 1.0, 3), name="a")
+        b = engine.process(worker("b", 1.5, 2), name="b")
+        engine.run()
+        assert a.done and b.done
+        assert trail == [
+            ("a", 1.0),
+            ("b", 1.5),
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 3.0),
+        ]
+
+    def test_run_until_complete_stops_at_process_end(self):
+        engine = Engine()
+        engine.schedule(10.0, name="later", callback=lambda e: None)
+
+        def quick():
+            yield 1.0
+
+        proc = engine.process(quick())
+        engine.run_until_complete(proc)
+        # The later event must stay queued and the clock must not pass it.
+        assert engine.now == 1.0
+        assert engine.pending == 1
+
+    def test_deadlock_is_reported(self):
+        engine = Engine()
+        gate = Resource("gate")
+
+        def blocked():
+            yield Acquire(gate)
+
+        def holder():
+            yield Acquire(gate)
+            yield 1.0  # never releases
+
+        engine.process(holder())
+        proc = engine.process(blocked())
+        with pytest.raises(EngineError, match="never"):
+            engine.run_until_complete(proc)
+
+    def test_unsupported_directive_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield "nonsense"
+
+        with pytest.raises(EngineError, match="unsupported"):
+            engine.process(bad())
+
+
+class TestResources:
+    def test_fifo_resource_serialises_holders(self):
+        engine = Engine()
+        res = Resource("channel")
+        trail = []
+
+        def worker(name, hold):
+            grant = yield Acquire(res)
+            assert grant is res
+            trail.append((name, "acq", engine.now))
+            yield hold
+            res.release()
+            trail.append((name, "rel", engine.now))
+
+        engine.process(worker("a", 2.0), name="a")
+        engine.process(worker("b", 1.0), name="b")
+        engine.run()
+        assert trail == [
+            ("a", "acq", 0.0),
+            ("a", "rel", 2.0),
+            ("b", "acq", 2.0),
+            ("b", "rel", 3.0),
+        ]
+
+    def test_priority_resource_serves_lower_priority_value_first(self):
+        engine = Engine()
+        res = Resource("lane", priority=True)
+        served = []
+
+        def holder():
+            yield Acquire(res)
+            yield 1.0
+            res.release()
+
+        def waiter(name, prio):
+            yield Acquire(res, priority=prio)
+            served.append(name)
+            res.release()
+
+        engine.process(holder())
+        engine.process(waiter("background", 5))
+        engine.process(waiter("urgent", 0))
+        engine.run()
+        assert served == ["urgent", "background"]
+
+    def test_fifo_ties_break_by_arrival(self):
+        engine = Engine()
+        res = Resource("lane")
+        served = []
+
+        def holder():
+            yield Acquire(res)
+            yield 1.0
+            res.release()
+
+        def waiter(name):
+            yield Acquire(res)
+            served.append(name)
+            res.release()
+
+        engine.process(holder())
+        for name in ("first", "second", "third"):
+            engine.process(waiter(name))
+        engine.run()
+        assert served == ["first", "second", "third"]
+
+    def test_multi_slot_capacity(self):
+        engine = Engine()
+        res = Resource("pool", capacity=2)
+        concurrency = []
+
+        def worker():
+            yield Acquire(res)
+            concurrency.append(res.in_use)
+            yield 1.0
+            res.release()
+
+        for _ in range(4):
+            engine.process(worker())
+        engine.run()
+        assert max(concurrency) == 2
+        assert res.in_use == 0
+        assert res.grants == 4
+
+    def test_over_release_raises(self):
+        res = Resource("r")
+        with pytest.raises(EngineError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("r", capacity=0)
+
+    def test_grant_events_fire(self):
+        engine = Engine()
+        res = Resource("lane")
+        grants = []
+        engine.subscribe(EventKind.GRANT, lambda e: grants.append(e.name))
+
+        def worker():
+            yield Acquire(res)
+            res.release()
+
+        engine.process(worker())
+        engine.run()
+        assert grants == ["lane"]
+
+
+class TestDeterminism:
+    def test_identical_programs_produce_identical_event_logs(self):
+        def run_once():
+            engine = Engine()
+            log = []
+            engine.subscribe(None, lambda e: log.append((e.time, e.seq, e.kind.value)))
+
+            def worker(delay, steps):
+                for _ in range(steps):
+                    yield delay
+
+            engine.process(worker(0.3, 5))
+            engine.process(worker(0.5, 3))
+            engine.schedule(1.0, EventKind.FAULT, name="f")
+            engine.run()
+            return log
+
+        assert run_once() == run_once()
+
+    def test_float_time_accumulation_matches_raw_clock(self):
+        # The engine must advance time with the exact same float ops the
+        # legacy loop used (now + delta), so accumulated times are
+        # byte-identical, not merely close.
+        deltas = [0.1, 0.2, 0.30000000000000004, 1e-9, 3.7]
+        clock = Clock()
+        for d in deltas:
+            clock.advance(d)
+
+        engine = Engine()
+
+        def worker():
+            for d in deltas:
+                yield d
+
+        engine.run_until_complete(engine.process(worker()))
+        assert engine.now == clock.now
