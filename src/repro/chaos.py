@@ -286,6 +286,284 @@ class FaultInjector:
         return dropped
 
 
+# --------------------------------------------------------------- episodes
+
+#: Machine-level failure-episode kinds (see :class:`Episode`).
+EPISODE_KINDS = ("machine-offline", "channel-blackout", "capacity-loss")
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One machine-level failure window on the simulated timeline.
+
+    Unlike the per-decision faults above (which fire *inside* a workload's
+    own code path), episodes are wall-clock events on the shared machine:
+    they begin and end at absolute simulated times regardless of what any
+    tenant is doing, which is what makes overload/recovery behaviour at the
+    cluster boundary non-trivial.
+
+    Attributes:
+        kind: one of :data:`EPISODE_KINDS` —
+
+            * ``"machine-offline"``: the whole machine is down; the serving
+              layer interrupts in-flight jobs and pauses dispatch until the
+              episode ends (crash + reboot, a node lost from the cluster).
+            * ``"channel-blackout"``: one migration channel is unavailable
+              for the window; queued transfers are pushed back exactly like
+              work stuck behind a long transfer (a fabric link flap on a
+              network-attached slow tier).
+            * ``"capacity-loss"``: the fast tier transiently loses frames
+              (clamped to free space — resident data survives).
+        start: absolute simulated time the episode begins (>= 0).
+        duration: episode length in seconds (> 0).
+        target: channel name for ``"channel-blackout"`` episodes.
+        frames: frames withheld for ``"capacity-loss"`` episodes.
+    """
+
+    kind: str
+    start: float
+    duration: float
+    target: str = ""
+    frames: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EPISODE_KINDS:
+            raise ValueError(
+                f"unknown episode kind {self.kind!r}; expected one of "
+                f"{EPISODE_KINDS}"
+            )
+        if self.start < 0.0:
+            raise ValueError(f"episode start must be >= 0, got {self.start!r}")
+        if self.duration <= 0.0:
+            raise ValueError(
+                f"episode duration must be positive, got {self.duration!r}"
+            )
+        if self.kind == "channel-blackout" and not self.target:
+            raise ValueError("channel-blackout episodes need a target channel")
+        if self.kind == "capacity-loss" and self.frames <= 0:
+            raise ValueError(
+                f"capacity-loss episodes need frames > 0, got {self.frames!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class EpisodeConfig:
+    """Seeded generator parameters for a machine-failure timeline.
+
+    Each concern is an independent renewal process: inter-episode gaps and
+    durations are exponential draws from a per-concern stream seeded from
+    ``(seed, concern)``, so enabling one concern never shifts another's
+    schedule.  A concern with MTBF 0 is disabled.  Episodes of one concern
+    never overlap each other (the next gap starts after the previous episode
+    ends); different concerns may overlap freely, as real failures do.
+
+    Attributes:
+        seed: RNG seed; the generated timeline is a pure function of it.
+        horizon: episodes begin strictly before this time (they may end
+            after it — recovery still happens).
+        machine_mtbf / machine_mttr: mean time between machine-offline
+            episodes / mean outage duration.
+        blackout_mtbf / blackout_mttr: ditto for channel blackouts; the
+            affected channel is drawn uniformly per episode.
+        capacity_mtbf / capacity_mttr: ditto for transient capacity loss.
+        capacity_frames: frames withheld during each capacity-loss episode.
+    """
+
+    seed: int = 0
+    horizon: float = 1.0
+    machine_mtbf: float = 0.0
+    machine_mttr: float = 0.02
+    blackout_mtbf: float = 0.0
+    blackout_mttr: float = 0.01
+    capacity_mtbf: float = 0.0
+    capacity_mttr: float = 0.05
+    capacity_frames: int = 64
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0.0:
+            raise ValueError(f"horizon must be positive, got {self.horizon!r}")
+        for name in (
+            "machine_mtbf",
+            "machine_mttr",
+            "blackout_mtbf",
+            "blackout_mttr",
+            "capacity_mtbf",
+            "capacity_mttr",
+        ):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+        if self.capacity_frames <= 0:
+            raise ValueError(
+                f"capacity_frames must be positive, got {self.capacity_frames!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.machine_mtbf > 0.0
+            or self.blackout_mtbf > 0.0
+            or self.capacity_mtbf > 0.0
+        )
+
+
+#: Channels a generated blackout may hit, in draw order.
+BLACKOUT_CHANNELS = ("promote", "demote", "demand-promote")
+
+
+def generate_episodes(config: EpisodeConfig) -> list:
+    """Deterministic failure timeline for ``config`` (sorted by start time).
+
+    Same config ⇒ byte-identical episode list; the serving report's
+    restart/shedding stream inherits that determinism.
+    """
+    episodes = []
+
+    def renewal(concern: str, mtbf: float, mttr: float, make):
+        if mtbf <= 0.0:
+            return
+        rng = random.Random(f"{config.seed}:episodes:{concern}")
+        t = rng.expovariate(1.0 / mtbf)
+        while t < config.horizon:
+            duration = max(1e-9, rng.expovariate(1.0 / mttr) if mttr > 0 else 1e-9)
+            episodes.append(make(t, duration, rng))
+            t = t + duration + rng.expovariate(1.0 / mtbf)
+
+    renewal(
+        "machine",
+        config.machine_mtbf,
+        config.machine_mttr,
+        lambda start, dur, rng: Episode("machine-offline", start, dur),
+    )
+    renewal(
+        "blackout",
+        config.blackout_mtbf,
+        config.blackout_mttr,
+        lambda start, dur, rng: Episode(
+            "channel-blackout", start, dur, target=rng.choice(BLACKOUT_CHANNELS)
+        ),
+    )
+    renewal(
+        "capacity",
+        config.capacity_mtbf,
+        config.capacity_mttr,
+        lambda start, dur, rng: Episode(
+            "capacity-loss", start, dur, frames=config.capacity_frames
+        ),
+    )
+    return sorted(episodes, key=lambda ep: (ep.start, ep.kind, ep.target))
+
+
+class EpisodeDriver:
+    """Plays a failure timeline onto a machine via the discrete-event engine.
+
+    Each episode schedules a begin and an end occurrence as typed
+    :data:`~repro.sim.engine.EventKind.FAULT` events (payload carries the
+    :class:`Episode` and ``phase`` = ``"begin"``/``"end"``), so observers —
+    the serving layer interrupting in-flight jobs, the trace — see every
+    transition at its exact simulated instant.  Effects:
+
+    * ``machine-offline`` flips :attr:`Machine.online` down and back up;
+    * ``channel-blackout`` holds the target channel busy for the window;
+    * ``capacity-loss`` reserves fast frames (clamped to free space) and
+      returns them at the end.
+
+    Attach with :meth:`arm` *before* the engine runs (episodes must not
+    start in the past).
+    """
+
+    def __init__(self, machine: "Machine", episodes) -> None:
+        self.machine = machine
+        self.episodes = list(episodes)
+        channels = {
+            ch.name: ch
+            for ch in (
+                machine.promote_channel,
+                machine.demote_channel,
+                machine.demand_channel,
+            )
+        }
+        for episode in self.episodes:
+            if episode.kind == "channel-blackout" and episode.target not in channels:
+                raise ValueError(
+                    f"episode targets unknown channel {episode.target!r}; "
+                    f"machine has {sorted(channels)}"
+                )
+        self._channels = channels
+        self.counts: Dict[str, int] = {}
+        self.engine = None
+
+    def arm(self, engine) -> None:
+        """Schedule every episode's begin event on ``engine``."""
+        from repro.sim.engine import EventKind
+
+        self.engine = engine
+        for episode in self.episodes:
+            engine.schedule_at(
+                episode.start,
+                EventKind.FAULT,
+                name=f"episode:{episode.kind}",
+                payload={"episode": episode, "phase": "begin"},
+                callback=lambda ev, ep=episode: self._begin(ep, ev.time),
+            )
+
+    def _count(self, key: str) -> None:
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def _begin(self, episode: Episode, now: float) -> None:
+        from repro.sim.engine import EventKind
+
+        machine = self.machine
+        self._count(f"chaos.episode.{episode.kind}")
+        reserved = 0
+        if episode.kind == "machine-offline":
+            machine.set_online(False, now)
+        elif episode.kind == "channel-blackout":
+            self._channels[episode.target].block(now, episode.duration)
+        elif episode.kind == "capacity-loss":
+            reserved = machine.fast.reserve(episode.frames * machine.page_size)
+            if machine.tracer is not None:
+                machine.tracer.instant(
+                    "capacity-loss",
+                    "chaos",
+                    ts=now,
+                    track="chaos",
+                    nbytes=reserved,
+                )
+            if machine.pressure is not None:
+                machine.pressure.note_usage(now)
+        assert self.engine is not None
+        self.engine.schedule_at(
+            episode.end,
+            EventKind.FAULT,
+            name=f"episode:{episode.kind}",
+            payload={"episode": episode, "phase": "end"},
+            callback=lambda ev, ep=episode, nb=reserved: self._end(ep, nb, ev.time),
+        )
+
+    def _end(self, episode: Episode, reserved: int, now: float) -> None:
+        machine = self.machine
+        if episode.kind == "machine-offline":
+            machine.set_online(True, now)
+        elif episode.kind == "capacity-loss":
+            if reserved:
+                machine.fast.unreserve(reserved)
+                if machine.tracer is not None:
+                    machine.tracer.instant(
+                        "capacity-restore",
+                        "chaos",
+                        ts=now,
+                        track="chaos",
+                        nbytes=reserved,
+                    )
+            if machine.pressure is not None:
+                machine.pressure.note_usage(now)
+
+
 class CapacityShrinker(StepObserver):
     """Drives the ``capacity_shrink`` chaos fault as a per-step observer.
 

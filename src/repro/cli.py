@@ -11,6 +11,8 @@ Commands:
 * ``chaos``      — fault-rate sweep under deterministic fault injection.
 * ``pressure``   — capacity-pressure survival sweep under the memory governor.
 * ``concurrent`` — co-schedule several models on one machine (event engine).
+* ``serve``      — open-loop serving with SLO-aware admission and failure
+  episodes (retry/backoff, checkpoint/restart, latency percentiles).
 * ``trace``      — run one simulation with event tracing and export the trace.
 * ``critpath``   — per-step critical-path attribution of a traced run.
 * ``bench``      — attribution benchmark + step-time regression gate.
@@ -55,6 +57,7 @@ EXPERIMENTS = {
     "robust": "robustness_degradation",
     "survival": "pressure_survival",
     "contention": "multi_tenant_contention",
+    "serving": "serving_overload",
 }
 
 
@@ -313,6 +316,52 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write a Chrome trace (one track per workload) to PATH",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="open-loop serving: Poisson arrivals, SLO-aware admission, "
+        "failure episodes (event engine)",
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=("steady", "overload", "failure"),
+        default="steady",
+        help="preset: steady = under capacity; overload = arrivals exceed "
+        "service rate (sheds, bounded p99); failure = machine-offline "
+        "episodes mid-run (restarts from checkpoints)",
+    )
+    serve.add_argument("--rate", type=float, default=None, help="arrivals/s (overrides the preset)")
+    serve.add_argument("--horizon", type=float, default=None, help="arrival window in seconds")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--slots", type=int, default=2, help="concurrent execution slots")
+    serve.add_argument(
+        "--admission",
+        choices=("fifo", "edf", "watermark"),
+        default="edf",
+    )
+    serve.add_argument("--queue", type=int, default=4, help="admission queue bound")
+    serve.add_argument("--timeout", type=float, default=240.0, help="per-attempt timeout (s)")
+    serve.add_argument("--max-attempts", type=int, default=3, help="admission attempts incl. the first")
+    serve.add_argument("--restart-budget", type=int, default=2, help="failure-episode restarts per job")
+    serve.add_argument(
+        "--fast-fraction",
+        type=float,
+        default=0.5,
+        help="fast memory as a fraction of (largest template peak x slots)",
+    )
+    serve.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace (serve lane + per-job tracks) to PATH",
+    )
+    serve.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the canonical serve report JSON to PATH",
     )
 
     trace = sub.add_parser(
@@ -775,6 +824,83 @@ def _cmd_concurrent(args) -> int:
     return 0
 
 
+#: Serving scenario presets: (rate, horizon, episode config kwargs).
+SERVE_SCENARIOS = {
+    "steady": (0.2, 30.0, None),
+    "overload": (1.0, 30.0, None),
+    "failure": (0.3, 40.0, {"machine_mtbf": 6.0, "machine_mttr": 2.0}),
+}
+
+
+def _cmd_serve(args) -> int:
+    from repro.chaos import EpisodeConfig
+    from repro.harness.report import format_serve
+    from repro.serve import JobTemplate, PoissonArrivals, ServeConfig, Server
+
+    preset_rate, preset_horizon, episode_kwargs = SERVE_SCENARIOS[args.scenario]
+    rate = args.rate if args.rate is not None else preset_rate
+    horizon = args.horizon if args.horizon is not None else preset_horizon
+    episodes = None
+    if episode_kwargs is not None:
+        episodes = EpisodeConfig(
+            seed=args.seed, horizon=horizon, **episode_kwargs
+        )
+    mix = (
+        JobTemplate(
+            name="infer",
+            model="mobilenet",
+            policy="ial",
+            steps=1,
+            slo=15.0,
+            weight=4.0,
+        ),
+        JobTemplate(name="train", model="dcgan", policy="ial", steps=2, slo=60.0),
+    )
+    tracer = None
+    if args.trace:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
+    config = ServeConfig(
+        seed=args.seed,
+        slots=args.slots,
+        admission=args.admission,
+        queue_limit=args.queue,
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        restart_budget=args.restart_budget,
+        episodes=episodes,
+    )
+    server = Server(
+        PoissonArrivals(
+            rate=rate, horizon=horizon, templates=mix, seed=args.seed
+        ),
+        config,
+        platform=args.platform,
+        fast_fraction=args.fast_fraction,
+        tracer=tracer,
+    )
+    report = server.run()
+    print(
+        format_serve(
+            report,
+            title=f"serving — {args.scenario} scenario, rate {rate:g}/s, "
+            f"{args.admission} admission, seed {args.seed}",
+        )
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json(indent=2))
+            handle.write("\n")
+        print(f"report: {args.json}")
+    if tracer is not None:
+        from repro.obs import write_chrome
+
+        write_chrome(tracer.events, args.trace, process_name="serve")
+        print(f"trace: {len(tracer)} events -> {args.trace}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.harness.report import format_trace_summary
     from repro.obs import EventTracer, to_jsonl, write_chrome
@@ -969,6 +1095,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "pressure": _cmd_pressure,
         "concurrent": _cmd_concurrent,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "critpath": _cmd_critpath,
         "bench": _cmd_bench,

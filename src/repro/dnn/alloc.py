@@ -162,6 +162,19 @@ class Allocator:
         self.live_tensor_bytes -= tensor.nbytes
         return mapping
 
+    def release_all(self, now: float) -> None:
+        """Free every live tensor and return all pages to the machine.
+
+        Teardown entry point: a departing workload must hand its capacity
+        back to co-tenants even when tensors are still live (mid-step
+        interrupt, timeout).  Frees run in tensor-id order so teardown is
+        deterministic.  Arena-style subclasses override this to also
+        release slabs their ``free`` retains.
+        """
+        for mapping in sorted(self._mappings.values(), key=lambda m: m.tensor.tid):
+            self.free(mapping.tensor, now)
+        self._open.clear()
+
     # -------------------------------------------------------------- helpers
 
     def _fill_open_page(

@@ -401,6 +401,24 @@ class Executor:
         except StopIteration as stop:
             return stop.value
 
+    def teardown(self) -> None:
+        """Release every page this executor's allocator still maps.
+
+        Serving-scale churn needs jobs to *leave*: when a job completes,
+        times out, or dies in a machine-failure episode, its preallocated
+        tensors — and, after a mid-step interrupt, any step tensors still
+        live — must hand their fast/slow capacity back to co-tenants.
+        Frees go through :meth:`repro.mem.machine.Machine.unmap_run`, which
+        settles in-flight migrations first, so the invariant auditor stays
+        clean afterwards.
+
+        Policy hooks are deliberately *not* invoked: the policy dies with
+        the executor, and its bookkeeping (Sentinel phase state, interval
+        plans) may be mid-step-inconsistent after an interrupt.  Idempotent;
+        the executor must not run further steps after teardown.
+        """
+        self.allocator.release_all(self.clock.now)
+
     # -------------------------------------------------------------- helpers
 
     def _charge_stall(

@@ -239,9 +239,28 @@ def run_concurrent(
         raise ValueError("run_concurrent needs at least one workload")
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
-        raise ValueError(f"workload names must be unique, got {names!r}")
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(
+            f"workload names must be unique, got duplicates {duplicates!r} "
+            f"in {names!r} — give each WorkloadSpec its own name"
+        )
+    for spec in specs:
+        # WorkloadSpec is mutable; re-check here so a spec edited after
+        # construction still fails loudly instead of hanging the engine.
+        if spec.steps <= 0:
+            raise ValueError(
+                f"workload {spec.name!r}: steps must be positive, got "
+                f"{spec.steps!r}"
+            )
 
     graphs = [spec.build_graph() for spec in specs]
+    for spec, graph in zip(specs, graphs):
+        if not graph.layers:
+            raise ValueError(
+                f"workload {spec.name!r}: graph has no layers — nothing to "
+                f"execute (build_model output or a hand-built Graph must "
+                f"contain at least one layer)"
+            )
     if machine is None:
         if platform is None:
             from repro.mem.platforms import OPTANE_HM
@@ -289,6 +308,7 @@ def run_concurrent(
             name=spec.name,
         )
     engine.run()
+    engine.ensure_quiescent()
 
     channels = (
         machine.promote_channel,

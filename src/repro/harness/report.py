@@ -237,6 +237,44 @@ def format_pressure(extras: "dict[str, float]", title: str = "pressure") -> str:
     return "\n".join(lines)
 
 
+def format_serve(report, title: str = "serving report") -> str:
+    """Render a :class:`repro.serve.ServeReport` as a stable text block.
+
+    Headline latency/goodput/SLO figures first, then every lifecycle
+    counter in sorted order — zero-valued headline counters are printed
+    too, so reports diff line by line across runs.
+    """
+    headline = [
+        ("jobs", str(report.total_jobs)),
+        ("completed", str(report.completed)),
+        ("SLO met", str(report.slo_met)),
+        ("SLO attainment", f"{report.slo_attainment:.1%}"),
+        ("goodput (jobs/s)", f"{report.goodput:.4f}"),
+        ("latency p50 (s)", f"{report.p50:.4f}"),
+        ("latency p95 (s)", f"{report.p95:.4f}"),
+        ("latency p99 (s)", f"{report.p99:.4f}"),
+        ("latency mean (s)", f"{report.mean_latency:.4f}"),
+        ("makespan (s)", f"{report.makespan:.4f}"),
+        ("failure episodes", str(report.episodes)),
+    ]
+    always = (
+        "serve.arrivals",
+        "serve.admitted",
+        "serve.shed",
+        "serve.retry",
+        "serve.expired",
+        "serve.timeout",
+        "serve.restart",
+        "serve.failed",
+    )
+    counters = {key: report.counts.get(key, 0) for key in always}
+    counters.update(report.counts)
+    rows = headline + [
+        (key, str(value)) for key, value in sorted(counters.items())
+    ]
+    return format_table(("metric", "value"), rows, title=title)
+
+
 def format_summary(metrics) -> str:
     """Render one run's headline metrics, with a pressure section when
     the run carried a governor (``pressure.*`` keys in its extras)."""

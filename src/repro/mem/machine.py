@@ -125,6 +125,28 @@ class Machine:
             self.migration.governor = self.pressure
         self._dram_cache: Optional[DRAMCache] = None
         self.engine: Optional["Engine"] = None
+        #: whether the machine is currently serving work.  Failure episodes
+        #: (:class:`repro.chaos.EpisodeDriver`) flip this; the serving layer
+        #: checks it before dispatching jobs and interrupts in-flight ones
+        #: when it goes down.  Plain simulation paths never read it.
+        self.online = True
+
+    def set_online(self, online: bool, now: float) -> None:
+        """Flip machine availability (failure-episode support).
+
+        Emits a ``chaos``-category trace instant on transitions so outage
+        windows are visible in the timeline; idempotent repeats are silent.
+        """
+        if online == self.online:
+            return
+        self.online = online
+        if self.tracer is not None:
+            self.tracer.instant(
+                "machine-online" if online else "machine-offline",
+                "chaos",
+                ts=now,
+                track="chaos",
+            )
 
     def bind_engine(self, engine: "Engine") -> None:
         """Attach the machine's components to a discrete-event engine.

@@ -39,6 +39,7 @@ CATEGORIES = frozenset(
         "gpu",
         "pressure",
         "cluster",
+        "serve",
     }
 )
 

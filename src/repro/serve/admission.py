@@ -1,0 +1,177 @@
+"""Admission control at the cluster boundary.
+
+When jobs arrive faster than the machine completes them, *something* must
+give: either latency grows without bound (an unbounded queue) or excess
+load is refused early.  Admission policies make that call at two points:
+
+* **on arrival** — :meth:`AdmissionPolicy.admit` decides whether the job
+  enters the bounded queue or is shed (the server then applies
+  retry/backoff to shed jobs);
+* **on dispatch** — :meth:`AdmissionPolicy.select` picks which queued job
+  runs next when an execution slot frees up, and may *expire* jobs whose
+  deadline already passed (running them would waste the slot on a
+  guaranteed SLO miss).
+
+Policies are deliberately small, deterministic, and stateless beyond the
+queue the server owns: every decision is a pure function of (job, queue,
+machine occupancy, now), so a fixed seed replays the same shed/dispatch
+stream byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mem.machine import Machine
+    from repro.serve.server import Job
+
+__all__ = [
+    "AdmissionPolicy",
+    "FifoAdmission",
+    "EdfAdmission",
+    "WatermarkShedding",
+    "ADMISSION_POLICIES",
+    "make_admission",
+]
+
+
+class AdmissionPolicy:
+    """Base admission policy: a bounded FIFO queue, no other shedding.
+
+    Args:
+        queue_limit: maximum jobs waiting for a slot (>= 1); an arrival
+            finding the queue full is shed regardless of subclass logic —
+            the queue bound is the backstop that keeps waiting time (and
+            therefore admitted-job latency) finite under overload.
+    """
+
+    name = "fifo"
+
+    def __init__(self, queue_limit: int = 8) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit!r}")
+        self.queue_limit = queue_limit
+
+    def admit(self, job: "Job", queue: List["Job"], machine: "Machine", now: float) -> Tuple[bool, str]:
+        """Whether ``job`` may enter ``queue`` at ``now``.
+
+        Returns ``(admitted, reason)``; the reason string labels shed
+        events in traces and reports (``"queue-full"``, ``"watermark"``...).
+        """
+        if len(queue) >= self.queue_limit:
+            return False, "queue-full"
+        return True, "admitted"
+
+    def select(self, queue: List["Job"], now: float) -> Tuple[Optional["Job"], List["Job"]]:
+        """Pick the next job to dispatch from ``queue``.
+
+        Returns ``(job, expired)`` where ``job`` is removed from the queue
+        (``None`` if the queue is empty) and ``expired`` lists jobs the
+        policy dropped because their deadline already passed.  The base
+        policy is plain FIFO and never expires.
+        """
+        if not queue:
+            return None, []
+        return queue.pop(0), []
+
+
+class FifoAdmission(AdmissionPolicy):
+    """First-come-first-served with a bounded queue (the base behaviour)."""
+
+    name = "fifo"
+
+
+class EdfAdmission(AdmissionPolicy):
+    """Earliest-deadline-first dispatch with expiry at dispatch time.
+
+    Among queued jobs, the one whose SLO deadline is nearest runs first
+    (arrival order breaks ties, deterministically).  A job whose deadline
+    has already passed when a slot frees up is expired rather than run:
+    under overload this sacrifices jobs that are already lost to save ones
+    that can still meet their SLO — the classic EDF shed.
+    """
+
+    name = "edf"
+
+    def select(self, queue: List["Job"], now: float) -> Tuple[Optional["Job"], List["Job"]]:
+        expired = [job for job in queue if job.deadline <= now]
+        for job in expired:
+            queue.remove(job)
+        if not queue:
+            return None, expired
+        best = min(queue, key=lambda job: (job.deadline, job.arrival.index))
+        queue.remove(best)
+        return best, expired
+
+
+class WatermarkShedding(AdmissionPolicy):
+    """Load-shedding on fast-tier occupancy and queue depth watermarks.
+
+    Sheds arrivals *early* — before they consume queue space — once the
+    system shows distress on either axis:
+
+    * fast-tier occupancy at or above ``occupancy_high`` (the memory is the
+      bottleneck resource; admitting more jobs just deepens spill churn);
+    * queue depth at or above ``depth_fraction`` of the queue limit
+      (waiting time already threatens every queued job's SLO).
+
+    Dispatch order stays FIFO.  This is the serving-layer analogue of the
+    pressure governor's watermarks: refuse work at the boundary instead of
+    thrashing in the middle.
+    """
+
+    name = "watermark"
+
+    def __init__(
+        self,
+        queue_limit: int = 8,
+        occupancy_high: float = 0.95,
+        depth_fraction: float = 0.75,
+    ) -> None:
+        super().__init__(queue_limit=queue_limit)
+        if not 0.0 < occupancy_high <= 1.0:
+            raise ValueError(
+                f"occupancy_high must be in (0, 1], got {occupancy_high!r}"
+            )
+        if not 0.0 < depth_fraction <= 1.0:
+            raise ValueError(
+                f"depth_fraction must be in (0, 1], got {depth_fraction!r}"
+            )
+        self.occupancy_high = occupancy_high
+        self.depth_fraction = depth_fraction
+
+    def admit(self, job: "Job", queue: List["Job"], machine: "Machine", now: float) -> Tuple[bool, str]:
+        admitted, reason = super().admit(job, queue, machine, now)
+        if not admitted:
+            return admitted, reason
+        occupancy = (
+            machine.fast.used / machine.fast.capacity
+            if machine.fast.capacity > 0
+            else 1.0
+        )
+        if occupancy >= self.occupancy_high:
+            return False, "watermark-occupancy"
+        if len(queue) >= max(1, int(self.queue_limit * self.depth_fraction)):
+            return False, "watermark-depth"
+        return True, "admitted"
+
+
+#: Registry of admission policies by name (CLI ``--admission`` values).
+ADMISSION_POLICIES: Dict[str, Callable[..., AdmissionPolicy]] = {
+    "fifo": FifoAdmission,
+    "edf": EdfAdmission,
+    "watermark": WatermarkShedding,
+}
+
+
+def make_admission(name: str, queue_limit: int = 8) -> AdmissionPolicy:
+    """Build a registered admission policy by name."""
+    try:
+        factory = ADMISSION_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown admission policy {name!r}; available: "
+            f"{sorted(ADMISSION_POLICIES)}"
+        ) from None
+    return factory(queue_limit=queue_limit)

@@ -107,6 +107,7 @@ class BandwidthChannel:
         self.metrics = metrics
         self._next_free = 0.0
         self._busy_time = 0.0
+        self._blocked_time = 0.0
         self._bytes_moved = 0
         self._aborted_transfers = 0
         self._history: List[Transfer] = []
@@ -220,6 +221,42 @@ class BandwidthChannel:
             )
         return transfer
 
+    @property
+    def blocked_time(self) -> float:
+        """Total time the channel was held unavailable by failure episodes."""
+        return self._blocked_time
+
+    def block(self, now: float, duration: float) -> float:
+        """Hold the channel unavailable for ``duration`` seconds from ``now``.
+
+        Models a fabric blackout (a link flap, a switch reset on a
+        network-attached slow tier): no new transfer can *start* until the
+        blackout ends, so work queued behind it is pushed back exactly the
+        way a long transfer would push it — ``start = max(now, next_free)``
+        stays the only queueing rule.  In-flight transfers are unaffected
+        (their bytes already crossed the wire in the analytic model).
+
+        Returns the time at which the channel becomes available again.
+        """
+        if duration < 0.0:
+            raise ValueError(f"blackout duration must be >= 0, got {duration!r}")
+        start = max(now, self._next_free)
+        self._next_free = start + duration
+        self._blocked_time += duration
+        if self.tracer is not None:
+            self.tracer.complete(
+                "blackout",
+                "channel",
+                ts=start,
+                dur=duration,
+                track=self.name,
+                nbytes=0,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(f"channel.{self.name}.blackouts").add(1)
+            self.metrics.counter(f"channel.{self.name}.blocked_time").add(duration)
+        return self._next_free
+
     def backlog_at(self, when: float) -> float:
         """Seconds of already-queued work remaining at time ``when``."""
         return max(0.0, self._next_free - when)
@@ -248,6 +285,7 @@ class BandwidthChannel:
         """
         self._next_free = 0.0
         self._busy_time = 0.0
+        self._blocked_time = 0.0
         self._bytes_moved = 0
         self._aborted_transfers = 0
         self._history = []

@@ -50,6 +50,7 @@ __all__ = [
     "EngineError",
     "Event",
     "EventKind",
+    "Interrupt",
     "Process",
     "Resource",
     "Timeout",
@@ -60,6 +61,17 @@ __all__ = [
 
 class EngineError(RuntimeError):
     """Raised on scheduling bugs: past events, deadlocks, double resumes."""
+
+
+class Interrupt(Exception):
+    """Base class for exceptions thrown into a process via ``interrupt()``.
+
+    Subclass it per concern (a request timeout, a machine failure) so the
+    interrupted generator — or the code that owns it — can distinguish why
+    it was cancelled.  Any exception type works with
+    :meth:`Process.interrupt`; deriving from this class merely documents
+    the intent and lets handlers catch the whole family at once.
+    """
 
 
 class EventKind(enum.Enum):
@@ -77,6 +89,8 @@ class EventKind(enum.Enum):
             names the concern.
         PRESSURE: a pressure-governor action (reclaim, spill, watermark).
         STEP: workload lifecycle (cluster step/workload boundaries).
+        SERVE: serving-layer lifecycle (job arrival, admission, shedding,
+            retry, restart, completion — see :mod:`repro.serve`).
         CUSTOM: anything else a caller schedules.
     """
 
@@ -87,6 +101,7 @@ class EventKind(enum.Enum):
     FAULT = "fault"
     PRESSURE = "pressure"
     STEP = "step"
+    SERVE = "serve"
     CUSTOM = "custom"
 
 
@@ -154,6 +169,11 @@ class Process:
     The generator yields directives (a plain ``float``/``int`` is shorthand
     for :class:`Timeout`) and is resumed by the engine at the corresponding
     simulated instant.  Its ``return`` value is captured as :attr:`result`.
+
+    A waiting process can be cancelled from outside with :meth:`interrupt`:
+    the exception is thrown into the generator at its current yield point,
+    so ``try/except``/``finally`` blocks inside it run normally.  A process
+    terminated by an uncaught interrupt records it in :attr:`error`.
     """
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = "proc") -> None:
@@ -162,17 +182,50 @@ class Process:
         self.name = name
         self.done = False
         self.result: Any = None
+        #: the uncaught exception that terminated the process, if any
+        self.error: Optional[BaseException] = None
         self._waiting = False
+        #: the scheduled event that will resume this process (for cancel)
+        self._pending: Optional[Event] = None
+        #: the resource this process is queued on (or was just granted)
+        self._blocked: Optional["Resource"] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else ("waiting" if self._waiting else "ready")
         return f"Process({self.name!r}, {state})"
+
+    def waiting_on(self) -> str:
+        """Human-readable description of what the process is blocked on.
+
+        The deadlock diagnostics quote this, so it names the concrete
+        resource or event rather than just saying "waiting".
+        """
+        if self.done:
+            return "nothing (completed)"
+        if self._blocked is not None and self._pending is None:
+            resource = self._blocked
+            return (
+                f"resource {resource.name!r} "
+                f"({resource.in_use}/{resource.capacity} slots held, "
+                f"{resource.waiting} queued)"
+            )
+        if self._pending is not None:
+            event = self._pending
+            if event.cancelled:
+                return (
+                    f"cancelled {event.kind.value} event {event.name!r} "
+                    "that will never fire"
+                )
+            return f"{event.kind.value} event {event.name!r} at t={event.time:.9f}"
+        return "nothing (ready to run)"
 
     # The engine calls this to advance the generator to its next directive.
     def _step(self, value: Any = None) -> None:
         if self.done:
             raise EngineError(f"process {self.name!r} resumed after completion")
         self._waiting = False
+        self._pending = None
+        self._blocked = None
         try:
             directive = self.gen.send(value)
         except StopIteration as stop:
@@ -182,31 +235,83 @@ class Process:
             return
         self._dispatch(directive)
 
+    def interrupt(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at its current yield point.
+
+        The process is first detached from whatever it waits on — its
+        pending resume/grant event is cancelled, it is removed from any
+        resource wait queue, and an already-granted-but-undelivered slot is
+        returned — then the exception is delivered via ``generator.throw``.
+        Three outcomes:
+
+        * the generator catches ``exc`` and yields again — the process
+          continues with the new directive;
+        * the generator catches ``exc`` and returns — the process completes
+          normally with that return value;
+        * ``exc`` propagates out — the process terminates and records the
+          exception in :attr:`error` (it is not re-raised here; the caller
+          decided to cancel, so cancellation succeeding is not an error).
+
+        A *different* exception escaping the generator is a real bug in the
+        process body and is re-raised.
+        """
+        if self.done:
+            raise EngineError(
+                f"cannot interrupt process {self.name!r}: already completed"
+            )
+        if self._pending is not None:
+            self._pending.cancel()
+            if self._blocked is not None:
+                # A grant event was already scheduled: the slot is counted
+                # as held, so hand it back to the next waiter.
+                self._blocked.release()
+        elif self._blocked is not None:
+            self._blocked._remove_waiter(self)
+        self._pending = None
+        self._blocked = None
+        self._waiting = False
+        try:
+            directive = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self.engine._on_process_done(self)
+            return
+        except BaseException as err:
+            self.done = True
+            self.error = err
+            self.engine._on_process_done(self)
+            if err is not exc:
+                raise
+            return
+        self._dispatch(directive)
+
     def _dispatch(self, directive: Any) -> None:
         engine = self.engine
         self._waiting = True
         if isinstance(directive, (int, float)):
-            engine.schedule(
+            self._pending = engine.schedule(
                 float(directive),
                 EventKind.RESUME,
                 name=self.name,
                 callback=lambda _ev: self._step(),
             )
         elif isinstance(directive, Timeout):
-            engine.schedule(
+            self._pending = engine.schedule(
                 directive.delay,
                 EventKind.RESUME,
                 name=self.name,
                 callback=lambda _ev: self._step(),
             )
         elif isinstance(directive, WaitUntil):
-            engine.schedule_at(
+            self._pending = engine.schedule_at(
                 directive.when,
                 EventKind.RESUME,
                 name=self.name,
                 callback=lambda _ev: self._step(),
             )
         elif isinstance(directive, Acquire):
+            self._blocked = directive.resource
             directive.resource._enqueue(self, directive.priority)
         else:
             raise EngineError(
@@ -267,13 +372,23 @@ class Resource:
             _, _, process = heapq.heappop(self._waiters)
             self.in_use += 1
             self.grants += 1
-            engine.schedule(
+            event = engine.schedule(
                 0.0,
                 EventKind.GRANT,
                 name=self.name,
                 payload={"resource": self, "process": process},
                 callback=lambda _ev, p=process: p._step(self),
             )
+            # Record the grant on the process so interrupt() can cancel the
+            # delivery and return the slot (_blocked stays set to us).
+            process._pending = event
+
+    def _remove_waiter(self, process: Process) -> None:
+        """Drop ``process`` from the wait queue (interrupt support)."""
+        remaining = [entry for entry in self._waiters if entry[2] is not process]
+        if len(remaining) != len(self._waiters):
+            self._waiters = remaining
+            heapq.heapify(self._waiters)
 
     def release(self) -> None:
         """Return one slot; the next waiter (if any) is granted it."""
@@ -490,14 +605,39 @@ class Engine:
         transfer finishing after a step ends is next step's business).
         Raises :class:`EngineError` if the queue drains first — that is a
         deadlock: the process waits on something nobody will ever fire.
+        The error names every stuck process and what it is blocked on.
         """
         while not proc.done:
             if self.step() is None:
                 raise EngineError(
                     f"event queue drained but process {proc.name!r} never "
-                    "completed (deadlocked on a resource or external event?)"
+                    f"completed — deadlock: {self._stuck_report()}"
                 )
         return proc.result
+
+    def _stuck_report(self) -> str:
+        """One line per unfinished process naming its blocking condition."""
+        if not self._processes:
+            return "no processes remain (completed process resumed?)"
+        return "; ".join(
+            f"process {proc.name!r} is waiting on {proc.waiting_on()}"
+            for proc in self._processes
+        )
+
+    def ensure_quiescent(self) -> None:
+        """Raise :class:`EngineError` if any spawned process never finished.
+
+        :meth:`run` returns silently once the event queue drains, even when
+        processes remain blocked on resources or cancelled events — callers
+        that expect every process to complete (the cluster and serving
+        harnesses) call this afterwards to turn a silent partial run into a
+        diagnosable failure naming each stuck process.
+        """
+        if self._processes:
+            raise EngineError(
+                f"event queue drained with {len(self._processes)} unfinished "
+                f"process(es) — deadlock: {self._stuck_report()}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -166,3 +166,61 @@ class TestStallAccounting:
         executor = Executor(graph, Machine(OPTANE_HM), Bad())
         with pytest.raises(ExecutionError):
             executor.run_step()
+
+
+class TestTeardown:
+    def test_returns_all_memory_after_a_step(self):
+        executor, machine, _ = run_once()
+        assert machine.fast.used + machine.slow.used > 0
+        executor.teardown()
+        assert machine.fast.used == 0
+        assert machine.slow.used == 0
+        assert len(machine.page_table) == 0
+
+    def test_arena_allocator_releases_its_slabs(self):
+        # ial's arena retains pages across free() by design; teardown must
+        # still hand every slab back to the machine.
+        from repro.baselines.registry import make_policy
+        from repro.chaos import InvariantAuditor
+
+        machine = Machine(OPTANE_HM)
+        executor = Executor(two_layer_graph(), machine, make_policy("ial"))
+        executor.run_step()
+        executor.teardown()
+        assert machine.fast.used == 0 and machine.slow.used == 0
+        assert len(machine.page_table) == 0
+        assert InvariantAuditor(machine).audit() is None
+
+    def test_teardown_is_idempotent(self):
+        executor, machine, _ = run_once()
+        executor.teardown()
+        executor.teardown()
+        assert machine.fast.used == 0 and machine.slow.used == 0
+
+    def test_teardown_mid_step_settles_in_flight_state(self):
+        from repro.baselines.registry import make_policy
+        from repro.chaos import InvariantAuditor
+        from repro.sim.engine import Engine, Interrupt
+
+        engine = Engine()
+        machine = Machine(OPTANE_HM)
+        executor = Executor(
+            two_layer_graph(), machine, make_policy("ial"), engine=engine
+        )
+
+        def body():
+            try:
+                yield from executor.step_process()
+            except Interrupt:
+                pass
+
+        proc = engine.process(body(), name="job")
+        full = Executor(two_layer_graph(), Machine(OPTANE_HM), make_policy("ial"))
+        duration = full.run_step().duration
+        engine.run(until=duration / 2)
+        assert not proc.done
+        proc.interrupt(Interrupt("cancelled mid-step"))
+        executor.teardown()
+        assert machine.fast.used == 0 and machine.slow.used == 0
+        assert len(machine.page_table) == 0
+        assert InvariantAuditor(machine).audit() is None

@@ -127,6 +127,40 @@ class TestDeterminism:
         _, chaotic = self.run_traced(chaos_seed=11)
         assert clean != chaotic
 
+    def test_chaos_determinism_holds_across_three_runs(self):
+        digests = {self.run_traced(chaos_seed=23)[1] for _ in range(3)}
+        assert len(digests) == 1
+
+    def test_chaos_trace_tracks_stay_well_formed(self):
+        """Under chaos each workload's track still closes every span it
+        opens, in nesting order — chaos perturbs timing, not structure."""
+        from repro.obs.query import TraceQuery
+
+        injector = FaultInjector(ChaosConfig.uniform(0.2, seed=11))
+        tracer = EventTracer()
+        machine = Machine.for_platform(
+            OPTANE_HM.with_fast_capacity(matched_capacity()),
+            injector=injector,
+            tracer=tracer,
+            pressure=DEFAULT_CLUSTER_PRESSURE,
+        )
+        run_concurrent(cluster_specs(), machine=machine, tracer=tracer)
+        query = TraceQuery(tracer.events)
+        for spec in cluster_specs():
+            events = [e for e in tracer.events if e.track == spec.name]
+            assert events, spec.name
+            begins = sum(1 for e in events if e.ph == "B")
+            ends = sum(1 for e in events if e.ph == "E")
+            assert begins == ends, spec.name
+            step_spans = [
+                s
+                for s in query.spans(cat="step")
+                if s.track == spec.name and s.name == "step"
+            ]
+            # Every configured step closed, despite injected faults.
+            assert len(step_spans) == 4
+            assert all(s.end >= s.start for s in step_spans)
+
     def test_workload_tracks_are_separated_in_the_trace(self):
         tracer = EventTracer()
         run_concurrent(cluster_specs(), fast_fraction=0.2, tracer=tracer)
@@ -154,6 +188,31 @@ class TestValidation:
         ]
         with pytest.raises(ValueError, match="unique"):
             run_concurrent(specs)
+
+    def test_duplicate_names_are_listed_in_the_error(self):
+        specs = [
+            WorkloadSpec(name="twin", model="dcgan"),
+            WorkloadSpec(name="twin", model="lstm"),
+            WorkloadSpec(name="solo", model="dcgan"),
+        ]
+        with pytest.raises(ValueError, match="'twin'"):
+            run_concurrent(specs)
+
+    def test_steps_mutated_after_construction_still_rejected(self):
+        spec = WorkloadSpec(name="w", model="dcgan")
+        spec.steps = 0
+        with pytest.raises(ValueError, match="steps must be positive"):
+            run_concurrent([spec])
+
+    def test_empty_graph_rejected(self):
+        # GraphBuilder.finish() refuses empty graphs, so a hand-built Graph
+        # is the only way one reaches the harness — it must still fail with
+        # the harness's own actionable message, not hang the engine.
+        from repro.dnn.graph import Graph
+
+        empty = Graph(name="empty", batch_size=1, layers=[], tensors=[])
+        with pytest.raises(ValueError, match="no layers"):
+            run_concurrent([WorkloadSpec(name="w", graph=empty)])
 
     def test_empty_workload_list_rejected(self):
         with pytest.raises(ValueError, match="at least one"):

@@ -1,0 +1,116 @@
+"""Admission policies: bounded queue, EDF expiry, watermark shedding."""
+
+import pytest
+
+from repro.mem.machine import Machine
+from repro.mem.platforms import OPTANE_HM
+from repro.serve.admission import (
+    ADMISSION_POLICIES,
+    EdfAdmission,
+    FifoAdmission,
+    WatermarkShedding,
+    make_admission,
+)
+from repro.serve.arrivals import Arrival, JobTemplate
+from repro.serve.server import Job
+
+
+def job(index=0, arrival=0.0, slo=1.0):
+    t = JobTemplate(name="t", model="mobilenet", slo=slo)
+    return Job(Arrival(time=arrival, template=t, index=index))
+
+
+def machine():
+    return Machine.for_platform(OPTANE_HM)
+
+
+class TestFifo:
+    def test_queue_full_sheds(self):
+        policy = FifoAdmission(queue_limit=2)
+        queue = [job(0), job(1)]
+        ok, reason = policy.admit(job(2), queue, machine(), 0.0)
+        assert not ok and reason == "queue-full"
+
+    def test_admits_below_limit(self):
+        policy = FifoAdmission(queue_limit=2)
+        ok, reason = policy.admit(job(0), [], machine(), 0.0)
+        assert ok and reason == "admitted"
+
+    def test_select_is_fifo(self):
+        policy = FifoAdmission(queue_limit=4)
+        queue = [job(0), job(1), job(2)]
+        picked, expired = policy.select(queue, 0.0)
+        assert picked.arrival.index == 0
+        assert expired == []
+        assert [j.arrival.index for j in queue] == [1, 2]
+
+    def test_empty_queue(self):
+        picked, expired = FifoAdmission().select([], 0.0)
+        assert picked is None and expired == []
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError, match="queue_limit"):
+            FifoAdmission(queue_limit=0)
+
+
+class TestEdf:
+    def test_selects_earliest_deadline(self):
+        policy = EdfAdmission(queue_limit=4)
+        # Same arrival instant, different SLOs: tightest deadline first.
+        loose, tight = job(0, arrival=0.0, slo=9.0), job(1, arrival=0.0, slo=1.0)
+        queue = [loose, tight]
+        picked, _ = policy.select(queue, 0.0)
+        assert picked is tight
+        assert queue == [loose]
+
+    def test_arrival_order_breaks_deadline_ties(self):
+        policy = EdfAdmission(queue_limit=4)
+        first, second = job(0, arrival=0.0, slo=1.0), job(1, arrival=0.0, slo=1.0)
+        picked, _ = policy.select([second, first], 0.0)
+        assert picked is first
+
+    def test_expires_dead_jobs_at_dispatch(self):
+        policy = EdfAdmission(queue_limit=4)
+        dead = job(0, arrival=0.0, slo=1.0)
+        alive = job(1, arrival=0.0, slo=10.0)
+        queue = [dead, alive]
+        picked, expired = policy.select(queue, now=5.0)
+        assert picked is alive
+        assert expired == [dead]
+        assert queue == []
+
+
+class TestWatermark:
+    def test_sheds_on_occupancy(self):
+        policy = WatermarkShedding(queue_limit=4, occupancy_high=0.5)
+        m = machine()
+        m.fast.allocate(m.fast.capacity // 2 + m.page_size)
+        ok, reason = policy.admit(job(0), [], m, 0.0)
+        assert not ok and reason == "watermark-occupancy"
+
+    def test_sheds_on_queue_depth(self):
+        policy = WatermarkShedding(queue_limit=4, depth_fraction=0.5)
+        ok, reason = policy.admit(job(9), [job(0), job(1)], machine(), 0.0)
+        assert not ok and reason == "watermark-depth"
+
+    def test_admits_when_healthy(self):
+        policy = WatermarkShedding(queue_limit=4)
+        ok, reason = policy.admit(job(0), [], machine(), 0.0)
+        assert ok and reason == "admitted"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="occupancy_high"):
+            WatermarkShedding(occupancy_high=0.0)
+        with pytest.raises(ValueError, match="depth_fraction"):
+            WatermarkShedding(depth_fraction=1.5)
+
+
+class TestRegistry:
+    def test_all_registered_policies_build(self):
+        for name in ADMISSION_POLICIES:
+            policy = make_admission(name, queue_limit=3)
+            assert policy.queue_limit == 3
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="available"):
+            make_admission("nope")

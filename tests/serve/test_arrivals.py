@@ -1,0 +1,108 @@
+"""Arrival schedules: validation, determinism, trace replay."""
+
+import pytest
+
+from repro.serve.arrivals import JobTemplate, PoissonArrivals, TraceArrivals
+
+
+def template(name="t", **kwargs):
+    kwargs.setdefault("model", "mobilenet")
+    return JobTemplate(name=name, **kwargs)
+
+
+class TestJobTemplate:
+    def test_needs_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            JobTemplate(name="t")
+        from repro.models.zoo import build_model
+
+        with pytest.raises(ValueError, match="exactly one"):
+            JobTemplate(name="t", model="dcgan", graph=build_model("dcgan"))
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(ValueError, match="steps"):
+            template(steps=0)
+        with pytest.raises(ValueError, match="slo"):
+            template(slo=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            template(weight=-1.0)
+
+    def test_builds_a_fresh_graph(self):
+        t = template()
+        assert t.build_graph() is not t.build_graph()
+
+
+class TestPoissonArrivals:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(rate=0.0, horizon=1.0, templates=(template(),))
+        with pytest.raises(ValueError, match="horizon"):
+            PoissonArrivals(rate=1.0, horizon=0.0, templates=(template(),))
+        with pytest.raises(ValueError, match="at least one"):
+            PoissonArrivals(rate=1.0, horizon=1.0, templates=())
+        with pytest.raises(ValueError, match="unique"):
+            PoissonArrivals(
+                rate=1.0, horizon=1.0, templates=(template("a"), template("a"))
+            )
+
+    def test_schedule_is_deterministic(self):
+        cfg = dict(rate=50.0, horizon=1.0, templates=(template(),), seed=3)
+        assert PoissonArrivals(**cfg).schedule() == PoissonArrivals(**cfg).schedule()
+
+    def test_seed_changes_schedule(self):
+        a = PoissonArrivals(rate=50.0, horizon=1.0, templates=(template(),), seed=1)
+        b = PoissonArrivals(rate=50.0, horizon=1.0, templates=(template(),), seed=2)
+        assert a.schedule() != b.schedule()
+
+    def test_times_sorted_and_bounded(self):
+        arrivals = PoissonArrivals(
+            rate=100.0, horizon=0.5, templates=(template(),), seed=5
+        ).schedule()
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 0.5 for t in times)
+        assert [a.index for a in arrivals] == list(range(len(arrivals)))
+
+    def test_mix_draws_are_independent_of_arrival_times(self):
+        # Adding a template must not shift *when* jobs arrive, only which
+        # template each arrival draws.
+        one = PoissonArrivals(
+            rate=100.0, horizon=0.5, templates=(template("a"),), seed=5
+        ).schedule()
+        two = PoissonArrivals(
+            rate=100.0,
+            horizon=0.5,
+            templates=(template("a"), template("b", weight=2.0)),
+            seed=5,
+        ).schedule()
+        assert [a.time for a in one] == [a.time for a in two]
+        assert {a.template.name for a in two} == {"a", "b"}
+
+    def test_rate_scales_volume(self):
+        slow = PoissonArrivals(
+            rate=10.0, horizon=2.0, templates=(template(),), seed=5
+        ).schedule()
+        fast = PoissonArrivals(
+            rate=100.0, horizon=2.0, templates=(template(),), seed=5
+        ).schedule()
+        assert len(fast) > len(slow) * 4
+
+
+class TestTraceArrivals:
+    def test_replays_exact_times(self):
+        t = template()
+        arrivals = TraceArrivals(
+            trace=((0.0, "t"), (0.25, "t"), (0.25, "t")), templates=(t,)
+        ).schedule()
+        assert [a.time for a in arrivals] == [0.0, 0.25, 0.25]
+        assert [a.job_name for a in arrivals] == ["t#0", "t#1", "t#2"]
+
+    def test_rejects_unknown_template(self):
+        with pytest.raises(ValueError, match="unknown template"):
+            TraceArrivals(trace=((0.0, "ghost"),), templates=(template(),))
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceArrivals(
+                trace=((1.0, "t"), (0.5, "t")), templates=(template(),)
+            )

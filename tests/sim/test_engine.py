@@ -359,3 +359,235 @@ class TestDeterminism:
 
         engine.run_until_complete(engine.process(worker()))
         assert engine.now == clock.now
+
+
+class TestInterrupt:
+    def test_catch_and_continue(self):
+        from repro.sim.engine import Interrupt
+
+        engine = Engine()
+        trail = []
+
+        def work():
+            try:
+                yield 10.0
+            except Interrupt:
+                trail.append(("caught", engine.now))
+            yield 1.0
+            trail.append(("done", engine.now))
+
+        proc = engine.process(work(), name="w")
+        engine.schedule(2.0, callback=lambda _ev: proc.interrupt(Interrupt()))
+        engine.run()
+        assert proc.done and proc.error is None
+        assert trail == [("caught", 2.0), ("done", 3.0)]
+
+    def test_catch_and_return(self):
+        from repro.sim.engine import Interrupt
+
+        engine = Engine()
+
+        def work():
+            try:
+                yield 10.0
+            except Interrupt:
+                return "cancelled"
+            return "finished"
+
+        proc = engine.process(work(), name="w")
+        engine.schedule(1.0, callback=lambda _ev: proc.interrupt(Interrupt()))
+        engine.run()
+        assert proc.done
+        assert proc.result == "cancelled"
+        assert proc.error is None
+
+    def test_uncaught_interrupt_records_error(self):
+        from repro.sim.engine import Interrupt
+
+        engine = Engine()
+
+        def work():
+            yield 10.0
+
+        proc = engine.process(work(), name="w")
+        engine.schedule(1.0, callback=lambda _ev: proc.interrupt(Interrupt("boom")))
+        engine.run()
+        assert proc.done
+        assert isinstance(proc.error, Interrupt)
+
+    def test_pending_resume_event_is_cancelled(self):
+        from repro.sim.engine import Interrupt
+
+        engine = Engine()
+        resumed = []
+
+        def work():
+            yield 10.0
+            resumed.append(engine.now)
+
+        proc = engine.process(work(), name="w")
+        engine.schedule(1.0, callback=lambda _ev: proc.interrupt(Interrupt()))
+        engine.run()
+        # The original resume-at-t=10 must not fire: time never reaches it.
+        assert resumed == []
+        assert engine.now == 1.0
+
+    def test_interrupted_waiter_leaves_resource_queue(self):
+        from repro.sim.engine import Interrupt
+
+        engine = Engine()
+        gate = Resource("gate")
+        trail = []
+
+        def holder():
+            yield Acquire(gate)
+            yield 5.0
+            gate.release()
+
+        def waiter(name):
+            yield Acquire(gate)
+            trail.append((name, engine.now))
+            gate.release()
+
+        engine.process(holder(), name="holder")
+        victim = engine.process(waiter("victim"), name="victim")
+        engine.process(waiter("lucky"), name="lucky")
+        engine.schedule(1.0, callback=lambda _ev: victim.interrupt(Interrupt()))
+        engine.run()
+        # The victim was first in the FIFO queue; once interrupted, the
+        # grant must go to the remaining waiter instead.
+        assert trail == [("lucky", 5.0)]
+        assert isinstance(victim.error, Interrupt)
+        assert gate.in_use == 0
+
+    def test_granted_but_undelivered_slot_is_returned(self):
+        from repro.sim.engine import Interrupt
+
+        engine = Engine()
+        gate = Resource("gate")
+        trail = []
+
+        def holder():
+            yield Acquire(gate)
+            yield 1.0
+            gate.release()
+
+        def waiter(name):
+            yield Acquire(gate)
+            trail.append(name)
+            gate.release()
+
+        engine.process(holder(), name="holder")
+        victim = engine.process(waiter("victim"), name="victim")
+        engine.process(waiter("lucky"), name="lucky")
+        # At t=1.0 the release schedules the victim's GRANT event; interrupt
+        # it at the same instant, before the grant delivers.
+        engine.schedule(
+            1.0, callback=lambda _ev: victim.interrupt(Interrupt())
+        )
+        engine.run()
+        assert trail == ["lucky"]
+        assert gate.in_use == 0
+
+    def test_interrupting_a_done_process_raises(self):
+        from repro.sim.engine import Interrupt
+
+        engine = Engine()
+
+        def quick():
+            yield 0.5
+
+        proc = engine.process(quick(), name="q")
+        engine.run()
+        with pytest.raises(EngineError, match="already completed"):
+            proc.interrupt(Interrupt())
+
+    def test_unrelated_exception_from_generator_is_reraised(self):
+        from repro.sim.engine import Interrupt
+
+        engine = Engine()
+
+        def buggy():
+            try:
+                yield 10.0
+            except Interrupt:
+                raise RuntimeError("cleanup bug")
+
+        proc = engine.process(buggy(), name="b")
+        with pytest.raises(RuntimeError, match="cleanup bug"):
+            proc.interrupt(Interrupt())
+        assert proc.done
+
+
+class TestDiagnostics:
+    def test_waiting_on_names_the_resource(self):
+        engine = Engine()
+        gate = Resource("the-gate")
+
+        def holder():
+            yield Acquire(gate)
+            yield 10.0
+
+        def blocked():
+            yield Acquire(gate)
+
+        engine.process(holder(), name="holder")
+        proc = engine.process(blocked(), name="blocked")
+        assert "the-gate" in proc.waiting_on()
+        assert "1/1 slots held" in proc.waiting_on()
+
+    def test_waiting_on_names_the_pending_event(self):
+        engine = Engine()
+
+        def sleeper():
+            yield 3.5
+
+        proc = engine.process(sleeper(), name="s")
+        desc = proc.waiting_on()
+        assert "resume" in desc and "3.5" in desc
+
+    def test_deadlock_report_names_every_stuck_process(self):
+        engine = Engine()
+        gate = Resource("shared-channel")
+
+        def holder():
+            yield Acquire(gate)
+            yield 1.0  # never releases
+
+        def blocked():
+            yield Acquire(gate)
+
+        engine.process(holder(), name="greedy")
+        proc = engine.process(blocked(), name="starved")
+        with pytest.raises(EngineError) as err:
+            engine.run_until_complete(proc)
+        message = str(err.value)
+        assert "starved" in message
+        assert "shared-channel" in message
+
+    def test_ensure_quiescent_passes_when_all_complete(self):
+        engine = Engine()
+
+        def quick():
+            yield 0.1
+
+        engine.process(quick(), name="q")
+        engine.run()
+        engine.ensure_quiescent()  # must not raise
+
+    def test_ensure_quiescent_raises_on_stuck_process(self):
+        engine = Engine()
+        gate = Resource("stuck-gate")
+
+        def holder():
+            yield Acquire(gate)
+            yield 1.0
+
+        def blocked():
+            yield Acquire(gate)
+
+        engine.process(holder(), name="h")
+        engine.process(blocked(), name="waiter")
+        engine.run()  # drains silently: waiter still queued on the gate
+        with pytest.raises(EngineError, match="stuck-gate"):
+            engine.ensure_quiescent()

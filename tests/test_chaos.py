@@ -518,3 +518,189 @@ class TestAuditorReservedChecks:
         machine.fast.reserve(machine.page_size)
         with pytest.raises(ValueError):
             machine.fast.unreserve(2 * machine.page_size)
+
+
+class TestEpisodeValidation:
+    def test_unknown_kind_rejected(self):
+        from repro.chaos import Episode
+
+        with pytest.raises(ValueError, match="unknown episode kind"):
+            Episode("meteor-strike", start=0.0, duration=1.0)
+
+    def test_bad_times_rejected(self):
+        from repro.chaos import Episode
+
+        with pytest.raises(ValueError, match="start"):
+            Episode("machine-offline", start=-1.0, duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            Episode("machine-offline", start=0.0, duration=0.0)
+
+    def test_blackout_needs_target_and_capacity_needs_frames(self):
+        from repro.chaos import Episode
+
+        with pytest.raises(ValueError, match="target channel"):
+            Episode("channel-blackout", start=0.0, duration=1.0)
+        with pytest.raises(ValueError, match="frames"):
+            Episode("capacity-loss", start=0.0, duration=1.0)
+
+    def test_end_is_start_plus_duration(self):
+        from repro.chaos import Episode
+
+        ep = Episode("machine-offline", start=2.0, duration=0.5)
+        assert ep.end == 2.5
+
+    def test_config_validation(self):
+        from repro.chaos import EpisodeConfig
+
+        with pytest.raises(ValueError, match="horizon"):
+            EpisodeConfig(horizon=0.0)
+        with pytest.raises(ValueError, match="machine_mtbf"):
+            EpisodeConfig(machine_mtbf=-1.0)
+        with pytest.raises(ValueError, match="capacity_frames"):
+            EpisodeConfig(capacity_frames=0)
+
+    def test_config_enabled_only_with_a_positive_mtbf(self):
+        from repro.chaos import EpisodeConfig
+
+        assert not EpisodeConfig().enabled
+        assert EpisodeConfig(machine_mtbf=1.0).enabled
+        assert EpisodeConfig(blackout_mtbf=1.0).enabled
+        assert EpisodeConfig(capacity_mtbf=1.0).enabled
+
+
+class TestEpisodeGeneration:
+    def _config(self, seed=3):
+        from repro.chaos import EpisodeConfig
+
+        return EpisodeConfig(
+            seed=seed,
+            horizon=10.0,
+            machine_mtbf=1.0,
+            machine_mttr=0.2,
+            blackout_mtbf=1.5,
+            blackout_mttr=0.1,
+            capacity_mtbf=2.0,
+            capacity_mttr=0.3,
+        )
+
+    def test_same_seed_same_timeline(self):
+        from repro.chaos import generate_episodes
+
+        assert generate_episodes(self._config()) == generate_episodes(
+            self._config()
+        )
+
+    def test_different_seed_different_timeline(self):
+        from repro.chaos import generate_episodes
+
+        assert generate_episodes(self._config(1)) != generate_episodes(
+            self._config(2)
+        )
+
+    def test_episodes_sorted_and_within_horizon(self):
+        from repro.chaos import generate_episodes
+
+        episodes = generate_episodes(self._config())
+        starts = [ep.start for ep in episodes]
+        assert starts == sorted(starts)
+        assert all(0.0 <= ep.start < 10.0 for ep in episodes)
+
+    def test_same_concern_episodes_never_overlap(self):
+        from repro.chaos import generate_episodes
+
+        episodes = generate_episodes(self._config())
+        by_kind = {}
+        for ep in episodes:
+            by_kind.setdefault(ep.kind, []).append(ep)
+        assert len(by_kind) == 3  # all three concerns drew episodes
+        for kind, eps in by_kind.items():
+            for prev, cur in zip(eps, eps[1:]):
+                assert prev.end <= cur.start, kind
+
+    def test_disabled_config_generates_nothing(self):
+        from repro.chaos import EpisodeConfig, generate_episodes
+
+        assert generate_episodes(EpisodeConfig()) == []
+
+
+class TestEpisodeDriver:
+    def _run(self, episodes, machine=None):
+        from repro.chaos import EpisodeDriver
+        from repro.sim.engine import Engine
+
+        machine = machine if machine is not None else Machine(OPTANE_HM)
+        engine = Engine()
+        machine.bind_engine(engine)
+        driver = EpisodeDriver(machine, episodes)
+        driver.arm(engine)
+        return machine, engine, driver
+
+    def test_machine_offline_flips_online_flag(self):
+        from repro.chaos import Episode
+
+        ep = Episode("machine-offline", start=1.0, duration=0.5)
+        machine, engine, driver = self._run([ep])
+        assert machine.online
+        engine.run(until=1.25)
+        assert not machine.online
+        engine.run()
+        assert machine.online
+        assert driver.counts["chaos.episode.machine-offline"] == 1
+
+    def test_blackout_pushes_channel_next_free(self):
+        from repro.chaos import Episode
+
+        ep = Episode("channel-blackout", start=0.5, duration=2.0, target="promote")
+        machine, engine, _ = self._run([ep])
+        engine.run(until=0.75)
+        channel = machine.promote_channel
+        assert channel.next_free >= 2.5
+        assert channel.blocked_time == 2.0
+
+    def test_capacity_loss_reserves_then_restores(self):
+        from repro.chaos import Episode
+
+        machine = Machine(OPTANE_HM)
+        frames = 4
+        ep = Episode("capacity-loss", start=1.0, duration=1.0, frames=frames)
+        machine, engine, _ = self._run([ep], machine)
+        engine.run(until=1.5)
+        assert machine.fast.reserved == frames * machine.page_size
+        engine.run()
+        assert machine.fast.reserved == 0
+
+    def test_capacity_loss_clamps_to_free_space(self):
+        from repro.chaos import Episode
+
+        machine = Machine.for_platform(
+            OPTANE_HM, fast_capacity=4 * OPTANE_HM.page_size
+        )
+        machine.fast.allocate(3 * machine.page_size)
+        ep = Episode("capacity-loss", start=0.5, duration=1.0, frames=100)
+        machine, engine, _ = self._run([ep], machine)
+        engine.run(until=0.75)
+        # Only one frame was free; resident data must survive.
+        assert machine.fast.reserved == machine.page_size
+        engine.run()
+        assert machine.fast.reserved == 0
+
+    def test_unknown_blackout_target_rejected_up_front(self):
+        from repro.chaos import Episode, EpisodeDriver
+
+        ep = Episode("channel-blackout", start=0.0, duration=1.0, target="warp")
+        with pytest.raises(ValueError, match="unknown channel"):
+            EpisodeDriver(Machine(OPTANE_HM), [ep])
+
+    def test_begin_and_end_fire_as_fault_events(self):
+        from repro.chaos import Episode
+        from repro.sim.engine import EventKind
+
+        ep = Episode("machine-offline", start=1.0, duration=0.5)
+        machine, engine, _ = self._run([ep])
+        phases = []
+        engine.subscribe(
+            EventKind.FAULT,
+            lambda ev: phases.append((ev.payload["phase"], ev.time)),
+        )
+        engine.run()
+        assert phases == [("begin", 1.0), ("end", 1.5)]
