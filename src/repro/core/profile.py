@@ -12,8 +12,11 @@ so it is deliberately a plain data structure with query helpers.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import accel
 
 
 @dataclass
@@ -52,6 +55,19 @@ class TensorProfile:
     def access_layers(self) -> Tuple[int, ...]:
         return tuple(sorted(self.touches_by_layer))
 
+    def _sorted_touch_layers(self) -> Tuple[int, ...]:
+        """Sorted touch layers, cached once queries begin.
+
+        The cache is built on first use; planning queries only start after
+        the profiler has finalized the record, so the touch set is stable
+        by then (the scalar path never caches and tolerates mutation).
+        """
+        cached = self.__dict__.get("_touch_cache")
+        if cached is None:
+            cached = tuple(sorted(self.touches_by_layer))
+            self.__dict__["_touch_cache"] = cached
+        return cached
+
     def lifetime_key(self) -> Tuple[int, Optional[int]]:
         """Co-allocation grouping key: tensors sharing it live in the exact
         same layers (paper §IV-B rule 2/3)."""
@@ -59,10 +75,18 @@ class TensorProfile:
 
     def next_touch_after(self, layer: int) -> Optional[int]:
         """First layer strictly after ``layer`` that touches the tensor."""
+        if accel.vectorized_enabled():
+            layers = self._sorted_touch_layers()
+            index = bisect_right(layers, layer)
+            return layers[index] if index < len(layers) else None
         later = [l for l in self.touches_by_layer if l > layer]
         return min(later) if later else None
 
     def touched_in(self, first_layer: int, last_layer: int) -> bool:
+        if accel.vectorized_enabled():
+            layers = self._sorted_touch_layers()
+            index = bisect_right(layers, first_layer - 1)
+            return index < len(layers) and layers[index] <= last_layer
         return any(
             first_layer <= l <= last_layer for l in self.touches_by_layer
         )
@@ -238,6 +262,89 @@ class Profile:
             self.tensors.values(), key=lambda t: (-t.total_touches, t.tid)
         )
         return {t.tid: rank for rank, t in enumerate(ordered)}
+
+    def plan_index(self) -> "PlanIndex":
+        """The cached numpy index the vectorized planner works from.
+
+        Built lazily on first use and memoized on the profile; planning
+        only begins after the profiler finalizes, so the underlying tensor
+        records are stable by then.
+        """
+        cached = self.__dict__.get("_plan_index")
+        if cached is None:
+            cached = PlanIndex(self)
+            self.__dict__["_plan_index"] = cached
+        return cached
+
+
+class PlanIndex:
+    """Array view of a :class:`Profile` for vectorized interval planning.
+
+    The interval performance model asks the same two questions for every
+    candidate interval length: "how many long-lived bytes does each
+    interval touch" (``Tensor_i``, Eq. 1) and "what is each interval's peak
+    short-lived reservation" (``RS``, Eq. 1).  The scalar planner answers
+    them by re-scanning every tensor's touch set per interval — O(layers x
+    tensors) per candidate.  This index flattens the profile once into
+    ``(tensor, touch-layer)`` pair arrays so each candidate is answered
+    with integer array arithmetic, which is exact regardless of evaluation
+    order — the vectorized planner is byte-identical to the scalar one by
+    construction.
+    """
+
+    def __init__(self, profile: Profile) -> None:
+        import numpy as np
+
+        self.num_layers = profile.num_layers
+        long_lived = [t for t in profile.tensors.values() if t.long_lived]
+        self.nbytes = np.asarray(
+            [t.nbytes for t in long_lived], dtype=np.int64
+        )
+        tensor_idx: List[int] = []
+        touch_layer: List[int] = []
+        for index, record in enumerate(long_lived):
+            for layer in record.touches_by_layer:
+                # Touches outside the step's layer range fall in no
+                # interval (the scalar scan skips them the same way).
+                if 0 <= layer < profile.num_layers:
+                    tensor_idx.append(index)
+                    touch_layer.append(layer)
+        self.pair_tensor = np.asarray(tensor_idx, dtype=np.int64)
+        self.pair_layer = np.asarray(touch_layer, dtype=np.int64)
+        self.short_lived_bytes = np.asarray(
+            profile.layer_short_lived_bytes, dtype=np.int64
+        )
+
+    def interval_tensor_bytes(self, interval_length: int) -> List[int]:
+        """Eq. 1's ``Tensor_i`` for every interval of one candidate MIL.
+
+        A tensor contributes its bytes to each distinct interval it touches
+        — exactly ``long_lived_bytes_touched_in`` per interval, computed
+        for all intervals at once.  Pure int64 arithmetic, so the result
+        matches the scalar sums bit for bit.
+        """
+        import numpy as np
+
+        num_intervals = -(-self.num_layers // interval_length)
+        out = np.zeros(num_intervals, dtype=np.int64)
+        if self.pair_tensor.size:
+            key = self.pair_tensor * num_intervals + (
+                self.pair_layer // interval_length
+            )
+            unique = np.unique(key)
+            np.add.at(
+                out, unique % num_intervals, self.nbytes[unique // num_intervals]
+            )
+        return [int(value) for value in out]
+
+    def interval_rs(self, interval_length: int) -> int:
+        """Eq. 1's ``RS(MIL)``: the worst interval's short-lived peak."""
+        import numpy as np
+
+        if not self.short_lived_bytes.size:
+            return 0
+        starts = np.arange(0, self.num_layers, interval_length)
+        return int(np.maximum.reduceat(self.short_lived_bytes, starts).max())
 
 
 def _signature_to_jsonable(value):

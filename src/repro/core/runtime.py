@@ -30,8 +30,9 @@ Every mechanism can be disabled independently through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro import accel
 from repro.core.interval import IntervalPlan, choose_interval_length, evaluate_interval_length
 from repro.core.profile import Profile
 from repro.core.profiler import ProfileCollector
@@ -161,6 +162,14 @@ class SentinelPolicy(PlacementPolicy):
         #: cross-check: landed == issued - aborted for fault-free runs)
         self.prefetch_landed_bytes = 0
         self.prefetch_landed_transfers = 0
+        #: vectorized-path cache: per-interval prefetch candidate tids in
+        #: hotness order, a pure function of (profile, plan) — see
+        #: :meth:`_interval_candidates`
+        self._interval_candidate_tids: Optional[List[Tuple[int, ...]]] = None
+        #: vectorized-path cache: per-layer eviction candidates with their
+        #: sort keys, a pure function of (profile, plan, config) — see
+        #: :meth:`_evict_candidates`
+        self._evict_candidates_by_layer: Dict[int, Tuple[Tuple[int, int], ...]] = {}
 
     def on_engine(self, engine) -> None:
         """Subscribe prefetch bookkeeping to channel-completion events.
@@ -288,6 +297,8 @@ class SentinelPolicy(PlacementPolicy):
                 reprofile=self.reprofile_steps_used > 0,
             )
         self.profiling_steps_used += 1
+        self._interval_candidate_tids = None
+        self._evict_candidates_by_layer.clear()
         self._collector = ProfileCollector()
         handler = machine.fault_handler
         self._profile_fault_base = (handler.faults_taken, handler.faults_dropped)
@@ -471,6 +482,67 @@ class SentinelPolicy(PlacementPolicy):
 
     # --------------------------------------------------- interval machinery
 
+    def _interval_candidates(self) -> List[Tuple[int, ...]]:
+        """Per-interval prefetch candidates, hottest first (vectorized path).
+
+        The scalar planner re-derives "which long-lived tensors does
+        interval ``i`` touch, ordered by access count" at *every* interval
+        boundary of every step by scanning all live mappings.  The answer
+        is a pure function of the profile and the plan, so the vectorized
+        path computes it once per plan; callers intersect with the live
+        mapping table at use time.  Ordering matches the scalar sort key
+        ``(-total_touches, tid)``, which is total (tids are unique), so
+        filtered results are identical.
+        """
+        if self._interval_candidate_tids is None:
+            assert self.profile is not None and self.plan is not None
+            ordered = sorted(
+                (r for r in self.profile.tensors.values() if r.long_lived),
+                key=lambda r: (-r.total_touches, r.tid),
+            )
+            self._interval_candidate_tids = [
+                tuple(
+                    r.tid
+                    for r in ordered
+                    if r.touched_in(interval[0], interval[-1])
+                )
+                for interval in self.plan.intervals
+            ]
+        return self._interval_candidate_tids
+
+    def _evict_candidates(
+        self, layer_index: int, horizon: int, infinity: int
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Eviction candidates for ``layer_index``, pre-sorted (vectorized).
+
+        The scalar `_evict_unneeded` re-derives "which profiled tensors
+        does no layer up to ``horizon`` touch again, coldest first" at
+        every layer end by scanning all live mappings.  Both the time
+        filter and the ``(-next_touch, tid)`` sort key are pure functions
+        of (profile, plan, layer), so the vectorized path memoizes the
+        sorted ``(tid, key)`` pairs per layer; callers re-check liveness
+        and fast-residency, the only dynamic parts.  The sort key is total
+        (tids are unique), so any runtime-filtered subsequence is in
+        exactly the scalar order.
+        """
+        cached = self._evict_candidates_by_layer.get(layer_index)
+        if cached is None:
+            assert self.profile is not None
+            reserve_short = self.config.reserve_short
+            pairs = []
+            for tid, record in self.profile.tensors.items():
+                if record.short_lived and reserve_short:
+                    continue
+                next_touch = record.next_touch_after(layer_index)
+                if next_touch is None or next_touch > horizon:
+                    pairs.append(
+                        (tid, next_touch if next_touch is not None else infinity)
+                    )
+            pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+            cached = tuple(pairs)
+            self._evict_candidates_by_layer[layer_index] = cached
+        return cached
+
     def _handle_interval_boundary(self, interval: int, now: float) -> float:
         """Case detection for this interval, prefetch for the next one.
 
@@ -580,21 +652,30 @@ class SentinelPolicy(PlacementPolicy):
                 return
             elif state.status == "decided" and state.choice == "leave":
                 return
-        layers = self.plan.layers_of(interval)
-        first, last = layers[0], layers[-1]
-        candidates = []
-        for tid, mapping in self._mappings.items():
-            record = self.profile.tensors.get(tid)
-            if record is None or record.short_lived:
-                continue
-            if record.touched_in(first, last):
-                candidates.append((record.total_touches, tid, mapping))
-        # Hottest first: if fast memory runs out mid-prefetch, what is left
-        # behind in slow memory is the coldest data (paper §IV-D).
-        candidates.sort(key=lambda item: (-item[0], item[1]))
+        if accel.vectorized_enabled():
+            mappings = self._mappings
+            ordered_mappings = [
+                mappings[tid]
+                for tid in self._interval_candidates()[interval]
+                if tid in mappings
+            ]
+        else:
+            layers = self.plan.layers_of(interval)
+            first, last = layers[0], layers[-1]
+            candidates = []
+            for tid, mapping in self._mappings.items():
+                record = self.profile.tensors.get(tid)
+                if record is None or record.short_lived:
+                    continue
+                if record.touched_in(first, last):
+                    candidates.append((record.total_touches, tid, mapping))
+            # Hottest first: if fast memory runs out mid-prefetch, what is
+            # left behind in slow memory is the coldest data (paper §IV-D).
+            candidates.sort(key=lambda item: (-item[0], item[1]))
+            ordered_mappings = [mapping for _, _, mapping in candidates]
         runs: List[PageTableEntry] = []
         seen: Set[int] = set()
-        for _, _, mapping in candidates:
+        for mapping in ordered_mappings:
             for share in mapping.shares:
                 if share.run.vpn not in seen:
                     seen.add(share.run.vpn)
@@ -707,14 +788,27 @@ class SentinelPolicy(PlacementPolicy):
         prefetch_remaining = 0
         next_interval = self.plan.interval_of_layer(self._current_layer) + 1
         if next_interval < self.plan.num_intervals:
-            layers = self.plan.layers_of(next_interval)
-            first, last = layers[0], layers[-1]
-            for tid, mapping in self._mappings.items():
-                record = self.profile.tensors.get(tid)
-                if record is None or record.short_lived:
-                    continue
-                if record.touched_in(first, last):
-                    prefetch_remaining += mapping.bytes_on(DeviceKind.SLOW, now)
+            if accel.vectorized_enabled():
+                # Same live-tensor intersection as the scalar scan below;
+                # the summed quantities are ints, so the candidate-order
+                # traversal is exact.
+                mappings = self._mappings
+                prefetch_remaining = sum(
+                    mappings[tid].bytes_on(DeviceKind.SLOW, now)
+                    for tid in self._interval_candidates()[next_interval]
+                    if tid in mappings
+                )
+            else:
+                layers = self.plan.layers_of(next_interval)
+                first, last = layers[0], layers[-1]
+                for tid, mapping in self._mappings.items():
+                    record = self.profile.tensors.get(tid)
+                    if record is None or record.short_lived:
+                        continue
+                    if record.touched_in(first, last):
+                        prefetch_remaining += mapping.bytes_on(
+                            DeviceKind.SLOW, now
+                        )
         slack = max(machine.fast.capacity // 20, self._upcoming_alloc_demand())
         if not self.residency:
             # Demotion runs on an otherwise-idle helper thread on CPU:
@@ -726,11 +820,14 @@ class SentinelPolicy(PlacementPolicy):
             # Eviction must also keep the governor's urgent-lane reserve
             # open, or every demand miss starts by evicting synchronously.
             demand += machine.pressure.reserve_bytes
-        inflight_demotes = sum(
-            run.npages * page_size
-            for run in machine.page_table.entries()
-            if run.migrating_to is DeviceKind.SLOW
-        )
+        if accel.vectorized_enabled():
+            inflight_demotes = machine.migration.in_flight_demote_bytes()
+        else:
+            inflight_demotes = sum(
+                run.npages * page_size
+                for run in machine.page_table.entries()
+                if run.migrating_to is DeviceKind.SLOW
+            )
         return demand - machine.fast.free - inflight_demotes
 
     def _upcoming_alloc_demand(self, lookahead: int = 2) -> int:
@@ -764,23 +861,40 @@ class SentinelPolicy(PlacementPolicy):
         )
         infinity = self.profile.num_layers + 1
         evictable: Dict[int, int] = {}  # tid -> next touch (or infinity)
-        for tid, mapping in self._mappings.items():
-            record = self.profile.tensors.get(tid)
-            if record is None:
-                continue
-            if record.short_lived and self.config.reserve_short:
-                # The reserved pool pins short-lived tensors in fast memory
-                # (§IV-C); without the reservation (ablation) they compete
-                # like everything else.
-                continue
-            if mapping.bytes_on(DeviceKind.FAST, now) == 0:
-                continue
-            next_touch = record.next_touch_after(layer_index)
-            if next_touch is None or next_touch > horizon:
-                evictable[tid] = next_touch if next_touch is not None else infinity
-        if not evictable:
-            return
-        ordered = sorted(evictable, key=lambda tid: (-evictable[tid], tid))
+        if accel.vectorized_enabled():
+            # The time filter and sort key are pure profile+plan functions
+            # of the layer (see _evict_candidates); only liveness and
+            # fast-residency are checked per call.
+            mappings = self._mappings
+            ordered = []
+            for tid, key in self._evict_candidates(layer_index, horizon, infinity):
+                mapping = mappings.get(tid)
+                if mapping is None or mapping.bytes_on(DeviceKind.FAST, now) == 0:
+                    continue
+                evictable[tid] = key
+                ordered.append(tid)
+            if not evictable:
+                return
+        else:
+            for tid, mapping in self._mappings.items():
+                record = self.profile.tensors.get(tid)
+                if record is None:
+                    continue
+                if record.short_lived and self.config.reserve_short:
+                    # The reserved pool pins short-lived tensors in fast
+                    # memory (§IV-C); without the reservation (ablation)
+                    # they compete like everything else.
+                    continue
+                if mapping.bytes_on(DeviceKind.FAST, now) == 0:
+                    continue
+                next_touch = record.next_touch_after(layer_index)
+                if next_touch is None or next_touch > horizon:
+                    evictable[tid] = (
+                        next_touch if next_touch is not None else infinity
+                    )
+            if not evictable:
+                return
+            ordered = sorted(evictable, key=lambda tid: (-evictable[tid], tid))
         runs: List[PageTableEntry] = []
         seen: Set[int] = set()
         page_size = self.machine.page_size

@@ -110,6 +110,16 @@ class Allocator:
     def mapping(self, tensor: Tensor) -> Optional[TensorMapping]:
         return self._mappings.get(tensor.tid)
 
+    def mapping_table(self) -> Dict[int, TensorMapping]:
+        """The live ``tid -> mapping`` dict itself (treat as read-only).
+
+        Hot paths (the executor's per-access lookups) bind ``.get`` once
+        per step instead of paying a delegating call per access.  The dict
+        object is stable for the allocator's lifetime — entries come and
+        go, the container never does — so a bound method stays valid.
+        """
+        return self._mappings
+
     def live_mappings(self) -> Iterable[TensorMapping]:
         return self._mappings.values()
 
@@ -148,6 +158,7 @@ class Allocator:
         if mapping is None:
             raise AllocationError(f"tensor {tensor.name!r} is not allocated")
         page_size = self.machine.page_size
+        dead: List[PageTableEntry] = []
         for share in mapping.shares:
             users = self._run_users.get(share.run.vpn)
             if users is None:
@@ -158,7 +169,12 @@ class Allocator:
                 del self._run_users[share.run.vpn]
                 self.live_page_bytes -= share.run.npages * page_size
                 if share.run.vpn in self.machine.page_table:
-                    self.machine.unmap_run(share.run, now)
+                    dead.append(share.run)
+        if dead:
+            # One batched unmap (single TLB shootdown) — run-release
+            # accounting is per-run independent, so this is equivalent to
+            # unmapping each as the scan finds it.
+            self.machine.unmap_runs(dead, now)
         self.live_tensor_bytes -= tensor.nbytes
         return mapping
 

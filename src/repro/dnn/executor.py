@@ -50,6 +50,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - scalar fallback, see repro.accel
+    np = None  # type: ignore[assignment]
+
+from repro import accel
 from repro.dnn.alloc import Allocator, TensorMapping
 from repro.dnn.graph import Graph, Layer
 from repro.dnn.policy import PlacementPolicy
@@ -183,7 +189,36 @@ class Executor:
         self.allocator = allocator if allocator is not None else policy.make_allocator()
         self._steps_run = 0
         self._frees_by_layer = self._index_frees(graph)
+        self._build_op_tables()
         self._preallocate()
+
+    def _build_op_tables(self) -> None:
+        """Per-op static accounting tables for the vectorized step path.
+
+        The graph and platform are fixed for the executor's lifetime, so
+        per-op compute times (``flops / throughput``) can be batch-computed
+        up front — one numpy elementwise division produces the identical
+        IEEE-754 quotients the scalar loop derives per op — and each op's
+        non-preallocated operands (the only ones ``_ensure_allocated`` can
+        ever act on) can be filtered once instead of per access per step.
+        ``tolist()`` hands back native floats so downstream times, trace
+        values, and goldens keep their exact historical representations.
+        """
+        ops = [op for layer in self.graph.layers for op in layer.ops]
+        throughput = self.machine.platform.compute_throughput
+        if np is not None:
+            flops = np.array([op.flops for op in ops], dtype=np.float64)
+            self._op_compute_times: List[float] = (flops / throughput).tolist()
+        else:
+            self._op_compute_times = [op.flops / throughput for op in ops]
+        self._op_step_tensors: List[Tuple[Tensor, ...]] = [
+            tuple(
+                access.tensor
+                for access in op.accesses
+                if not access.tensor.preallocated
+            )
+            for op in ops
+        ]
 
     @staticmethod
     def _index_frees(graph: Graph) -> Dict[int, List[Tensor]]:
@@ -225,6 +260,14 @@ class Executor:
 
         result = StepResult(step=step, start_time=clock.now, end_time=clock.now)
         events = self._events
+        # Vectorized-path bindings: precomputed per-op tables plus the
+        # allocator's live mapping dict, hoisted out of the op loop.  The
+        # scalar reference path below re-derives everything per op/access.
+        vectorized = accel.vectorized_enabled()
+        op_compute_times = self._op_compute_times
+        op_step_tensors = self._op_step_tensors
+        mapping_of = allocator.mapping_table().get
+        op_index = 0
         if events is not None:
             events.begin("step", "step", track=track, step=step)
         for observer in self.observers:
@@ -253,13 +296,25 @@ class Executor:
             layer_stall += stall
 
             for op in layer.ops:
-                self._ensure_allocated(op, clock.now)
-                compute_time = op.flops / machine.platform.compute_throughput
+                if vectorized:
+                    for tensor in op_step_tensors[op_index]:
+                        if mapping_of(tensor.tid) is None:
+                            mapping = allocator.alloc(tensor, clock.now)
+                            policy.on_alloc(tensor, mapping, clock.now)
+                            for observer in self.observers:
+                                observer.on_tensor_allocated(
+                                    tensor, mapping, clock.now
+                                )
+                    compute_time = op_compute_times[op_index]
+                else:
+                    self._ensure_allocated(op, clock.now)
+                    compute_time = op.flops / machine.platform.compute_throughput
+                op_index += 1
                 mem_time = 0.0
                 stall_time = 0.0
                 fault_time = 0.0
                 for access in op.accesses:
-                    mapping = allocator.mapping(access.tensor)
+                    mapping = mapping_of(access.tensor.tid)
                     if mapping is None:
                         raise ExecutionError(
                             f"op {op.name!r} touches unallocated tensor "

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import accel
 from repro.dnn.alloc import Allocator, PackedAllocator, TensorMapping
 from repro.dnn.graph import Graph, Layer
 from repro.dnn.ops import TensorAccess
@@ -136,7 +137,18 @@ class PlacementPolicy:
     def charge_access(
         self, tensor: Tensor, mapping: TensorMapping, access: TensorAccess, now: float
     ) -> AccessCharge:
-        """Price one op access under the current placement."""
+        """Price one op access under the current placement.
+
+        Two implementations behind :mod:`repro.accel`: the scalar reference
+        below, and a hoisted-lookup twin that performs the same arithmetic
+        on the same operands in the same order (the fault handler is only
+        invoked when it can actually count, i.e. the run is poisoned — on
+        unpoisoned runs it returns 0.0 with no side effects, so skipping
+        the call changes nothing).  The differential suite pins the two
+        byte-for-byte.
+        """
+        if accel.vectorized_enabled():
+            return self._charge_access_fast(tensor, mapping, access, now)
         machine = self.machine
         assert machine is not None
         page_size = machine.page_size
@@ -171,6 +183,67 @@ class PlacementPolicy:
             else:
                 charge.bytes_slow += total
         return charge
+
+    def _charge_access_fast(
+        self, tensor: Tensor, mapping: TensorMapping, access: TensorAccess, now: float
+    ) -> AccessCharge:
+        """Hoisted-lookup pricing, byte-identical to the scalar reference.
+
+        The executor calls :meth:`charge_access` once per access per op; at
+        sweep scale the attribute chains and delegating call frames
+        (``machine.access_time`` -> ``device()`` -> ``spec``) dominate the
+        actual arithmetic.  This twin binds everything once per call and
+        inlines :meth:`~repro.mem.page.PageTableEntry.effective_device`;
+        every float is produced by the same operation on the same operands.
+        """
+        machine = self.machine
+        assert machine is not None
+        page_size = machine.page_table.page_size
+        fast_time = machine.fast.access_time
+        slow_time = machine.slow.access_time
+        handler = machine.fault_handler
+        residency = self.residency
+        tensor_nbytes = tensor.nbytes
+        a_nbytes = access.nbytes
+        passes = access.passes
+        is_write = access.is_write
+        FAST = DeviceKind.FAST
+        mem_time = 0.0
+        stall_total = 0.0
+        fault = 0.0
+        bytes_fast = 0
+        bytes_slow = 0
+        for share in mapping.shares:
+            run = share.run
+            share_nbytes = share.nbytes
+            nbytes = a_nbytes * share_nbytes // tensor_nbytes
+            if nbytes <= 0 and share_nbytes > 0:
+                nbytes = share_nbytes if share_nbytes < a_nbytes else a_nbytes
+            if nbytes <= 0:
+                continue
+            stall = 0.0
+            if residency:
+                stall = self.ensure_resident(run, now + stall_total)
+                device = FAST
+            else:
+                migrating_to = run.migrating_to
+                if migrating_to is not None and now >= run.available_at:
+                    device = migrating_to
+                else:
+                    device = run.device
+            if run.poisoned or passes <= 0:
+                pages = min(run.npages, max(1, math.ceil(nbytes / page_size)))
+                fault += handler.on_access_pass(run, pages, is_write, passes=passes)
+            if device is FAST:
+                mem_time += passes * fast_time(nbytes, is_write)
+                bytes_fast += nbytes * passes
+            else:
+                mem_time += passes * slow_time(nbytes, is_write)
+                bytes_slow += nbytes * passes
+            if is_write:
+                run.initialized = True
+            stall_total += stall
+        return AccessCharge(mem_time, stall_total, fault, bytes_fast, bytes_slow)
 
     # ------------------------------------------------------------ residency
 

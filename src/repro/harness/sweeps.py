@@ -10,9 +10,10 @@ and renders comparisons.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import accel
 from repro.baselines.vdnn import UnsupportedModelError
 from repro.chaos import ChaosConfig
 from repro.harness.report import format_table
@@ -73,7 +74,19 @@ class SweepResult:
         return len(self.points)
 
     def where(self, **criteria) -> List[SweepPoint]:
-        """Points matching every given field value."""
+        """Points matching every given field value.
+
+        Unknown criteria names raise :class:`AttributeError` immediately —
+        a typo like ``where(modle="lstm")`` used to return ``[]`` for a
+        non-empty grid, which reads as "no matches" instead of "bad query".
+        """
+        known = {field.name for field in fields(SweepPoint)} | {"ok", "label"}
+        for key in criteria:
+            if key not in known:
+                raise AttributeError(
+                    f"SweepPoint has no attribute {key!r} "
+                    f"(queryable: {', '.join(sorted(known))})"
+                )
         out = []
         for point in self.points:
             if all(getattr(point, key) == value for key, value in criteria.items()):
@@ -81,7 +94,11 @@ class SweepResult:
         return out
 
     def best_policy(self, model: str, fast_fraction: Optional[float] = None) -> str:
-        """Fastest successful policy for a model (at one fraction if given)."""
+        """Fastest successful policy for a model (at one fraction if given).
+
+        Ties on step time break lexicographically by policy name, so the
+        answer does not depend on grid enumeration order.
+        """
         candidates = [
             p
             for p in self.points
@@ -91,7 +108,7 @@ class SweepResult:
         ]
         if not candidates:
             raise ValueError(f"no successful points for model {model!r}")
-        return min(candidates, key=lambda p: p.metrics.step_time).policy
+        return min(candidates, key=lambda p: (p.metrics.step_time, p.policy)).policy
 
     def to_table(self, value: str = "step_time") -> str:
         """Models x policies matrix of a metric (first fraction per pair)."""
@@ -115,39 +132,43 @@ class SweepResult:
         return format_table(("model",) + tuple(policies), rows, title=f"sweep: {value}")
 
 
-def sweep(
+@dataclass(frozen=True)
+class _PointSpec:
+    """Everything one grid point needs to run, in any process.
+
+    ``index`` is the point's position in the deterministic serial
+    enumeration order; the parallel runner merges by it, so the returned
+    :class:`SweepResult` is identical whatever order workers finish in.
+    """
+
+    index: int
+    policy: str
+    model: str
+    batch_size: Optional[int]
+    fast_fraction: Optional[float]
+    chaos: Optional[ChaosConfig]
+    platform: Platform
+    trace: bool
+    pressure: Optional[PressureConfig]
+
+
+def _enumerate_grid(
     policies: Sequence[str],
     models: Sequence[str],
-    fast_fractions: Sequence[Optional[float]] = (0.2,),
-    batch_sizes: Optional[Dict[str, int]] = None,
-    platform: Platform = OPTANE_HM,
-    chaos: Optional[ChaosConfig] = None,
-    trace: bool = False,
-    pressure: Optional[PressureConfig] = None,
-) -> SweepResult:
-    """Run the cartesian product and collect every outcome.
+    fast_fractions: Sequence[Optional[float]],
+    batch_sizes: Optional[Dict[str, int]],
+    platform: Platform,
+    chaos: Optional[ChaosConfig],
+    trace: bool,
+    pressure: Optional[PressureConfig],
+) -> List[_PointSpec]:
+    """The grid in serial order — a pure function of the sweep arguments.
 
-    Policies named ``slow-only``/``fast-only`` ignore the fraction (their
-    machines are unconstrained); failures become recorded points rather
-    than exceptions, so a single infeasible corner does not kill a grid.
-
-    With ``chaos`` given, every point runs under fault injection; each
-    point's injector is reseeded with :func:`point_seed` so its fault
-    sequence depends only on the point's own coordinates (and the base
-    seed), never on grid order.
-
-    With ``trace=True`` every point runs with its own fresh
-    :class:`repro.obs.EventTracer` and the captured events land on
-    :attr:`SweepPoint.events` (each point's timeline starts at 0; use
-    :func:`repro.obs.combine_chrome` to view them side by side).
-
-    With ``pressure`` given, every point runs under the same
-    :class:`~repro.mem.pressure.PressureConfig` (the governor holds no
-    random state, so no per-point reseeding is needed).
+    Chaos reseeding happens here (from the point's own coordinates via
+    :func:`point_seed`), so a spec fully determines its point's fault
+    sequence before any process runs anything.
     """
-    if not policies or not models:
-        raise ValueError("need at least one policy and one model")
-    points: List[SweepPoint] = []
+    specs: List[_PointSpec] = []
     for model in models:
         batch = (batch_sizes or {}).get(model)
         for policy in policies:
@@ -160,46 +181,138 @@ def sweep(
                     point_chaos = chaos.reseeded(
                         point_seed(chaos.seed, policy, model, batch, effective)
                     )
-                tracer = None
-                if trace:
-                    from repro.obs import EventTracer
-
-                    tracer = EventTracer()
-
-                def captured() -> Optional[Tuple]:
-                    return None if tracer is None else tuple(tracer.events)
-
-                try:
-                    metrics = run_policy(
-                        policy,
+                specs.append(
+                    _PointSpec(
+                        index=len(specs),
+                        policy=policy,
                         model=model,
                         batch_size=batch,
-                        platform=platform,
                         fast_fraction=effective,
                         chaos=point_chaos,
-                        tracer=tracer,
+                        platform=platform,
+                        trace=trace,
                         pressure=pressure,
                     )
-                    points.append(
-                        SweepPoint(
-                            policy, model, batch, effective, metrics,
-                            events=captured(),
-                        )
-                    )
-                except UnsupportedModelError:
-                    points.append(
-                        SweepPoint(
-                            policy, model, batch, effective, None, "unsupported",
-                            events=captured(),
-                        )
-                    )
-                except OOM_ERRORS:
-                    points.append(
-                        SweepPoint(
-                            policy, model, batch, effective, None, "oom",
-                            events=captured(),
-                        )
-                    )
+                )
                 if policy in ("slow-only", "fast-only"):
                     break  # fraction-independent: one point suffices
-    return SweepResult(points=points)
+    return specs
+
+
+def _run_point(spec: _PointSpec) -> SweepPoint:
+    """Execute one grid point; failures become recorded points."""
+    tracer = None
+    if spec.trace:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
+
+    def captured() -> Optional[Tuple]:
+        return None if tracer is None else tuple(tracer.events)
+
+    try:
+        metrics = run_policy(
+            spec.policy,
+            model=spec.model,
+            batch_size=spec.batch_size,
+            platform=spec.platform,
+            fast_fraction=spec.fast_fraction,
+            chaos=spec.chaos,
+            tracer=tracer,
+            pressure=spec.pressure,
+        )
+        return SweepPoint(
+            spec.policy, spec.model, spec.batch_size, spec.fast_fraction,
+            metrics, events=captured(),
+        )
+    except UnsupportedModelError:
+        return SweepPoint(
+            spec.policy, spec.model, spec.batch_size, spec.fast_fraction,
+            None, "unsupported", events=captured(),
+        )
+    except OOM_ERRORS:
+        return SweepPoint(
+            spec.policy, spec.model, spec.batch_size, spec.fast_fraction,
+            None, "oom", events=captured(),
+        )
+
+
+def _init_worker(scalar: bool) -> None:
+    """Pool initializer: mirror the parent's accounting-path flag.
+
+    The scalar/vectorized switch is process-global state, so a spawned
+    worker (which does not inherit the parent's in-memory flag) must be
+    told explicitly; under fork this is a harmless re-set.
+    """
+    accel.set_scalar_path(scalar)
+
+
+def _run_point_indexed(spec: _PointSpec) -> Tuple[int, SweepPoint]:
+    return spec.index, _run_point(spec)
+
+
+def sweep(
+    policies: Sequence[str],
+    models: Sequence[str],
+    fast_fractions: Sequence[Optional[float]] = (0.2,),
+    batch_sizes: Optional[Dict[str, int]] = None,
+    platform: Platform = OPTANE_HM,
+    chaos: Optional[ChaosConfig] = None,
+    trace: bool = False,
+    pressure: Optional[PressureConfig] = None,
+    workers: int = 1,
+) -> SweepResult:
+    """Run the cartesian product and collect every outcome.
+
+    Policies named ``slow-only``/``fast-only`` ignore the fraction (their
+    machines are unconstrained); failures become recorded points rather
+    than exceptions, so a single infeasible corner does not kill a grid.
+
+    With ``chaos`` given, every point runs under fault injection; each
+    point's injector is reseeded with :func:`point_seed` so its fault
+    sequence depends only on the point's own coordinates (and the base
+    seed), never on grid order — which is also what makes the parallel
+    runner safe to use with chaos.
+
+    With ``trace=True`` every point runs with its own fresh
+    :class:`repro.obs.EventTracer` and the captured events land on
+    :attr:`SweepPoint.events` (each point's timeline starts at 0; use
+    :func:`repro.obs.combine_chrome` to view them side by side).
+
+    With ``pressure`` given, every point runs under the same
+    :class:`~repro.mem.pressure.PressureConfig` (the governor holds no
+    random state, so no per-point reseeding is needed).
+
+    With ``workers > 1`` the grid points run on a multiprocessing pool.
+    Every point is an isolated simulation keyed by its own spec (chaos
+    already reseeded per point), so the result is merged back into serial
+    enumeration order by spec index and is byte-identical to ``workers=1``
+    no matter which worker finishes first.  ``workers=1`` never touches
+    multiprocessing.
+    """
+    if not policies or not models:
+        raise ValueError("need at least one policy and one model")
+    if not fast_fractions:
+        raise ValueError("need at least one fast fraction (use (None,) for default)")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    specs = _enumerate_grid(
+        policies, models, fast_fractions, batch_sizes,
+        platform, chaos, trace, pressure,
+    )
+    if workers == 1 or len(specs) == 1:
+        return SweepResult(points=[_run_point(spec) for spec in specs])
+
+    import multiprocessing
+
+    merged: List[Optional[SweepPoint]] = [None] * len(specs)
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        processes=min(workers, len(specs)),
+        initializer=_init_worker,
+        initargs=(accel.scalar_enabled(),),
+    ) as pool:
+        for index, point in pool.imap_unordered(_run_point_indexed, specs):
+            merged[index] = point
+    assert all(point is not None for point in merged)
+    return SweepResult(points=merged)  # type: ignore[arg-type]

@@ -9,7 +9,7 @@ placement policies need.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.mem.cache import DRAMCache
 from repro.mem.devices import DeviceKind, MemoryDevice
@@ -231,6 +231,20 @@ class Machine:
         self.migration.release_run(run, now)
         self.tlb.flush(run.vpn)
         self.page_table.unmap(run.vpn)
+
+    def unmap_runs(self, runs: Sequence[PageTableEntry], now: float) -> None:
+        """Free a batch of runs in one pass (multi-run tensor teardown).
+
+        Equivalent to :meth:`unmap_run` per run — release accounting is
+        per-run independent, so settling them all, then one batched TLB
+        shootdown, then the table updates reorders nothing observable —
+        while paying the shootdown entry cost once.
+        """
+        for run in runs:
+            self.migration.release_run(run, now)
+        self.tlb.flush_many(run.vpn for run in runs)
+        for run in runs:
+            self.page_table.unmap(run.vpn)
 
     # ---------------------------------------------------------------- timing
 

@@ -561,6 +561,26 @@ class MigrationEngine:
 
     # ----------------------------------------------------------------- query
 
+    def in_flight_demote_bytes(self) -> int:
+        """Fast-tier bytes whose demotion copy is still in flight.
+
+        Answered from the engine's own pending records — O(outstanding
+        transfers) — where the equivalent page-table scan walks every
+        mapped run.  Deliberately does *not* sync: callers (eviction
+        sizing, watermark reclaim) want the state as of their own ``now``
+        without committing finished copies early, matching the table scan
+        they replace.  The per-run flag check keeps runs force-committed
+        by :meth:`release_run` out of the sum, exactly as the scan would.
+        """
+        page_size = self.page_table.page_size
+        return page_size * sum(
+            run.npages
+            for record in self._pending
+            if record.direction is DeviceKind.SLOW
+            for run in record.runs
+            if run.migrating_to is DeviceKind.SLOW
+        )
+
     def in_flight_bytes(self, now: float) -> int:
         """Bytes still being copied at ``now`` (both directions)."""
         self.sync(now)

@@ -24,6 +24,7 @@ mapped until the kernel swaps the PTE.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -129,6 +130,11 @@ class PageTable:
         self.page_size = page_size
         self._entries: Dict[int, PageTableEntry] = {}
         self._next_vpn = 0
+        #: sorted run-start vpns — the interval index behind
+        #: :meth:`run_containing`/:meth:`runs_in_range`, so point and range
+        #: lookups bisect instead of walking every entry.
+        self._starts: List[int] = []
+        self._mapped_pages = 0
 
     def __len__(self) -> int:
         """Number of mapped runs (not pages)."""
@@ -139,7 +145,7 @@ class PageTable:
 
     @property
     def mapped_pages(self) -> int:
-        return sum(e.npages for e in self._entries.values())
+        return self._mapped_pages
 
     def map_run(self, npages: int, device: DeviceKind) -> PageTableEntry:
         """Map a fresh run of ``npages`` contiguous pages on ``device``."""
@@ -148,14 +154,22 @@ class PageTable:
         entry = PageTableEntry(vpn=self._next_vpn, npages=npages, device=device)
         self._next_vpn += npages
         self._entries[entry.vpn] = entry
+        # Fresh vpns are handed out monotonically, so this append keeps
+        # the interval index sorted without a bisect.
+        self._starts.append(entry.vpn)
+        self._mapped_pages += npages
         return entry
 
     def unmap(self, vpn: int) -> PageTableEntry:
         """Remove the run starting at ``vpn``; returns it for accounting."""
         try:
-            return self._entries.pop(vpn)
+            entry = self._entries.pop(vpn)
         except KeyError:
             raise PageError(f"no run starts at vpn {vpn}") from None
+        index = bisect_right(self._starts, vpn) - 1
+        del self._starts[index]
+        self._mapped_pages -= entry.npages
+        return entry
 
     def entry(self, vpn: int) -> PageTableEntry:
         try:
@@ -192,7 +206,47 @@ class PageTable:
         )
         entry.npages = npages_first
         self._entries[tail.vpn] = tail
+        insort(self._starts, tail.vpn)
         return tail
+
+    def run_containing(self, vpn: int) -> Optional[PageTableEntry]:
+        """The run covering page ``vpn``, or ``None`` if it is unmapped.
+
+        A point lookup on the interval index: bisect to the last run
+        starting at or before ``vpn``, then check coverage — O(log runs)
+        against the O(runs) scan a naive table walk costs.
+        """
+        index = bisect_right(self._starts, vpn) - 1
+        if index < 0:
+            return None
+        entry = self._entries[self._starts[index]]
+        if vpn < entry.vpn + entry.npages:
+            return entry
+        return None
+
+    def runs_in_range(self, vpn: int, npages: int) -> List[PageTableEntry]:
+        """All runs overlapping ``[vpn, vpn + npages)``, in address order.
+
+        The batch-lookup companion to :meth:`run_containing`: one bisect
+        finds the first candidate and the sorted start index yields the
+        rest contiguously, so a range query costs O(log runs + answers).
+        """
+        if npages < 0:
+            raise ValueError(f"cannot query negative pages {npages!r}")
+        end = vpn + npages
+        starts = self._starts
+        index = bisect_right(starts, vpn) - 1
+        if index >= 0:
+            entry = self._entries[starts[index]]
+            if vpn >= entry.vpn + entry.npages:
+                index += 1
+        else:
+            index = 0
+        found: List[PageTableEntry] = []
+        while index < len(starts) and starts[index] < end:
+            found.append(self._entries[starts[index]])
+            index += 1
+        return found
 
     def runs_on(self, device: DeviceKind) -> List[PageTableEntry]:
         """Runs whose committed residency is ``device`` (in-flight excluded)."""

@@ -10,6 +10,7 @@ to reproduce that protocol and to charge TLB-miss costs during profiling.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable
 
 
 class TLB:
@@ -44,6 +45,16 @@ class TLB:
     def flush(self, vpn: int) -> None:
         """Invalidate one entry (no-op if absent) — ``invlpg`` equivalent."""
         self._entries.pop(vpn, None)
+
+    def flush_many(self, vpns: "Iterable[int]") -> None:
+        """Invalidate a batch of entries in one call (a ranged shootdown).
+
+        Equivalent to ``flush`` per vpn; batch teardown paths (unmapping a
+        multi-run tensor) use it to drop the per-entry call overhead.
+        """
+        pop = self._entries.pop
+        for vpn in vpns:
+            pop(vpn, None)
 
     def flush_all(self) -> None:
         self._entries.clear()

@@ -43,6 +43,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from repro import accel
 from repro.sim.clock import Clock
 
 __all__ = [
@@ -189,6 +190,13 @@ class Process:
         self._pending: Optional[Event] = None
         #: the resource this process is queued on (or was just granted)
         self._blocked: Optional["Resource"] = None
+        #: one resume trampoline for the process's whole lifetime — the
+        #: dispatch fast path hands this to the scheduler instead of
+        #: closing over a fresh lambda per yield
+        self._resume = self._on_resume
+
+    def _on_resume(self, _event: "Event") -> None:
+        self._step()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else ("waiting" if self._waiting else "ready")
@@ -290,25 +298,16 @@ class Process:
         engine = self.engine
         self._waiting = True
         if isinstance(directive, (int, float)):
-            self._pending = engine.schedule(
-                float(directive),
-                EventKind.RESUME,
-                name=self.name,
-                callback=lambda _ev: self._step(),
+            self._pending = engine._schedule_resume(
+                float(directive), self.name, self._resume
             )
         elif isinstance(directive, Timeout):
-            self._pending = engine.schedule(
-                directive.delay,
-                EventKind.RESUME,
-                name=self.name,
-                callback=lambda _ev: self._step(),
+            self._pending = engine._schedule_resume(
+                directive.delay, self.name, self._resume
             )
         elif isinstance(directive, WaitUntil):
-            self._pending = engine.schedule_at(
-                directive.when,
-                EventKind.RESUME,
-                name=self.name,
-                callback=lambda _ev: self._step(),
+            self._pending = engine._schedule_resume_at(
+                directive.when, self.name, self._resume
             )
         elif isinstance(directive, Acquire):
             self._blocked = directive.resource
@@ -415,6 +414,10 @@ class Engine:
             stamping correctly.
     """
 
+    #: retired RESUME events kept for reuse (bounds allocator churn without
+    #: hoarding memory when many processes block at once)
+    _RESUME_POOL_LIMIT = 64
+
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
         self._heap: List[Tuple[float, int, Event]] = []
@@ -423,6 +426,8 @@ class Engine:
         self._any_subscribers: List[Callable[[Event], None]] = []
         self.fired = 0  # events actually delivered (cancelled ones excluded)
         self._processes: List[Process] = []
+        #: freelist of retired RESUME Event objects (see _schedule_resume)
+        self._resume_pool: List[Event] = []
 
     # ------------------------------------------------------------------ time
 
@@ -479,6 +484,73 @@ class Engine:
         )
         heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
+
+    # Process-resume scheduling fast path.  Each yield of every process
+    # schedules exactly one RESUME event, making these by far the most
+    # allocated objects in a run; retired ones are recycled through
+    # ``_resume_pool`` (refilled at pop time in step()/run(), strictly
+    # after the event fired, so no live reference can observe the reuse).
+    # A recycled event still draws a *fresh* sequence number — the
+    # ``(time, seq)`` ordering contract is untouched; only the allocation
+    # is saved.  The scalar reference path builds plain Events.
+
+    def _schedule_resume(
+        self, delay: float, name: str, callback: Callable[["Event"], None]
+    ) -> Event:
+        """Schedule a process resume ``delay`` seconds from now (>= 0)."""
+        if delay < 0.0:
+            raise EngineError(f"cannot schedule into the past (delay={delay!r})")
+        return self._schedule_resume_at(self.clock.now + delay, name, callback)
+
+    def _schedule_resume_at(
+        self, when: float, name: str, callback: Callable[["Event"], None]
+    ) -> Event:
+        """Schedule a process resume at absolute time ``when`` (>= now)."""
+        if when < self.clock.now:
+            raise EngineError(
+                f"cannot schedule at {when!r}, now is {self.clock.now!r}"
+            )
+        pool = self._resume_pool
+        if pool and accel.vectorized_enabled():
+            event = pool.pop()
+            event.time = when
+            event.seq = next(self._seq)
+            event.name = name
+            event.callback = callback
+            event.cancelled = False
+        else:
+            event = Event(
+                time=when,
+                seq=next(self._seq),
+                kind=EventKind.RESUME,
+                name=name,
+                callback=callback,
+            )
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def _retire(self, event: Event) -> None:
+        """Recycle a popped RESUME event into the freelist.
+
+        Only called after the event left the heap (fired or cancelled), at
+        which point nothing holds it: the owning process either cleared
+        ``_pending`` (cancel path) or replaced it while the event's own
+        callback ran (resume path).  Events of other kinds — and RESUME
+        events when someone subscribed to them or to everything, since a
+        handler may legitimately retain what it saw — are left to the
+        garbage collector.
+        """
+        if (
+            event.kind is EventKind.RESUME
+            and not self._any_subscribers
+            and not self._subscribers.get(EventKind.RESUME)
+            and len(self._resume_pool) < self._RESUME_POOL_LIMIT
+            and accel.vectorized_enabled()
+        ):
+            event.callback = None
+            if event.payload:
+                event.payload.clear()
+            self._resume_pool.append(event)
 
     def emit(
         self,
@@ -569,13 +641,22 @@ class Engine:
         """Pop and fire the next event; returns it (None if queue empty).
 
         Cancelled events are discarded silently and do not count as a step.
+        Same-instant pops are coalesced onto one clock position: the clock
+        only moves when the popped event's time actually differs, so a
+        burst of simultaneous TIMER/TRANSFER_DONE/RESUME events costs one
+        advance, not one per event — with ``(time, seq)`` firing order
+        unchanged.
         """
+        clock = self.clock
         while self._heap:
             _, _, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._retire(event)
                 continue
-            self.clock.advance_to(event.time)
+            if event.time != clock.now:
+                clock.advance_to(event.time)
             self._fire(event)
+            self._retire(event)
             return event
         return None
 
@@ -585,16 +666,20 @@ class Engine:
         With ``until`` given, events strictly after it stay queued and the
         clock is left at the later of its current value and ``until``.
         """
+        clock = self.clock
         while self._heap:
             time, _, event = self._heap[0]
             if event.cancelled:
                 heapq.heappop(self._heap)
+                self._retire(event)
                 continue
             if until is not None and time > until:
                 break
             heapq.heappop(self._heap)
-            self.clock.advance_to(event.time)
+            if event.time != clock.now:
+                clock.advance_to(event.time)
             self._fire(event)
+            self._retire(event)
         if until is not None and until > self.clock.now:
             self.clock.advance_to(until)
 
@@ -607,12 +692,28 @@ class Engine:
         deadlock: the process waits on something nobody will ever fire.
         The error names every stuck process and what it is blocked on.
         """
+        heap = self._heap
+        clock = self.clock
+        pop = heapq.heappop
         while not proc.done:
-            if self.step() is None:
+            # Inlined step(): this loop brackets every simulated instant of
+            # an engine-driven training step, so the dispatch overhead is
+            # paid once per event of the whole run.
+            while heap:
+                _, _, event = pop(heap)
+                if event.cancelled:
+                    self._retire(event)
+                    continue
+                break
+            else:
                 raise EngineError(
                     f"event queue drained but process {proc.name!r} never "
                     f"completed — deadlock: {self._stuck_report()}"
                 )
+            if event.time != clock.now:
+                clock.advance_to(event.time)
+            self._fire(event)
+            self._retire(event)
         return proc.result
 
     def _stuck_report(self) -> str:
