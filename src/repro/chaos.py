@@ -524,6 +524,11 @@ class EpisodeDriver:
             machine.set_online(False, now)
         elif episode.kind == "channel-blackout":
             self._channels[episode.target].block(now, episode.duration)
+            # The block pushed in-flight transfers' finish times back; the
+            # availability times cached on their page runs at submission
+            # must follow, or accesses would read destination frames (and
+            # commits could land) mid-outage.
+            machine.migration.refresh_availability()
         elif episode.kind == "capacity-loss":
             reserved = machine.fast.reserve(episode.frames * machine.page_size)
             if machine.tracer is not None:

@@ -55,6 +55,7 @@ EXPERIMENTS = {
     "fig13": "fig13_breakdown",
     "attrib": "step_attribution",
     "robust": "robustness_degradation",
+    "ras": "ras_resilience",
     "survival": "pressure_survival",
     "contention": "multi_tenant_contention",
     "serving": "serving_overload",
@@ -103,6 +104,65 @@ def _add_pressure_flags(parser) -> None:
         default=0,
         help="fast frames reserved for the urgent demand lane (governor "
         "reserve pool)",
+    )
+
+
+def _ras_from(args):
+    """Build the RAS config from ``--ue-rate``/``--ce-rate``/``--scrub-bw``.
+
+    With both rates zero this returns ``None`` — the machine is built
+    without a RAS engine and the run stays byte-identical to pre-RAS
+    builds.
+    """
+    ue_rate = getattr(args, "ue_rate", 0.0)
+    ce_rate = getattr(args, "ce_rate", 0.0)
+    if not ue_rate and not ce_rate:
+        return None
+    from repro.mem.ras import RASConfig
+
+    return RASConfig(
+        seed=getattr(args, "ras_seed", 0),
+        ue_rate=ue_rate,
+        ce_rate=ce_rate,
+        scrub_bandwidth=getattr(args, "scrub_bw", 0.0),
+        recovery=getattr(args, "recovery", "remat"),
+    )
+
+
+def _add_ras_flags(parser) -> None:
+    parser.add_argument(
+        "--ue-rate",
+        type=float,
+        default=0.0,
+        help="uncorrectable-error rate per byte-second of slow-tier "
+        "residency (0 = no RAS engine attached)",
+    )
+    parser.add_argument(
+        "--ce-rate",
+        type=float,
+        default=0.0,
+        help="correctable-error rate per byte-second of slow-tier residency",
+    )
+    parser.add_argument(
+        "--scrub-bw",
+        type=float,
+        default=0.0,
+        metavar="BYTES_PER_S",
+        help="patrol-scrubber sweep bandwidth (0 disables scrubbing)",
+    )
+    parser.add_argument(
+        "--recovery",
+        choices=("none", "refetch", "remat"),
+        default="remat",
+        help="UE recovery ladder ceiling: none = every UE is fatal to the "
+        "run; refetch = re-fetch clean preallocated pages; remat = also "
+        "re-run the producer op for lost activations",
+    )
+    parser.add_argument(
+        "--ras-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic error-injection streams",
     )
 
 
@@ -176,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace of the run to PATH (open in Perfetto)",
     )
     _add_pressure_flags(run)
+    _add_ras_flags(run)
 
     compare = sub.add_parser("compare", help="all applicable policies on one model")
     compare.add_argument("model", choices=sorted(MODELS))
@@ -377,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the canonical serve report JSON to PATH",
     )
+    _add_ras_flags(serve)
 
     trace = sub.add_parser(
         "trace", help="run one simulation under event tracing and export it"
@@ -434,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the per-step attribution as canonical JSON to PATH",
     )
     _add_pressure_flags(critpath)
+    _add_ras_flags(critpath)
 
     bench = sub.add_parser(
         "bench",
@@ -523,6 +586,7 @@ def _cmd_run(args) -> int:
         audit=args.audit,
         tracer=tracer,
         pressure=_pressure_from(args),
+        ras=_ras_from(args),
     )
     rows = [
         ("step time (s)", f"{metrics.step_time:.4f}"),
@@ -920,6 +984,7 @@ def _cmd_serve(args) -> int:
         platform=args.platform,
         fast_fraction=args.fast_fraction,
         tracer=tracer,
+        ras=_ras_from(args),
     )
     report = server.run()
     print(
@@ -1000,6 +1065,7 @@ def _cmd_critpath(args) -> int:
         fast_fraction=args.fast_fraction,
         chaos=_chaos_from(args),
         pressure=_pressure_from(args),
+        ras=_ras_from(args),
         tracer=tracer,
     )
     try:

@@ -191,6 +191,54 @@ class Allocator:
             self.free(mapping.tensor, now)
         self._open.clear()
 
+    def retire_page(self, run: PageTableEntry, vpn: int, now: float) -> bool:
+        """Carve the dead page ``vpn`` out of ``run`` and unmap it.
+
+        Page-retirement support for :class:`repro.mem.ras.RasEngine`: the
+        run is split so exactly one page covers ``vpn``, that page is
+        unmapped (its bytes return to the device, where the RAS engine
+        immediately withholds them again via ``reserve()``), and any
+        surviving fragment the split created is re-registered with the
+        owning tensors — a split tail is referenced by no
+        :class:`RunShare`, so without registration the fragment would leak
+        when its tensors are freed.  The registration shares are
+        zero-byte: they keep the free path walking the fragment without
+        changing access pricing (zero-byte shares are skipped) or
+        residency accounting.
+
+        Returns True when the page was unmapped; False when the run is
+        not (or no longer) managed by this allocator, is in flight, or
+        does not cover ``vpn`` — the caller then retires the frame by
+        capacity accounting alone.
+        """
+        table = self.machine.page_table
+        if run.vpn not in table or table.entry(run.vpn) is not run:
+            return False
+        if run.in_flight or not run.vpn <= vpn < run.vpn + run.npages:
+            return False
+        users = self._run_users.get(run.vpn)
+        if not users:
+            return False
+        dead = run if vpn == run.vpn else table.split(run.vpn, vpn - run.vpn)
+        if dead.npages > 1:
+            rest = table.split(dead.vpn, 1)
+            self._adopt(rest, users)
+        if dead is not run:
+            # A fresh entry no share references: account its page here;
+            # the head run's eventual free covers only its shrunk range.
+            self.live_page_bytes -= self.machine.page_size
+        self._forget_open(run)
+        self.machine.unmap_run(dead, now)
+        return True
+
+    def _adopt(self, fragment: PageTableEntry, users: Set[int]) -> None:
+        """Register a split-off fragment with every tensor using the run."""
+        self._run_users[fragment.vpn] = set(users)
+        for tid in users:
+            mapping = self._mappings.get(tid)
+            if mapping is not None:
+                mapping.shares.append(RunShare(run=fragment, nbytes=0))
+
     # -------------------------------------------------------------- helpers
 
     def _fill_open_page(

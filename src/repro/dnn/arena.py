@@ -90,6 +90,11 @@ class ArenaAllocator(Allocator):
         #: largest single allocation seen — the request class external
         #: fragmentation is measured against
         self._largest_request = 0
+        #: RAS-retired byte ranges per slab vpn: ``[(lo, hi), ...]``.  A
+        #: BFC slab is never carved around a dead frame (chunk offsets are
+        #: relative to the whole slab), so retirement quarantines the dead
+        #: range instead — no future tenant may land on it.
+        self._quarantined: Dict[int, List[tuple]] = {}
 
     # --------------------------------------------------------------- lookup
 
@@ -115,6 +120,29 @@ class ArenaAllocator(Allocator):
 
     def _list_free(self, chunk: _Chunk) -> None:
         chunk.tenant = None
+        spans = self._quarantined.get(chunk.run.vpn)
+        if spans:
+            # Clip the chunk against RAS-retired ranges: the remnants go
+            # back on the free lists, the dead bytes never do.
+            for lo, hi in spans:
+                if chunk.offset < hi and chunk.offset + chunk.nbytes > lo:
+                    if chunk.offset < lo:
+                        self._list_free(
+                            _Chunk(
+                                run=chunk.run,
+                                offset=chunk.offset,
+                                nbytes=lo - chunk.offset,
+                            )
+                        )
+                    if chunk.offset + chunk.nbytes > hi:
+                        self._list_free(
+                            _Chunk(
+                                run=chunk.run,
+                                offset=hi,
+                                nbytes=chunk.offset + chunk.nbytes - hi,
+                            )
+                        )
+                    return
         self._bins.setdefault(_size_class(chunk.nbytes), []).append(chunk)
 
     def _grow(self, nbytes: int, now: float, tensor: Tensor) -> _Chunk:
@@ -186,8 +214,50 @@ class ArenaAllocator(Allocator):
         self._chunks_by_tid.clear()
         self._run_users.clear()
         self._mappings.clear()
+        self._quarantined.clear()
         self.live_tensor_bytes = 0
         self._largest_request = 0
+
+    def retire_page(self, run: PageTableEntry, vpn: int, now: float) -> bool:
+        """Quarantine the dead page instead of carving the slab.
+
+        Chunk offsets are relative to the whole slab run, so splitting the
+        run around a dead frame (the base-allocator strategy) would
+        invalidate every chunk behind the split point.  A BFC arena
+        instead keeps the slab intact and quarantines the struck byte
+        range: free chunks overlapping it are clipped out of the bins now,
+        tenant chunks are clipped when they free, and no future allocation
+        is served from the range.  Returns False — the page stays mapped
+        (the slab hole is unusable, not unmapped) and the RAS engine
+        retires the frame by capacity accounting alone.
+        """
+        table = self.machine.page_table
+        if run.vpn not in table or table.entry(run.vpn) is not run:
+            return False
+        if run.in_flight or not run.vpn <= vpn < run.vpn + run.npages:
+            return False
+        if all(owned is not run for owned in self._owned_runs):
+            return False
+        page_size = self.machine.page_size
+        lo = (vpn - run.vpn) * page_size
+        self._quarantined.setdefault(run.vpn, []).append((lo, lo + page_size))
+        # Purge overlapping free chunks; _list_free re-lists the remnants
+        # clipped against the freshly-quarantined range.
+        struck: List[_Chunk] = []
+        for chunks in self._bins.values():
+            overlapping = [
+                c
+                for c in chunks
+                if c.run is run
+                and c.offset < lo + page_size
+                and c.offset + c.nbytes > lo
+            ]
+            if overlapping:
+                chunks[:] = [c for c in chunks if c not in overlapping]
+                struck.extend(overlapping)
+        for chunk in struck:
+            self._list_free(chunk)
+        return False
 
     # ---------------------------------------------------------------- stats
 
@@ -423,6 +493,7 @@ class ArenaAllocator(Allocator):
         for chunks in self._bins.values():
             chunks[:] = [c for c in chunks if c.run.vpn != run.vpn]
         self._run_users.pop(run.vpn, None)
+        self._quarantined.pop(run.vpn, None)
         self._owned_runs.remove(run)
         nbytes = run.npages * self.machine.page_size
         self.live_page_bytes -= nbytes

@@ -58,6 +58,7 @@ except ImportError:  # pragma: no cover - scalar fallback, see repro.accel
 from repro import accel
 from repro.dnn.alloc import Allocator, TensorMapping
 from repro.dnn.graph import Graph, Layer
+from repro.dnn.ops import Op
 from repro.dnn.policy import PlacementPolicy
 from repro.dnn.tensor import Tensor
 from repro.errors import ExecutionError
@@ -181,6 +182,19 @@ class Executor:
         #: sampling sites below are one ``is not None`` check each, so
         #: un-metered runs stay byte-identical.
         self._metrics = machine.metrics
+        #: optional RAS engine (``Machine(ras=...)``).  Every hook below is
+        #: one ``is None`` check; RAS-free runs stay byte-identical.  The
+        #: producers table feeds rematerialization: the first op that
+        #: *writes* a tensor is the op re-run to rebuild it after a UE.
+        self._ras = machine.ras
+        self._producers: Dict[int, Op] = {}
+        if self._ras is not None:
+            for layer in graph.layers:
+                for op in layer.ops:
+                    for access in op.accesses:
+                        tid = access.tensor.tid
+                        if access.is_write and tid not in self._producers:
+                            self._producers[tid] = op
         machine.stats.bind_clock(self.clock)
         policy.bind(machine, graph)
         if engine is not None:
@@ -267,6 +281,8 @@ class Executor:
         op_compute_times = self._op_compute_times
         op_step_tensors = self._op_step_tensors
         mapping_of = allocator.mapping_table().get
+        ras = self._ras
+        producer_of = self._producers.get
         op_index = 0
         if events is not None:
             events.begin("step", "step", track=track, step=step)
@@ -274,6 +290,7 @@ class Executor:
             observer.on_step_start(step, clock.now)
         pre_stall = policy.on_step_start(step, clock.now)
         yield from self._charge_stall(result, pre_stall)
+        step_ras = 0.0
 
         for layer in self.graph.layers:
             layer_start = clock.now
@@ -291,6 +308,7 @@ class Executor:
             layer_exec = 0.0
             layer_stall = 0.0
             layer_fault = 0.0
+            layer_ras = 0.0
             stall = policy.on_layer_start(layer, clock.now)
             yield from self._charge_stall(result, stall)
             layer_stall += stall
@@ -313,6 +331,7 @@ class Executor:
                 mem_time = 0.0
                 stall_time = 0.0
                 fault_time = 0.0
+                ras_time = 0.0
                 for access in op.accesses:
                     mapping = mapping_of(access.tensor.tid)
                     if mapping is None:
@@ -330,8 +349,16 @@ class Executor:
                     fault_time += charge.fault
                     result.bytes_fast += charge.bytes_fast
                     result.bytes_slow += charge.bytes_slow
+                    if ras is not None:
+                        ras_time += ras.check_access(
+                            access.tensor,
+                            mapping,
+                            clock.now,
+                            producer_of(access.tensor.tid),
+                            allocator,
+                        )
                 op_exec = max(compute_time, mem_time)
-                op_time = op_exec + stall_time + fault_time
+                op_time = op_exec + stall_time + fault_time + ras_time
                 result.compute_time += compute_time
                 result.mem_time += mem_time
                 result.stall_time += stall_time
@@ -341,6 +368,7 @@ class Executor:
                 layer_exec += op_exec
                 layer_stall += stall_time
                 layer_fault += fault_time
+                layer_ras += ras_time
                 yield op_time
                 machine.migration.sync(clock.now)
 
@@ -348,10 +376,20 @@ class Executor:
             stall = policy.on_layer_end(layer, clock.now)
             yield from self._charge_stall(result, stall)
             layer_stall += stall
+            if ras is not None:
+                # Age memory by the layer's wall-span: errors accumulate in
+                # proportion to residency time, and the patrol scrubber's
+                # analytic cursor drains up to the layer boundary.
+                ras.age(clock.now - layer_start, clock.now)
+                step_ras += layer_ras
             for observer in self.observers:
                 observer.on_layer_end(layer, clock.now)
             result.layer_spans.append((layer.index, layer_start, clock.now))
             if events is not None:
+                # The ras component rides the layer-end event only when a
+                # RAS engine is attached, keeping RAS-free traces (and their
+                # golden digests) byte-identical to historical ones.
+                ras_args = {} if ras is None else {"ras": layer_ras}
                 events.end(
                     "layer",
                     "step",
@@ -361,6 +399,7 @@ class Executor:
                     exec=layer_exec,
                     stall=layer_stall,
                     fault=layer_fault,
+                    **ras_args,
                 )
             if self._metrics is not None:
                 self._metrics.histogram("executor.layer_time").observe(
@@ -397,6 +436,8 @@ class Executor:
         )
         result.peak_fast = machine.fast.peak_used
         result.peak_slow = machine.slow.peak_used
+        if ras is not None:
+            result.extras["ras_time"] = step_ras
         if self._metrics is not None:
             self._metrics.counter("executor.steps").add(1)
             self._metrics.histogram("executor.step_time").observe(result.duration)

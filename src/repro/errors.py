@@ -85,6 +85,62 @@ class TraceTruncatedError(ReproError):
         )
 
 
+class AccountingError(ReproError, ValueError):
+    """Device byte-accounting went negative (over-release / over-unreserve).
+
+    Raised by :class:`repro.mem.devices.MemoryDevice` when a ``release`` or
+    ``unreserve`` would drive the used/reserved counters below zero — always
+    a bookkeeping bug in the caller (a double free, a retirement path
+    returning frames it never took), never a recoverable condition.  Also a
+    :class:`ValueError`: these were plain ``ValueError`` before the typed
+    class existed and callers may still catch them as such.
+
+    Attributes:
+        device: name of the device whose accounting broke.
+        counter: which counter would have underflowed (``"used"`` or
+            ``"reserved"``).
+    """
+
+    def __init__(self, device: str, counter: str, detail: str) -> None:
+        self.device = device
+        self.counter = counter
+        super().__init__(f"{device}: {counter} accounting underflow — {detail}")
+
+
+class UncorrectableMemoryError(ReproError):
+    """An uncorrectable memory error survived every recovery rung.
+
+    Raised by :class:`repro.mem.ras.RasEngine` when a UE hits data whose
+    loss cannot be absorbed: no clean copy exists on the other tier and the
+    owning tensor cannot be rematerialized from its producer op.  This is
+    deliberately *not* a :class:`MemoryPressureError` — the workload fits,
+    the data is gone — so feasibility probes never mistake it for OOM.  The
+    serving layer catches it per job: the owning job fails (against its
+    restart budget) while the machine stays online.
+
+    Attributes:
+        vpn: virtual page number of the poisoned-by-UE page.
+        device: name of the device the error struck.
+        tensor: tid of the owning tensor if one was identified, else None.
+    """
+
+    def __init__(
+        self, vpn: int, device: str, tensor=None, detail: str = ""
+    ) -> None:
+        self.vpn = vpn
+        self.device = device
+        self.tensor = tensor
+        message = (
+            f"uncorrectable memory error on {device} at vpn {vpn} "
+            f"exhausted the recovery ladder"
+        )
+        if tensor is not None:
+            message += f" (tensor {tensor})"
+        if detail:
+            message += f" — {detail}"
+        super().__init__(message)
+
+
 class ConsistencyError(ReproError):
     """An internal invariant was violated; names the broken invariant.
 

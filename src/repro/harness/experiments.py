@@ -29,10 +29,11 @@ from repro.harness.runner import (
     max_batch_size,
     run_policy,
 )
-from repro.harness.sweeps import point_seed
+from repro.harness.sweeps import point_seed, sweep
 from repro.mem.machine import Machine
 from repro.mem.platforms import GPU_HM, OPTANE_HM, Platform
 from repro.mem.pressure import PressureConfig
+from repro.mem.ras import RASConfig
 from repro.models.zoo import MODELS, build_model
 
 #: CPU evaluation sets (paper §VII-B): small batches for Figure 7/10,
@@ -264,18 +265,35 @@ def fig5_interval_sweep(
 # --------------------------------------------------------------------- E4
 
 def fig7_speedup(
-    models: Sequence[str] = CPU_SMALL_MODELS, fast_fraction: float = 0.2
+    models: Sequence[str] = CPU_SMALL_MODELS,
+    fast_fraction: float = 0.2,
+    workers: int = 1,
 ) -> Dict:
-    """Figure 7: IAL/AutoTM/Sentinel speedup over slow-only at 20% fast."""
+    """Figure 7: IAL/AutoTM/Sentinel speedup over slow-only at 20% fast.
+
+    The grid runs through :func:`repro.harness.sweeps.sweep`, so
+    ``workers > 1`` fans the (model, policy) points over a process pool;
+    every point is an isolated simulation merged back in enumeration
+    order, so the result is byte-identical to ``workers=1``.
+    """
+    grid = sweep(
+        ("slow-only", "fast-only", "ial", "autotm", SENTINEL_CPU),
+        models,
+        fast_fractions=(fast_fraction,),
+        workers=workers,
+    )
+
+    def metrics_of(name: str, policy: str) -> RunMetrics:
+        return grid.where(model=name, policy=policy)[0].metrics
+
     rows = []
     records = {}
     for name in models:
-        slow = run_policy("slow-only", model=name)
-        fast = run_policy("fast-only", model=name)
+        slow = metrics_of(name, "slow-only")
+        fast = metrics_of(name, "fast-only")
         row = {"model": name, "slow_time": slow.step_time, "fast_time": fast.step_time}
         for policy in ("ial", "autotm", SENTINEL_CPU):
-            metrics = run_policy(policy, model=name, fast_fraction=fast_fraction)
-            row[policy] = metrics.step_time
+            row[policy] = metrics_of(name, policy).step_time
         records[name] = row
         rows.append(
             (
@@ -396,16 +414,29 @@ def fig9_bandwidth(model: str = "resnet32", fast_fraction: float = 0.2) -> Dict:
 def fig10_sensitivity(
     models: Sequence[str] = CPU_SMALL_MODELS,
     fractions: Sequence[float] = (0.2, 0.3, 0.4, 0.6),
+    workers: int = 1,
 ) -> Dict:
-    """Figure 10: Sentinel performance vs fast-memory size."""
+    """Figure 10: Sentinel performance vs fast-memory size.
+
+    Runs through :func:`repro.harness.sweeps.sweep`, so ``workers > 1``
+    parallelizes the (model, fraction) grid byte-identically.
+    """
+    grid = sweep(
+        ("fast-only", SENTINEL_CPU),
+        models,
+        fast_fractions=tuple(fractions),
+        workers=workers,
+    )
     records: Dict[str, List[Tuple[float, float]]] = {}
     rows = []
     for name in models:
-        fast = run_policy("fast-only", model=name)
+        fast = grid.where(model=name, policy="fast-only")[0].metrics
         series = []
         cells = [name]
         for fraction in fractions:
-            metrics = run_policy(SENTINEL_CPU, model=name, fast_fraction=fraction)
+            metrics = grid.where(
+                model=name, policy=SENTINEL_CPU, fast_fraction=fraction
+            )[0].metrics
             relative = metrics.step_time / fast.step_time
             series.append((fraction, relative))
             cells.append(f"{relative:.2f}")
@@ -765,6 +796,129 @@ def robustness_degradation(
         "model": model,
         "fault_rates": tuple(fault_rates),
         "chaos_seed": chaos_seed,
+        "records": records,
+        "text": text,
+    }
+
+
+def ras_resilience(
+    model: str = "resnet32",
+    recoveries: Sequence[str] = ("none", "refetch", "remat"),
+    ue_rates: Sequence[float] = (0.0, 2e-10, 1e-9),
+    ce_ratio: float = 10.0,
+    scrub_bandwidth: float = 256 * 1024**2,
+    fast_fraction: float = 0.2,
+    ras_seed: int = 4321,
+) -> Dict:
+    """UE-rate sweep: training resilience under uncorrectable memory errors.
+
+    Every point runs Sentinel under the RAS engine (:mod:`repro.mem.ras`)
+    with seeded CE/UE injection at the given per-byte-second UE rate (CEs
+    at ``ce_ratio`` times that), a patrol scrubber at ``scrub_bandwidth``
+    bytes/s, and the per-step invariant auditor.  The sweep compares
+    recovery policies: ``"none"`` turns every UE into a fatal
+    :class:`~repro.errors.UncorrectableMemoryError` (recorded as a died
+    point, not an exception); ``"refetch"`` re-fetches clean preallocated
+    pages but dies on activations; ``"remat"`` additionally re-runs the
+    producer op, so training survives UEs on live activations at the cost
+    of recovery time — which lands in the ``ras_recovery`` critical-path
+    bucket and the counters reported here.
+
+    The rate-0 point per policy is the RAS-disabled baseline (the config
+    is dormant, the run byte-identical to a pre-RAS machine); ``relative``
+    throughput is measured against it.  Per-point seeds come from
+    :func:`point_seed`, so a point's error sequence depends only on its
+    own coordinates.
+    """
+    from repro.errors import UncorrectableMemoryError
+
+    if not recoveries or not ue_rates:
+        raise ValueError("need at least one recovery policy and one UE rate")
+    rows = []
+    records: Dict[str, List[Dict[str, object]]] = {}
+    for recovery in recoveries:
+        series: List[Dict[str, object]] = []
+        baseline: Optional[float] = None
+        for rate in ue_rates:
+            ras = RASConfig(
+                seed=point_seed(ras_seed, recovery, model, rate),
+                ue_rate=rate,
+                ce_rate=rate * ce_ratio,
+                scrub_bandwidth=scrub_bandwidth,
+                recovery=recovery,
+            )
+            try:
+                metrics = run_policy(
+                    SENTINEL_CPU,
+                    model=model,
+                    fast_fraction=fast_fraction,
+                    ras=ras,
+                    audit=True,
+                )
+            except UncorrectableMemoryError as err:
+                series.append(
+                    {"ue_rate": rate, "survived": False, "error": str(err)}
+                )
+                rows.append(
+                    (recovery, f"{rate:.1e}", "died", "-", "-", "-", "-", "-", "-")
+                )
+                continue
+            if baseline is None:
+                baseline = metrics.throughput
+            extras = metrics.extras
+            point = {
+                "ue_rate": rate,
+                "survived": True,
+                "step_time": metrics.step_time,
+                "throughput": metrics.throughput,
+                "relative": metrics.throughput / baseline if baseline else 0.0,
+                "errors_injected": extras.get("ras.errors_injected", 0),
+                "ce_corrected": extras.get("ras.ce_corrected", 0),
+                "ce_scrubbed": extras.get("ras.ce_scrubbed", 0),
+                "ue_detected": extras.get("ras.ue_detected", 0),
+                "retired_frames": extras.get("ras.retired_frames", 0),
+                "clean_drops": extras.get("ras.clean_drops", 0),
+                "refetch_events": extras.get("ras.refetch_events", 0),
+                "remat_events": extras.get("ras.remat_events", 0),
+                "recovery_time": extras.get("ras.remat_time", 0.0)
+                + extras.get("ras.refetch_time", 0.0),
+            }
+            series.append(point)
+            rows.append(
+                (
+                    recovery,
+                    f"{rate:.1e}",
+                    f"{metrics.step_time:.4f}",
+                    f"{point['relative']:.2f}",
+                    int(point["errors_injected"]),
+                    int(point["ce_scrubbed"]),
+                    int(point["ue_detected"]),
+                    int(point["retired_frames"]),
+                    f"{point['recovery_time']:.4f}",
+                )
+            )
+        records[recovery] = series
+    text = format_table(
+        (
+            "recovery",
+            "UE rate",
+            "step (s)",
+            "vs rate 0",
+            "errors",
+            "scrubbed",
+            "UEs",
+            "retired",
+            "recovery s",
+        ),
+        rows,
+        title=f"RAS resilience — {model} under CE/UE injection "
+        f"(seed {ras_seed}, scrub {mib(scrub_bandwidth):.0f} MiB/s)",
+    )
+    return {
+        "model": model,
+        "recoveries": tuple(recoveries),
+        "ue_rates": tuple(ue_rates),
+        "ras_seed": ras_seed,
         "records": records,
         "text": text,
     }

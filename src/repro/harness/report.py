@@ -140,7 +140,7 @@ def format_trace_summary(events, title: str = "trace summary", dropped: int = 0)
 
 def format_attribution(attribution, title: str = "step attribution") -> str:
     """Render a :class:`repro.obs.critpath.Attribution` as the Figure 13
-    style breakdown: one row per step with the six exclusive components,
+    style breakdown: one row per step with the exclusive components,
     a totals row, and the two headline what-if answers.
     """
     headers = (
@@ -151,6 +151,7 @@ def format_attribution(attribution, title: str = "step attribution") -> str:
         "contention",
         "fault",
         "reclaim",
+        "ras",
         "idle",
     )
     rows = []
@@ -165,6 +166,7 @@ def format_attribution(attribution, title: str = "step attribution") -> str:
                 f"{comp['channel_contention']:.4f}",
                 f"{comp['fault']:.4f}",
                 f"{comp['pressure_reclaim']:.4f}",
+                f"{comp['ras_recovery']:.4f}",
                 f"{comp['idle']:.4f}",
             )
         )
@@ -179,6 +181,7 @@ def format_attribution(attribution, title: str = "step attribution") -> str:
             f"{totals['channel_contention']:.4f}",
             f"{totals['fault']:.4f}",
             f"{totals['pressure_reclaim']:.4f}",
+            f"{totals['ras_recovery']:.4f}",
             f"{totals['idle']:.4f}",
         )
     )

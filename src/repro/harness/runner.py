@@ -26,6 +26,7 @@ from repro.errors import MemoryPressureError
 from repro.mem.machine import Machine
 from repro.mem.platforms import Platform
 from repro.mem.pressure import PressureConfig
+from repro.mem.ras import RASConfig
 from repro.models.zoo import build_model
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -91,6 +92,7 @@ def run_policy(
     tracer: Optional["EventTracer"] = None,
     pressure: Optional[PressureConfig] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    ras: Optional[RASConfig] = None,
 ) -> RunMetrics:
     """Run one policy on one workload and return steady-state metrics.
 
@@ -121,6 +123,11 @@ def run_policy(
     (histograms, occupancy series) across the substrate; the default
     ``None`` keeps them dormant and the run byte-identical to un-metered
     builds.
+
+    ``ras`` attaches a :class:`~repro.mem.ras.RasEngine` (seeded CE/UE
+    injection, patrol scrubbing, page retirement, tensor recovery); the
+    default ``None`` — or a config with all rates zero — leaves the run
+    byte-identical to a pre-RAS machine.
     """
     if (graph is None) == (model is None):
         raise ValueError("provide exactly one of graph= or model=")
@@ -144,6 +151,7 @@ def run_policy(
         tracer=tracer,
         pressure=pressure,
         metrics=metrics,
+        ras=ras,
     )
 
     policy = make_policy(policy_name, sentinel_config=_sentinel_config(sentinel_config))
@@ -205,6 +213,15 @@ def run_policy(
         extras["migration.relocated_bytes"] = machine.stats.counter(
             "migration.relocated_bytes"
         ).value
+    if machine.ras is not None:
+        # Only with an enabled RAS engine: RAS-free runs keep metrics
+        # bit-identical to runs predating the subsystem.
+        for key, count in sorted(machine.ras.counts.items()):
+            extras[key] = count
+        extras["ras.remat_bytes"] = machine.ras.remat_bytes
+        extras["ras.remat_time"] = machine.ras.remat_time
+        extras["ras.refetch_time"] = machine.ras.refetch_time
+        extras["ras.scrub_swept_bytes"] = machine.ras.scrub_swept_bytes
 
     return RunMetrics(
         model=graph.name,

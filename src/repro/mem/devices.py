@@ -13,12 +13,13 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import DeviceFullError
+from repro.errors import AccountingError, DeviceFullError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
 
 __all__ = [
+    "AccountingError",
     "DeviceKind",
     "DeviceSpec",
     "DeviceFullError",
@@ -145,9 +146,10 @@ class MemoryDevice:
         if nbytes < 0:
             raise ValueError(f"cannot release negative bytes {nbytes!r}")
         if nbytes > self._used:
-            raise ValueError(
-                f"{self.spec.name}: releasing {nbytes} bytes but only "
-                f"{self._used} allocated"
+            raise AccountingError(
+                self.spec.name,
+                "used",
+                f"releasing {nbytes} bytes but only {self._used} allocated",
             )
         self._used -= nbytes
 
@@ -173,9 +175,10 @@ class MemoryDevice:
         if nbytes < 0:
             raise ValueError(f"cannot unreserve negative bytes {nbytes!r}")
         if nbytes > self._reserved:
-            raise ValueError(
-                f"{self.spec.name}: unreserving {nbytes} bytes but only "
-                f"{self._reserved} reserved"
+            raise AccountingError(
+                self.spec.name,
+                "reserved",
+                f"unreserving {nbytes} bytes but only {self._reserved} reserved",
             )
         self._reserved -= nbytes
 

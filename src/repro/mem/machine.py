@@ -18,6 +18,7 @@ from repro.mem.migration import MigrationEngine
 from repro.mem.page import PageTable, PageTableEntry
 from repro.mem.platforms import Platform
 from repro.mem.pressure import PressureConfig, PressureGovernor
+from repro.mem.ras import RASConfig, RasEngine
 from repro.mem.tlb import TLB
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.channel import BandwidthChannel
@@ -58,6 +59,12 @@ class Machine:
             pressure governor, and Sentinel runtime.  ``None`` — the
             default — keeps every detailed site dormant behind one
             ``is not None`` check, so un-metered runs stay byte-identical.
+        ras: optional :class:`~repro.mem.ras.RASConfig`; when enabled, a
+            :class:`~repro.mem.ras.RasEngine` injects seeded CE/UE memory
+            errors, patrol-scrubs them, retires frames struck by UEs, and
+            drives the tensor-recovery ladder.  ``None`` or a disabled
+            config (the default: all rates zero) builds no engine and
+            leaves every run byte-identical to a pre-RAS machine.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class Machine:
         tracer: Optional["EventTracer"] = None,
         pressure: Optional[PressureConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        ras: Optional[RASConfig] = None,
     ) -> None:
         self.platform = platform
         self.injector = injector
@@ -123,6 +131,10 @@ class Machine:
         if pressure is not None and pressure.enabled:
             self.pressure = PressureGovernor(pressure, self)
             self.migration.governor = self.pressure
+        self.ras: Optional[RasEngine] = None
+        if ras is not None and ras.enabled:
+            self.ras = RasEngine(ras, self)
+            self.migration.ras = self.ras
         self._dram_cache: Optional[DRAMCache] = None
         self.engine: Optional["Engine"] = None
         #: whether the machine is currently serving work.  Failure episodes
@@ -179,6 +191,7 @@ class Machine:
         tracer: Optional["EventTracer"] = None,
         pressure: Optional[PressureConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        ras: Optional[RASConfig] = None,
     ) -> "Machine":
         """Build a machine, optionally resizing the fast tier.
 
@@ -194,6 +207,7 @@ class Machine:
             tracer=tracer,
             pressure=pressure,
             metrics=metrics,
+            ras=ras,
         )
 
     @property

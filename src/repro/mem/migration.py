@@ -106,6 +106,11 @@ class MigrationEngine:
         #: by the machine; gates background promotions at the high
         #: watermark and withholds the urgent-lane reserve from them.
         self.governor: Optional["PressureGovernor"] = None
+        #: optional :class:`repro.mem.ras.RasEngine`, attached by the
+        #: machine when error injection is enabled: checksum-gates every
+        #: submission and scrubs latent CEs on commit.  ``None`` keeps all
+        #: RAS hook sites dormant (one ``is None`` check each).
+        self.ras = None
         self._pending: List[MigrationRecord] = []
         self._engine: Optional["Engine"] = None
 
@@ -141,9 +146,29 @@ class MigrationEngine:
         for record in self._pending:
             if record.transfer.done_by(now):
                 self._commit(record)
+                if self.ras is not None:
+                    # The committed copy's read pass went through the
+                    # checksum path: latent CEs it carried are corrected.
+                    self.ras.on_migration_commit(record)
             else:
                 still_pending.append(record)
         self._pending = still_pending
+
+    def refresh_availability(self) -> None:
+        """Re-stamp in-flight runs from their transfers' current finish times.
+
+        A channel blackout (:meth:`repro.sim.channel.BandwidthChannel.block`)
+        suspends in-flight transfers and pushes their ``finish`` back, but
+        the availability time cached on each run's page-table entry at
+        submission would still claim the copy lands on the original
+        schedule — letting ``effective_device`` read destination frames
+        mid-outage.  The episode driver calls this right after blocking a
+        channel so every cached time matches the delayed transfer.
+        """
+        for record in self._pending:
+            for run in record.runs:
+                if run.in_flight:
+                    run.available_at = record.transfer.finish
 
     def _commit(self, record: MigrationRecord) -> None:
         page_size = self.page_table.page_size
@@ -244,6 +269,8 @@ class MigrationEngine:
                     self.fast.release(nbytes)
                     self.slow.allocate(nbytes)
                 return None, [], skipped + scheduled
+        if self.ras is not None:
+            now = self.ras.transit_gate(channel, total, now, tag)
         transfer = channel.submit(total, now, tag=tag)
         for run in scheduled:
             run.begin_migration(DeviceKind.FAST, transfer.finish)
@@ -339,6 +366,8 @@ class MigrationEngine:
                 for run in scheduled:
                     self.slow.release(run.npages * page_size)
                 return None, []
+        if self.ras is not None:
+            now = self.ras.transit_gate(self.demote_channel, total, now, tag)
         transfer = self.demote_channel.submit(total, now, tag=tag)
         for run in scheduled:
             run.begin_migration(DeviceKind.SLOW, transfer.finish)

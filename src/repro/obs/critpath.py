@@ -4,10 +4,10 @@ This module answers the question Figure 13 of the paper answers for real
 hardware: *where does a training step's time actually go?*  Working purely
 from a :mod:`repro.obs` trace, it
 
-1. decomposes every ``step`` span into the six components
+1. decomposes every ``step`` span into the exclusive components
    ``{compute, migration_stall, channel_contention, fault, pressure_reclaim,
-   idle}`` (:func:`attribute`), with the components summing to the measured
-   step duration by construction;
+   ras_recovery, idle}`` (:func:`attribute`), with the components summing to
+   the measured step duration by construction;
 2. reconstructs a per-step dependency DAG from the trace spans — the
    step/layer chain, per-channel FIFO order, and migration-completion →
    consumer-start edges — (:func:`build_step_dags`) and extracts the
@@ -76,8 +76,8 @@ class StepAttribution:
     """One step's duration decomposed into exclusive components.
 
     ``compute + migration_stall + channel_contention + fault +
-    pressure_reclaim + idle == duration`` up to float rounding — the
-    differential suite asserts this on every zoo model.
+    pressure_reclaim + ras_recovery + idle == duration`` up to float
+    rounding — the differential suite asserts this on every zoo model.
     """
 
     step: int
@@ -89,6 +89,11 @@ class StepAttribution:
     fault: float
     pressure_reclaim: float
     idle: float
+    #: RAS recovery time — machine-check handling, clean-page refetch, and
+    #: tensor rematerialization (:mod:`repro.mem.ras`).  Appended after the
+    #: original six fields so positional construction predating RAS keeps
+    #: its meaning; zero for every RAS-free trace.
+    ras_recovery: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -100,13 +105,14 @@ class StepAttribution:
         return self.migration_stall + self.channel_contention + self.pressure_reclaim
 
     def components(self) -> Dict[str, float]:
-        """The six exclusive components, in canonical order."""
+        """The exclusive components, in canonical order."""
         return {
             "compute": self.compute,
             "migration_stall": self.migration_stall,
             "channel_contention": self.channel_contention,
             "fault": self.fault,
             "pressure_reclaim": self.pressure_reclaim,
+            "ras_recovery": self.ras_recovery,
             "idle": self.idle,
         }
 
@@ -154,6 +160,7 @@ class Attribution:
             "channel_contention": 0.0,
             "fault": 0.0,
             "pressure_reclaim": 0.0,
+            "ras_recovery": 0.0,
             "idle": 0.0,
         }
         for step in self.steps:
@@ -218,6 +225,7 @@ def attribute(events: Iterable[TraceEvent], dropped: int = 0) -> Attribution:
         layers = _layers_within(layer_spans, span)
         exec_time = sum(layer.args.get("exec", 0.0) for layer in layers)
         fault = sum(layer.args.get("fault", 0.0) for layer in layers)
+        ras_recovery = sum(layer.args.get("ras", 0.0) for layer in layers)
         stall = (
             sum(layer.args.get("stall", 0.0) for layer in layers)
             + span.args.get("pre_stall", 0.0)
@@ -248,7 +256,9 @@ def attribute(events: Iterable[TraceEvent], dropped: int = 0) -> Attribution:
         contention = min(stall, contention_evidence)
         reclaim = min(stall - contention, reclaim_evidence)
         migration_stall = stall - contention - reclaim
-        idle = max(0.0, span.duration - exec_time - stall - fault)
+        idle = max(
+            0.0, span.duration - exec_time - stall - fault - ras_recovery
+        )
 
         steps.append(
             StepAttribution(
@@ -261,6 +271,7 @@ def attribute(events: Iterable[TraceEvent], dropped: int = 0) -> Attribution:
                 fault=fault,
                 pressure_reclaim=reclaim,
                 idle=idle,
+                ras_recovery=ras_recovery,
             )
         )
     return Attribution(steps=tuple(steps))

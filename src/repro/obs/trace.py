@@ -40,6 +40,7 @@ CATEGORIES = frozenset(
         "pressure",
         "cluster",
         "serve",
+        "ras",
     }
 )
 

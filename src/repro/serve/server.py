@@ -43,10 +43,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.chaos import EpisodeConfig, EpisodeDriver, generate_episodes
 from repro.core.runtime import SentinelPolicy
 from repro.dnn.executor import Executor
+from repro.errors import UncorrectableMemoryError
 from repro.harness.cluster import DEFAULT_CLUSTER_PRESSURE
 from repro.harness.runner import OOM_ERRORS, _sentinel_config, make_policy
 from repro.mem.machine import Machine
 from repro.mem.platforms import Platform
+from repro.mem.ras import RASConfig
 from repro.serve.admission import AdmissionPolicy, make_admission
 from repro.serve.arrivals import Arrival
 from repro.sim.engine import Engine, EventKind, Interrupt
@@ -320,6 +322,10 @@ class Server:
             the biggest jobs.  ``fast_capacity`` (bytes) wins over it.
         pressure / tracer / metrics: forwarded to the built machine
             (same contract as :func:`repro.harness.cluster.run_concurrent`).
+        ras: optional :class:`~repro.mem.ras.RASConfig` for the built
+            machine.  A job whose recovery ladder exhausts fails alone
+            (``serve.ue``) under the same restart budget as offline
+            episodes; the machine itself stays up.
     """
 
     def __init__(
@@ -333,6 +339,7 @@ class Server:
         pressure=_UNSET,
         tracer: Optional["EventTracer"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        ras: Optional[RASConfig] = None,
     ) -> None:
         self.config = config
         self.schedule = arrivals.schedule()
@@ -365,6 +372,7 @@ class Server:
                 tracer=tracer,
                 pressure=governor,
                 metrics=metrics,
+                ras=ras,
             )
         elif tracer is not None and machine.tracer is None:
             raise ValueError(
@@ -558,6 +566,10 @@ class Server:
             outcome = "offline"
         except JobTimeout:
             outcome = TIMED_OUT
+        except UncorrectableMemoryError:
+            # The recovery ladder is exhausted for a page this job owns:
+            # the blast radius is the job, never the machine.
+            outcome = "ue"
         except OOM_ERRORS:
             outcome = INFEASIBLE
         # Teardown runs on *every* exit path: a job leaving the machine —
@@ -623,6 +635,29 @@ class Server:
                 job.finished_at = now
                 self._count("serve.failed")
                 self._mark("fail", job, reason="restart-budget-exhausted")
+        elif outcome == "ue":
+            # Uncorrectable memory error past the recovery ladder: the
+            # attempt's data is gone, but the frame was retired, so a
+            # restart-budget-permitting retry starts from the checkpoint on
+            # healthy pages.  Same budget as machine-offline restarts.
+            self._count("serve.ue")
+            if job.restarts < self.config.restart_budget:
+                job.restarts += 1
+                job.state = QUEUED
+                self._count("serve.restart")
+                self._mark(
+                    "restart",
+                    job,
+                    restart=job.restarts,
+                    checkpoint=job.completed_steady,
+                    reason="ue",
+                )
+                self._queue.append(job)
+            else:
+                job.state = FAILED
+                job.finished_at = now
+                self._count("serve.failed")
+                self._mark("fail", job, reason="ue-restart-budget-exhausted")
         elif outcome == TIMED_OUT:
             job.state = TIMED_OUT
             job.finished_at = now

@@ -230,24 +230,61 @@ class BandwidthChannel:
         """Hold the channel unavailable for ``duration`` seconds from ``now``.
 
         Models a fabric blackout (a link flap, a switch reset on a
-        network-attached slow tier): no new transfer can *start* until the
-        blackout ends, so work queued behind it is pushed back exactly the
-        way a long transfer would push it — ``start = max(now, next_free)``
-        stays the only queueing rule.  In-flight transfers are unaffected
-        (their bytes already crossed the wire in the analytic model).
+        network-attached slow tier).  The outage takes effect *immediately*:
+        a transfer whose last byte has not landed by ``now`` is suspended
+        for the outage and finishes ``duration`` later (its scheduled
+        ``TRANSFER_DONE`` event is re-scheduled to the new finish time), and
+        no new transfer can start until the blackout ends — queued work is
+        pushed back exactly the way a long transfer would push it.  A
+        completion can therefore never be delivered mid-outage.
+
+        Callers that cached completion times from in-flight transfers (the
+        migration engine stamps them on page runs) must refresh them after
+        a block — see :meth:`repro.mem.migration.MigrationEngine.refresh_availability`.
 
         Returns the time at which the channel becomes available again.
         """
         if duration < 0.0:
             raise ValueError(f"blackout duration must be >= 0, got {duration!r}")
-        start = max(now, self._next_free)
-        self._next_free = start + duration
+        # Suspend everything still in flight.  FIFO service makes finish
+        # times monotone over the history, so only a suffix can be live.
+        for transfer in reversed(self._history):
+            if transfer.finish <= now:
+                break
+            object.__setattr__(transfer, "finish", transfer.finish + duration)
+            if transfer.start > now:
+                object.__setattr__(transfer, "start", transfer.start + duration)
+        self._next_free = max(now, self._next_free) + duration
         self._blocked_time += duration
+        if self._engine is not None:
+            rescheduled: List["Event"] = []
+            for event in self._pending_events:
+                if event.cancelled:
+                    continue
+                if event.time <= now:
+                    rescheduled.append(event)
+                    continue
+                # The completion must not fire mid-outage: cancel the stale
+                # event and schedule a fresh one at the suspended transfer's
+                # new finish time, payload intact.
+                event.cancel()
+                transfer = event.payload.get("transfer")
+                when = (
+                    transfer.finish
+                    if transfer is not None
+                    else event.time + duration
+                )
+                rescheduled.append(
+                    self._engine.schedule_at(
+                        when, event.kind, name=event.name, payload=event.payload
+                    )
+                )
+            self._pending_events = rescheduled
         if self.tracer is not None:
             self.tracer.complete(
                 "blackout",
                 "channel",
-                ts=start,
+                ts=now,
                 dur=duration,
                 track=self.name,
                 nbytes=0,

@@ -165,3 +165,86 @@ class TestArenaProperties:
             for tensor in tensors:
                 arena.free(tensor, now=0.0)
         assert arena.arena_bytes == first_round_bytes
+
+
+class TestPageRetirementQuarantine:
+    """RAS retirement on a BFC slab: quarantine, never carve."""
+
+    def _retire(self, arena, run, page_index):
+        return arena.retire_page(run, run.vpn + page_index, now=0.0)
+
+    def test_retire_returns_false_and_keeps_slab_mapped(self):
+        machine, arena = make_arena()
+        mapping = arena.alloc(make_tensor(0, PAGE * 4), now=0.0)
+        run = mapping.shares[0].run
+        assert self._retire(arena, run, 1) is False
+        assert run.vpn in machine.page_table
+        assert machine.page_table.entry(run.vpn).npages == run.npages
+
+    def test_freed_tenant_bytes_skip_the_quarantined_page(self):
+        machine, arena = make_arena()
+        tensor = make_tensor(0, PAGE * 4)
+        mapping = arena.alloc(tensor, now=0.0)
+        run = mapping.shares[0].run
+        self._retire(arena, run, 1)
+        arena.free(tensor, now=0.0)
+        # The slab's free list covers everything except the dead page.
+        slab_bytes = run.npages * PAGE
+        assert arena.free_bytes == slab_bytes - PAGE
+        # No free chunk overlaps the quarantined range.
+        for chunks in arena._bins.values():
+            for chunk in chunks:
+                if chunk.run is run:
+                    assert not (
+                        chunk.offset < 2 * PAGE
+                        and chunk.offset + chunk.nbytes > PAGE
+                    )
+
+    def test_quarantined_range_is_never_reallocated(self):
+        machine, arena = make_arena()
+        tensor = make_tensor(0, PAGE * 4)
+        arena.alloc(tensor, now=0.0)
+        run = arena.mapping(tensor).shares[0].run
+        self._retire(arena, run, 0)
+        arena.free(tensor, now=0.0)
+        # Refilling the slab never places a tenant over the dead page.
+        placed = []
+        for tid in range(1, 20):
+            t = make_tensor(tid, PAGE)
+            mapping = arena.alloc(t, now=0.0)
+            placed.extend(arena._chunks_by_tid[t.tid])
+        for chunk in placed:
+            if chunk.run is run:
+                assert not (
+                    chunk.offset < PAGE and chunk.offset + chunk.nbytes > 0
+                )
+
+    def test_free_chunk_struck_by_retirement_is_clipped(self):
+        machine, arena = make_arena()
+        tensor = make_tensor(0, PAGE * 4)
+        arena.alloc(tensor, now=0.0)
+        run = arena.mapping(tensor).shares[0].run
+        arena.free(tensor, now=0.0)  # slab fully on the free lists
+        free_before = arena.free_bytes
+        self._retire(arena, run, 2)
+        # Exactly one page of free space disappears; the remnants on
+        # either side of the hole stay allocatable.
+        assert arena.free_bytes == free_before - PAGE
+        small = make_tensor(1, PAGE)
+        assert arena.alloc(small, now=0.0).shares[0].run.vpn == run.vpn
+
+    def test_release_all_clears_quarantine_and_returns_slabs(self):
+        machine, arena = make_arena()
+        tensor = make_tensor(0, PAGE * 4)
+        arena.alloc(tensor, now=0.0)
+        run = arena.mapping(tensor).shares[0].run
+        self._retire(arena, run, 1)
+        arena.release_all(now=0.0)
+        assert machine.slow.used == 0
+        assert len(machine.page_table) == 0
+        assert arena._quarantined == {}
+
+    def test_unowned_or_stale_runs_are_refused(self):
+        machine, arena = make_arena()
+        foreign = machine.map_run(2, DeviceKind.SLOW)
+        assert arena.retire_page(foreign, foreign.vpn, now=0.0) is False

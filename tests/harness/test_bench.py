@@ -31,6 +31,7 @@ class TestArtifacts:
             "channel_contention",
             "fault",
             "pressure_reclaim",
+            "ras_recovery",
             "idle",
         }
         # What-ifs are bounds: free migration <= measured median.

@@ -201,3 +201,25 @@ class TestSweepEdgeCases:
 
         assert SweepResult(points=tied).best_policy("dcgan") == "alpha"
         assert SweepResult(points=tied[::-1]).best_policy("dcgan") == "alpha"
+
+
+class TestExperimentWorkers:
+    """fig7/fig10 ride the same pool: workers>1 is byte-identical."""
+
+    def test_fig7_workers_byte_identical(self):
+        from repro.harness.experiments import fig7_speedup
+
+        serial = fig7_speedup(models=("dcgan",), workers=1)
+        pooled = fig7_speedup(models=("dcgan",), workers=2)
+        assert pooled == serial
+
+    def test_fig10_workers_byte_identical(self):
+        from repro.harness.experiments import fig10_sensitivity
+
+        serial = fig10_sensitivity(
+            models=("dcgan",), fractions=(0.2, 0.4), workers=1
+        )
+        pooled = fig10_sensitivity(
+            models=("dcgan",), fractions=(0.2, 0.4), workers=2
+        )
+        assert pooled == serial

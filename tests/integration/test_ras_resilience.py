@@ -1,0 +1,189 @@
+"""RAS end-to-end: byte-identity when off, determinism and survival when on.
+
+Three contracts from the RAS design:
+
+* **Off means off** — ``ras=None`` and a disabled config produce runs
+  byte-identical to each other and to the checked-in pre-RAS golden
+  trace digest, on both the scalar and the vectorized path.
+* **Deterministic storms** — a fixed-seed UE storm replays exactly:
+  same injected errors, same retired frames, same recovery costs, same
+  trace bytes.
+* **Survival and blast radius** — every zoo model survives UEs on live
+  activations via rematerialization (recovery time visible in the
+  critical-path decomposition), and in the serving layer an exhausted
+  recovery ladder kills only the owning job while the machine stays up.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import accel
+from repro.chaos import InvariantAuditor
+from repro.harness.runner import run_policy
+from repro.mem.ras import RASConfig
+from repro.obs import EventTracer, canonical_digest, to_jsonl
+from repro.obs.critpath import attribute
+
+ZOO = (
+    "resnet32",
+    "resnet200",
+    "bert-base",
+    "bert-large",
+    "lstm",
+    "mobilenet",
+    "gpt-small",
+    "gpt-medium",
+    "dcgan",
+)
+
+#: A storm config heavy enough that every zoo model takes UEs on live
+#: activations, with scrubbing and remat recovery on.
+STORM = RASConfig(
+    seed=1337,
+    ue_rate=1e-9,
+    ce_rate=1e-8,
+    scrub_bandwidth=256 * 1024**2,
+    recovery="remat",
+)
+
+
+def as_dict(metrics):
+    return dataclasses.asdict(metrics)
+
+
+def traced_run(ras, **kwargs):
+    tracer = EventTracer()
+    metrics = run_policy(
+        "sentinel", model="dcgan", fast_fraction=0.2, ras=ras,
+        tracer=tracer, **kwargs
+    )
+    return metrics, tracer
+
+
+class TestDisabledByteIdentity:
+    def test_disabled_config_matches_no_config(self):
+        base, base_trace = traced_run(ras=None)
+        off, off_trace = traced_run(ras=RASConfig())
+        assert as_dict(base) == as_dict(off)
+        assert to_jsonl(base_trace.events) == to_jsonl(off_trace.events)
+
+    def test_disabled_config_matches_checked_in_golden(self, golden_digest):
+        # The pre-RAS golden digest: a disabled config must reproduce it
+        # bit-for-bit — the whole subsystem disappears behind its gates.
+        _, tracer = traced_run(ras=RASConfig())
+        assert canonical_digest(tracer.events) == golden_digest
+
+    def test_enabled_run_is_scalar_vectorized_identical(self):
+        with accel.scalar_path(True):
+            scalar = run_policy(
+                "sentinel", model="dcgan", fast_fraction=0.2, ras=STORM
+            )
+        with accel.scalar_path(False):
+            vectorized = run_policy(
+                "sentinel", model="dcgan", fast_fraction=0.2, ras=STORM
+            )
+        assert as_dict(scalar) == as_dict(vectorized)
+
+
+@pytest.fixture()
+def golden_digest():
+    from pathlib import Path
+
+    golden = (
+        Path(__file__).parent.parent
+        / "golden"
+        / "dcgan_sentinel_trace.sha256"
+    )
+    return golden.read_text().strip()
+
+
+class TestStormDeterminism:
+    def test_fixed_seed_storm_replays_byte_identically(self):
+        first, first_trace = traced_run(ras=STORM)
+        second, second_trace = traced_run(ras=STORM)
+        assert first.extras["ras.ue_detected"] > 0
+        assert as_dict(first) == as_dict(second)
+        assert to_jsonl(first_trace.events) == to_jsonl(second_trace.events)
+
+    def test_reseeding_changes_the_storm(self):
+        first, _ = traced_run(ras=STORM)
+        second, _ = traced_run(ras=STORM.reseeded(7))
+        assert (
+            first.extras["ras.errors_injected"]
+            != second.extras["ras.errors_injected"]
+            or first.extras["ras.ue_detected"]
+            != second.extras["ras.ue_detected"]
+            or first.step_time != second.step_time
+        )
+
+
+class TestZooSurvival:
+    @pytest.mark.parametrize("model", ZOO)
+    def test_every_model_survives_ue_storm_via_remat(self, model):
+        metrics = run_policy(
+            "sentinel", model=model, fast_fraction=0.2,
+            ras=STORM, audit=True,
+        )
+        assert metrics.extras["ras.ue_detected"] >= 1
+        assert metrics.extras["ras.remat_events"] >= 1
+        assert metrics.extras["ras.retired_frames"] >= 1
+        assert metrics.step_time > 0.0
+
+    def test_recovery_time_lands_in_critpath_decomposition(self):
+        metrics, tracer = traced_run(ras=STORM)
+        assert metrics.extras["ras.remat_events"] >= 1
+        attribution = attribute(tracer.events, dropped=tracer.dropped)
+        totals = attribution.totals()
+        assert totals["ras_recovery"] > 0.0
+        assert totals["ras_recovery"] == pytest.approx(
+            metrics.extras["ras.remat_time"]
+            + metrics.extras["ras.refetch_time"]
+        )
+        # The decomposition stays exact: exclusive components plus idle
+        # cover each step span with nothing double-counted.
+        for step in attribution:
+            comp = step.components()
+            assert sum(comp.values()) == pytest.approx(step.duration)
+
+    def test_retirement_shrinks_capacity_for_good(self):
+        ras = STORM
+        tracer = EventTracer()
+        from repro.chaos import ChaosConfig  # noqa: F401 (idiom anchor)
+        from repro.mem.machine import Machine
+        from repro.mem.platforms import OPTANE_HM
+        from repro.core.runtime import SentinelConfig, SentinelPolicy
+        from repro.dnn.executor import Executor
+        from repro.models.zoo import build_model
+
+        graph = build_model("dcgan", batch_size=8)
+        machine = Machine.for_platform(
+            OPTANE_HM,
+            fast_capacity=int(graph.peak_memory_bytes() * 0.2),
+            tracer=tracer,
+            ras=ras,
+        )
+        policy = SentinelPolicy(SentinelConfig(warmup_steps=2))
+        Executor(graph, machine, policy).run_steps(8)
+        retired = machine.ras.retired_frames
+        assert retired >= 1
+        withheld = sum(
+            len(vpns) for vpns in machine.ras.badblocks.values()
+        )
+        assert withheld == retired
+        assert (
+            machine.fast.reserved + machine.slow.reserved
+            == retired * machine.page_size
+        )
+
+
+class TestRasTraceCategory:
+    def test_ras_events_form_their_own_category(self):
+        from repro.obs.query import TraceQuery
+
+        _, tracer = traced_run(ras=STORM)
+        query = TraceQuery(tracer.events)
+        assert "ras" in query.categories()
+        names = {e.name for e in query.filter(cat="ras")}
+        assert "machine-check" in names
+        assert "page-retired" in names

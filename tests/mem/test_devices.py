@@ -167,3 +167,50 @@ class TestReservations:
         device.allocate(250)
         device.reserve(300)
         assert device.used + device.reserved + device.free == 1000
+
+
+class TestAccountingError:
+    """Underflow is a typed, attributed failure — not a bare ValueError."""
+
+    def test_over_release_raises_typed_error(self):
+        from repro.errors import AccountingError, ReproError
+
+        device = make_device()
+        device.allocate(10)
+        with pytest.raises(AccountingError) as excinfo:
+            device.release(11)
+        err = excinfo.value
+        assert err.device == "test"
+        assert err.counter == "used"
+        assert isinstance(err, ReproError)
+        # Back-compat: pre-typed callers caught ValueError; they still do.
+        assert isinstance(err, ValueError)
+
+    def test_over_unreserve_raises_typed_error(self):
+        from repro.errors import AccountingError
+
+        device = make_device(capacity=1000)
+        device.reserve(100)
+        with pytest.raises(AccountingError) as excinfo:
+            device.unreserve(200)
+        assert excinfo.value.device == "test"
+        assert excinfo.value.counter == "reserved"
+
+    def test_message_names_device_counter_and_amounts(self):
+        from repro.errors import AccountingError
+
+        device = make_device()
+        device.allocate(5)
+        with pytest.raises(
+            AccountingError, match=r"test: used accounting underflow"
+        ):
+            device.release(6)
+
+    def test_negative_amounts_stay_plain_value_errors(self):
+        from repro.errors import AccountingError
+
+        device = make_device()
+        for call in (device.release, device.unreserve):
+            with pytest.raises(ValueError) as excinfo:
+                call(-1)
+            assert not isinstance(excinfo.value, AccountingError)

@@ -345,3 +345,60 @@ class TestValidation:
         machine = Machine.for_platform(OPTANE_HM)
         with pytest.raises(ValueError, match="tracer"):
             Server(burst(1), ServeConfig(), machine=machine, tracer=EventTracer())
+
+
+class TestUncorrectableErrors:
+    """A UE past the recovery ladder fails the job, never the machine."""
+
+    def _storm(self, recovery="none", restart_budget=0, seed=3, tracer=None):
+        from repro.mem.ras import RASConfig
+
+        ras = RASConfig(seed=seed, ue_rate=2.0, recovery=recovery)
+        arrivals = burst(4, templates=(template(steps=4),))
+        cfg = ServeConfig(slots=1, restart_budget=restart_budget)
+        server = Server(arrivals, cfg, ras=ras, tracer=tracer)
+        return server.run(), server
+
+    def test_exhausted_ladder_fails_only_the_owning_job(self):
+        report, server = self._storm()
+        assert report.counts["serve.ue"] >= 1
+        assert report.counts["serve.failed"] == report.counts["serve.ue"]
+        # Blast radius: the machine survives and keeps serving — the other
+        # jobs complete on it after the failure.
+        assert server.machine.online
+        assert report.completed >= 1
+        assert report.completed + report.counts["serve.failed"] == 4
+        # The departed jobs returned their capacity.
+        machine = server.machine
+        assert machine.fast.used == 0 and machine.slow.used == 0
+        assert InvariantAuditor(machine).audit() is None
+
+    def test_restart_budget_gives_ue_victims_another_attempt(self):
+        report, server = self._storm(restart_budget=2)
+        assert report.counts["serve.ue"] >= 1
+        assert report.counts["serve.restart"] >= 1
+        # Retired frames stay retired across the restart, but the retry
+        # runs on healthy pages and completes.
+        assert report.completed == 4
+        assert server.machine.ras.retired_frames >= 1
+
+    def test_remat_recovery_absorbs_the_same_storm(self):
+        report, server = self._storm(recovery="remat")
+        assert "serve.ue" not in report.counts
+        assert report.completed == 4
+        assert server.machine.ras.counts["ras.remat_events"] >= 1
+
+    def test_ue_runs_are_byte_identical(self):
+        r1, _ = self._storm()
+        r2, _ = self._storm()
+        assert r1.to_json() == r2.to_json()
+
+    def test_ue_lifecycle_lands_in_trace(self):
+        tracer = EventTracer()
+        report, _ = self._storm(tracer=tracer)
+        query = TraceQuery(tracer.events)
+        fails = [e for e in query.filter(cat="serve") if e.name == "fail"]
+        assert fails and all(
+            e.args["reason"] == "ue-restart-budget-exhausted" for e in fails
+        )
+        assert query.filter(cat="ras").count() >= 1

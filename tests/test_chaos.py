@@ -704,3 +704,71 @@ class TestEpisodeDriver:
         )
         engine.run()
         assert phases == [("begin", 1.0), ("end", 1.5)]
+
+
+class TestBlackoutInFlightTransfer:
+    """Regression: a channel blackout must suspend in-flight transfers.
+
+    An earlier bug let an already-scheduled TRANSFER_DONE event fire on the
+    original schedule and commit the migration mid-outage, so the run read
+    from destination frames while the channel was dark.  ``block()`` now
+    re-schedules the pending event to the delayed finish and the episode
+    driver re-stamps cached availability times.
+    """
+
+    def _in_flight_blackout(self, tracer=None):
+        from repro.chaos import Episode, EpisodeDriver
+        from repro.sim.engine import Engine
+
+        machine = Machine(OPTANE_HM, tracer=tracer)
+        engine = Engine()
+        machine.bind_engine(engine)
+        run = machine.map_run(4, DeviceKind.SLOW)
+        transfer, scheduled, skipped = machine.migration.promote([run], now=0.0)
+        assert scheduled == [run] and not skipped
+        original_finish = transfer.finish
+        outage = Episode(
+            "channel-blackout",
+            start=original_finish / 2.0,
+            duration=2.0 * original_finish,
+            target="promote",
+        )
+        driver = EpisodeDriver(machine, [outage])
+        driver.arm(engine)
+        return machine, engine, run, transfer, original_finish, outage
+
+    def test_transfer_done_does_not_commit_mid_outage(self):
+        machine, engine, run, transfer, original_finish, outage = (
+            self._in_flight_blackout()
+        )
+        # Run past the pre-blackout finish time but stay inside the outage:
+        # the original TRANSFER_DONE instant passes without a commit.
+        probe = original_finish * 1.5
+        assert outage.start < original_finish < probe < outage.end
+        engine.run(until=probe)
+        assert run.in_flight
+        assert run.effective_device(probe) is DeviceKind.SLOW
+        assert transfer.finish > outage.end
+
+    def test_transfer_commits_after_the_outage_lifts(self):
+        machine, engine, run, transfer, _, outage = self._in_flight_blackout()
+        engine.run()
+        now = engine.now
+        machine.migration.sync(now)
+        assert not run.in_flight
+        assert run.device is DeviceKind.FAST
+        assert run.effective_device(now) is DeviceKind.FAST
+        # The copy landed strictly after the outage, never during it.
+        assert outage.end <= transfer.finish <= now
+
+    def test_books_balance_and_trace_stays_well_formed(self):
+        from repro.obs import EventTracer, to_chrome, validate_chrome
+
+        tracer = EventTracer()
+        machine, engine, run, transfer, _, _ = self._in_flight_blackout(
+            tracer=tracer
+        )
+        engine.run()
+        machine.migration.sync(engine.now)
+        InvariantAuditor(machine).audit()  # raises ConsistencyError on drift
+        assert validate_chrome(to_chrome(tracer.events)) > 0
