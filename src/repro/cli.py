@@ -15,6 +15,8 @@ Commands:
   episodes (retry/backoff, checkpoint/restart, latency percentiles).
 * ``trace``      — run one simulation with event tracing and export the trace.
 * ``critpath``   — per-step critical-path attribution of a traced run.
+* ``insight``    — tensor-level insight: residency timelines, heat,
+  ping-pong/thrash analytics, stall attribution, HTML report.
 * ``bench``      — attribution benchmark + step-time regression gate.
 * ``models``     — list the model zoo.
 """
@@ -86,6 +88,50 @@ def _pressure_from(args) -> Optional[PressureConfig]:
         return None
     low, high = watermarks if watermarks is not None else (1.0, 1.0)
     return PressureConfig.watermarks(low, high, reserve_frames=reserve)
+
+
+def _add_insight_flags(parser) -> None:
+    parser.add_argument(
+        "--insight",
+        metavar="PATH",
+        default=None,
+        help="write the canonical tensor-insight JSON artifact to PATH "
+        "(residency timelines, heat, ping-pong/thrash analytics)",
+    )
+    parser.add_argument(
+        "--insight-html",
+        metavar="PATH",
+        default=None,
+        help="write the self-contained HTML insight report to PATH "
+        "(no network, opens in any browser)",
+    )
+
+
+def _insight_from(args):
+    """Build an insight collector when either ``--insight`` flag was given.
+
+    Returns ``None`` otherwise — the machine is built without a collector
+    and the run stays byte-identical to insight-free builds.
+    """
+    if not (getattr(args, "insight", None) or getattr(args, "insight_html", None)):
+        return None
+    from repro.obs import InsightCollector
+
+    return InsightCollector()
+
+
+def _write_insight_artifacts(args, report) -> None:
+    """Write the JSON / HTML artifacts a command's insight flags asked for."""
+    if getattr(args, "insight", None):
+        from repro.obs import write_insight
+
+        write_insight(report, args.insight)
+        print(f"insight: {len(report['tensors'])} tensor episodes -> {args.insight}")
+    if getattr(args, "insight_html", None):
+        from repro.obs import write_insight_html
+
+        write_insight_html(report, args.insight_html)
+        print(f"insight html: {args.insight_html}")
 
 
 def _add_pressure_flags(parser) -> None:
@@ -235,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome trace of the run to PATH (open in Perfetto)",
     )
+    _add_insight_flags(run)
     _add_pressure_flags(run)
     _add_ras_flags(run)
 
@@ -319,6 +366,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="capture every grid point's event trace and write one combined "
         "Chrome trace (one Perfetto process per point)",
+    )
+    grid.add_argument(
+        "--insight",
+        metavar="DIR",
+        default=None,
+        help="collect tensor insight on every grid point and write one "
+        "canonical JSON artifact per point into DIR",
     )
     _add_pressure_flags(grid)
 
@@ -438,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the canonical serve report JSON to PATH",
     )
+    _add_insight_flags(serve)
     _add_ras_flags(serve)
 
     trace = sub.add_parser(
@@ -497,6 +552,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pressure_flags(critpath)
     _add_ras_flags(critpath)
+
+    insight = sub.add_parser(
+        "insight",
+        help="tensor-level insight report: residency, heat, ping-pong, "
+        "thrash, per-tensor stall attribution",
+    )
+    insight.add_argument("model", choices=sorted(MODELS))
+    insight.add_argument("policy", choices=sorted(POLICIES))
+    insight.add_argument("--batch", type=int, default=None)
+    insight.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    insight.add_argument("--fast-fraction", type=float, default=0.2)
+    insight.add_argument("--fault-rate", type=float, default=0.0)
+    insight.add_argument("--chaos-seed", type=int, default=0)
+    insight.add_argument(
+        "--top", type=int, default=10, help="tensors to list in the table"
+    )
+    insight.add_argument(
+        "--capacity",
+        type=int,
+        default=65536,
+        help="tracer ring-buffer capacity for the stall-attribution join; "
+        "a truncated window skips the join instead of failing the report",
+    )
+    insight.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the canonical insight JSON artifact to PATH",
+    )
+    insight.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="write the self-contained HTML report to PATH",
+    )
+    _add_pressure_flags(insight)
+    _add_ras_flags(insight)
 
     bench = sub.add_parser(
         "bench",
@@ -576,6 +668,7 @@ def _cmd_run(args) -> int:
         from repro.obs import EventTracer
 
         tracer = EventTracer()
+    collector = _insight_from(args)
     metrics = run_policy(
         args.policy,
         model=args.model,
@@ -587,6 +680,7 @@ def _cmd_run(args) -> int:
         tracer=tracer,
         pressure=_pressure_from(args),
         ras=_ras_from(args),
+        insight=collector,
     )
     rows = [
         ("step time (s)", f"{metrics.step_time:.4f}"),
@@ -620,6 +714,10 @@ def _cmd_run(args) -> int:
             tracer.events, args.trace, process_name=f"{args.model}/{args.policy}"
         )
         print(f"trace: {len(tracer)} events -> {args.trace}")
+    if collector is not None:
+        _write_insight_artifacts(
+            args, collector.report(meta={"model": args.model, "policy": args.policy})
+        )
     return 0
 
 
@@ -757,6 +855,7 @@ def _cmd_grid(args) -> int:
         trace=args.trace is not None,
         pressure=_pressure_from(args),
         workers=args.workers,
+        insight=args.insight is not None,
     )
     print(result.to_table(value=args.value))
     failures = [p for p in result if not p.ok]
@@ -775,6 +874,20 @@ def _cmd_grid(args) -> int:
             json.dump(combine_chrome(labeled), handle, sort_keys=True)
         total = sum(len(events) for _, events in labeled)
         print(f"trace: {total} events from {len(labeled)} points -> {args.trace}")
+    if args.insight:
+        import os
+
+        from repro.obs import write_insight
+
+        os.makedirs(args.insight, exist_ok=True)
+        written = 0
+        for point in result:
+            if point.insight is None:
+                continue
+            name = point.label.replace("/", "-") + ".json"
+            write_insight(point.insight, os.path.join(args.insight, name))
+            written += 1
+        print(f"insight: {written} artifacts -> {args.insight}/")
     return 0
 
 
@@ -976,6 +1089,7 @@ def _cmd_serve(args) -> int:
         restart_budget=args.restart_budget,
         episodes=episodes,
     )
+    collector = _insight_from(args)
     server = Server(
         PoissonArrivals(
             rate=rate, horizon=horizon, templates=mix, seed=args.seed
@@ -985,6 +1099,7 @@ def _cmd_serve(args) -> int:
         fast_fraction=args.fast_fraction,
         tracer=tracer,
         ras=_ras_from(args),
+        insight=collector,
     )
     report = server.run()
     print(
@@ -1002,8 +1117,22 @@ def _cmd_serve(args) -> int:
     if tracer is not None:
         from repro.obs import write_chrome
 
-        write_chrome(tracer.events, args.trace, process_name="serve")
-        print(f"trace: {len(tracer)} events -> {args.trace}")
+        events = tracer.events
+        if collector is not None:
+            # Bounded retention: keep machine-level tracks plus the
+            # reservoir-sampled jobs only.
+            events = collector.retained_events(events)
+        write_chrome(
+            events, args.trace, process_name="serve", tids=server.job_tids()
+        )
+        print(f"trace: {len(events)} events -> {args.trace}")
+    if collector is not None:
+        _write_insight_artifacts(
+            args,
+            collector.report(
+                meta={"scenario": args.scenario, "seed": args.seed}
+            ),
+        )
     return 0
 
 
@@ -1115,6 +1244,69 @@ def _cmd_critpath(args) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"attribution: {len(attribution)} steps -> {args.json}")
+    return 0
+
+
+def _cmd_insight(args) -> int:
+    from repro.errors import TraceTruncatedError
+    from repro.harness.report import format_insight
+    from repro.obs import (
+        EventTracer,
+        InsightCollector,
+        attribute,
+        join_stall_attribution,
+    )
+
+    tracer = EventTracer(capacity=args.capacity)
+    collector = InsightCollector()
+    metrics = run_policy(
+        args.policy,
+        model=args.model,
+        batch_size=args.batch,
+        platform=args.platform,
+        fast_fraction=args.fast_fraction,
+        chaos=_chaos_from(args),
+        pressure=_pressure_from(args),
+        ras=_ras_from(args),
+        tracer=tracer,
+        insight=collector,
+    )
+    report = collector.report(
+        meta={
+            "model": args.model,
+            "policy": args.policy,
+            "batch_size": metrics.batch_size,
+            "step_time": metrics.step_time,
+        }
+    )
+    try:
+        attribution = attribute(tracer.events, dropped=tracer.dropped)
+    except TraceTruncatedError:
+        print(
+            "note: trace window truncated — skipping per-tensor stall "
+            "attribution (raise --capacity to keep it)",
+            file=sys.stderr,
+        )
+    else:
+        join_stall_attribution(report, attribution)
+    print(
+        format_insight(
+            report,
+            top=args.top,
+            title=f"{args.model} / {args.policy} (batch {metrics.batch_size}, "
+            f"step {metrics.step_time:.4f}s) — tensor insight",
+        )
+    )
+    if args.json:
+        from repro.obs import write_insight
+
+        write_insight(report, args.json)
+        print(f"insight: {len(report['tensors'])} tensor episodes -> {args.json}")
+    if args.html:
+        from repro.obs import write_insight_html
+
+        write_insight_html(report, args.html, top=args.top)
+        print(f"insight html: {args.html}")
     return 0
 
 
@@ -1258,6 +1450,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "trace": _cmd_trace,
         "critpath": _cmd_critpath,
+        "insight": _cmd_insight,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

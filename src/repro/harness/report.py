@@ -278,6 +278,99 @@ def format_serve(report, title: str = "serving report") -> str:
     return format_table(("metric", "value"), rows, title=title)
 
 
+def format_insight(report, top: int = 10, title: str = "tensor insight") -> str:
+    """Render an insight artifact dict as a stable text block.
+
+    Headline totals first (episodes, migration traffic, ping-pong and
+    wasted-prefetch damage), then the top-``top`` tensors by migrated
+    bytes — the text twin of :func:`repro.obs.render_insight_html`.
+    """
+    tensors = report.get("tensors", [])
+    totals = report.get("totals", {})
+    pingpong_events = sum(row["pingpong"] for row in tensors)
+    pingpong_tensors = sum(1 for row in tensors if row["pingpong"])
+    wasted = sum(row["wasted_prefetch_bytes"] for row in tensors)
+    stalled = sum(row.get("stall", 0.0) for row in tensors)
+    headline = [
+        ("tensor episodes", str(len(tensors))),
+        ("occupancy samples", str(len(report.get("occupancy", [])))),
+        ("migration events", str(len(report.get("migrations", [])))),
+        ("promoted (MiB)", f"{mib(totals.get('promote_bytes', 0)):.4g}"),
+        ("demoted (MiB)", f"{mib(totals.get('demote_bytes', 0)):.4g}"),
+        ("ping-pong events", str(pingpong_events)),
+        ("ping-pong tensors", str(pingpong_tensors)),
+        ("wasted prefetch (MiB)", f"{mib(wasted):.4g}"),
+    ]
+    if stalled:
+        headline.append(("attributed stall (s)", f"{stalled:.4f}"))
+    parts = [format_table(("metric", "value"), headline, title=title)]
+    ranked = sorted(
+        tensors,
+        key=lambda row: (
+            -row["migrated_bytes"],
+            -row["bytes_touched"],
+            row["scope"],
+            row["tid"],
+            row["episode"],
+        ),
+    )[:top]
+    if ranked:
+        rows = []
+        for row in ranked:
+            label = f"{row['name']}#{row['tid']}"
+            if row["episode"]:
+                label += f".{row['episode']}"
+            if row["scope"] != "main":
+                label = f"{row['scope']}/{label}"
+            rows.append(
+                (
+                    label,
+                    f"{mib(row['nbytes']):.4g}",
+                    str(row["accesses"]),
+                    f"{mib(row['migrated_bytes']):.4g}",
+                    f"{row['thrash']:.3g}",
+                    str(row["pingpong"]),
+                    f"{mib(row['wasted_prefetch_bytes']):.4g}",
+                )
+            )
+        parts.append(
+            format_table(
+                (
+                    "tensor",
+                    "size (MiB)",
+                    "accesses",
+                    "migrated (MiB)",
+                    "thrash",
+                    "pingpong",
+                    "wasted (MiB)",
+                ),
+                rows,
+                title=f"top {len(ranked)} tensors by migrated bytes",
+            )
+        )
+    serve = report.get("serve")
+    if serve is not None:
+        rows = [
+            (
+                f"{window['t0']:.3f}-{window['t1']:.3f}",
+                str(window["jobs"]),
+                str(window["ok"]),
+                "-" if window["attainment"] is None else f"{window['attainment']:.1%}",
+                "-" if window["burn"] is None else f"{window['burn']:.2f}",
+                "ALERT" if window["alert"] else "",
+            )
+            for window in serve["windows"]
+        ]
+        parts.append(
+            format_table(
+                ("window (s)", "jobs", "ok", "attainment", "burn", "alert"),
+                rows,
+                title=f"SLO burn (objective {serve['objective']:.0%})",
+            )
+        )
+    return "\n\n".join(parts)
+
+
 def format_summary(metrics) -> str:
     """Render one run's headline metrics, with a pressure section when
     the run carried a governor (``pressure.*`` keys in its extras)."""

@@ -30,6 +30,7 @@ from repro.mem.ras import RASConfig
 from repro.models.zoo import build_model
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.insight import InsightCollector
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import EventTracer
 
@@ -93,6 +94,7 @@ def run_policy(
     pressure: Optional[PressureConfig] = None,
     metrics: Optional["MetricsRegistry"] = None,
     ras: Optional[RASConfig] = None,
+    insight: Optional["InsightCollector"] = None,
 ) -> RunMetrics:
     """Run one policy on one workload and return steady-state metrics.
 
@@ -128,6 +130,13 @@ def run_policy(
     injection, patrol scrubbing, page retirement, tensor recovery); the
     default ``None`` — or a config with all rates zero — leaves the run
     byte-identical to a pre-RAS machine.
+
+    ``insight`` attaches a :class:`repro.obs.insight.InsightCollector`
+    (per-tensor residency timelines, heat/churn analytics); the run
+    finalizes the collector so :meth:`~repro.obs.insight.InsightCollector.report`
+    is ready afterwards.  The default ``None`` keeps every hook dormant and
+    the run — including any attached tracer/metrics — byte-identical to an
+    insight-free build.
     """
     if (graph is None) == (model is None):
         raise ValueError("provide exactly one of graph= or model=")
@@ -152,6 +161,7 @@ def run_policy(
         pressure=pressure,
         metrics=metrics,
         ras=ras,
+        insight=insight,
     )
 
     policy = make_policy(policy_name, sentinel_config=_sentinel_config(sentinel_config))
@@ -160,13 +170,21 @@ def run_policy(
         observers.append(CapacityShrinker(machine, injector))
     if audit:
         observers.append(InvariantAuditor(machine))
-    executor = Executor(graph, machine, policy, observers=observers)
+    insight_scope = None
+    if insight is not None:
+        insight_scope = insight.scope("main")
+        observers.append(insight_scope)
+    executor = Executor(
+        graph, machine, policy, observers=observers, tracer=insight_scope
+    )
 
     total_steps = steady_steps
     if isinstance(policy, SentinelPolicy):
         total_steps += policy.config.warmup_steps + 1
     results = executor.run_steps(total_steps)
     last = results[-1]
+    if insight is not None:
+        insight.finalize(executor.clock.now)
 
     extras: Dict[str, float] = {}
     if isinstance(policy, SentinelPolicy):
@@ -222,6 +240,10 @@ def run_policy(
         extras["ras.remat_time"] = machine.ras.remat_time
         extras["ras.refetch_time"] = machine.ras.refetch_time
         extras["ras.scrub_swept_bytes"] = machine.ras.scrub_swept_bytes
+    if insight is not None:
+        # Only with a collector attached: insight-free runs keep metrics
+        # bit-identical to runs predating the subsystem.
+        extras.update(insight.summary())
 
     return RunMetrics(
         model=graph.name,

@@ -47,6 +47,9 @@ class SweepPoint:
     #: captured event trace (``sweep(trace=True)``); failed points keep
     #: whatever was recorded before the failure — often the interesting part.
     events: Optional[Tuple] = None
+    #: canonical insight artifact dict (``sweep(insight=True)``); ``None``
+    #: for insight-free sweeps and for points that failed before finalize.
+    insight: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -150,6 +153,7 @@ class _PointSpec:
     platform: Platform
     trace: bool
     pressure: Optional[PressureConfig]
+    insight: bool = False
 
 
 def _enumerate_grid(
@@ -161,6 +165,7 @@ def _enumerate_grid(
     chaos: Optional[ChaosConfig],
     trace: bool,
     pressure: Optional[PressureConfig],
+    insight: bool = False,
 ) -> List[_PointSpec]:
     """The grid in serial order — a pure function of the sweep arguments.
 
@@ -192,6 +197,7 @@ def _enumerate_grid(
                         platform=platform,
                         trace=trace,
                         pressure=pressure,
+                        insight=insight,
                     )
                 )
                 if policy in ("slow-only", "fast-only"):
@@ -206,6 +212,11 @@ def _run_point(spec: _PointSpec) -> SweepPoint:
         from repro.obs import EventTracer
 
         tracer = EventTracer()
+    collector = None
+    if spec.insight:
+        from repro.obs.insight import InsightCollector
+
+        collector = InsightCollector()
 
     def captured() -> Optional[Tuple]:
         return None if tracer is None else tuple(tracer.events)
@@ -220,10 +231,16 @@ def _run_point(spec: _PointSpec) -> SweepPoint:
             chaos=spec.chaos,
             tracer=tracer,
             pressure=spec.pressure,
+            insight=collector,
         )
+        report = None
+        if collector is not None:
+            report = collector.report(
+                meta={"policy": spec.policy, "model": spec.model}
+            )
         return SweepPoint(
             spec.policy, spec.model, spec.batch_size, spec.fast_fraction,
-            metrics, events=captured(),
+            metrics, events=captured(), insight=report,
         )
     except UnsupportedModelError:
         return SweepPoint(
@@ -261,6 +278,7 @@ def sweep(
     trace: bool = False,
     pressure: Optional[PressureConfig] = None,
     workers: int = 1,
+    insight: bool = False,
 ) -> SweepResult:
     """Run the cartesian product and collect every outcome.
 
@@ -283,6 +301,12 @@ def sweep(
     :class:`~repro.mem.pressure.PressureConfig` (the governor holds no
     random state, so no per-point reseeding is needed).
 
+    With ``insight=True`` every point runs with its own fresh
+    :class:`repro.obs.InsightCollector` and the finalized canonical
+    artifact dict lands on :attr:`SweepPoint.insight` (points that fail
+    before finalize keep ``None``).  Timing is unaffected either way —
+    insight observes the simulation, it never prices anything.
+
     With ``workers > 1`` the grid points run on a multiprocessing pool.
     Every point is an isolated simulation keyed by its own spec (chaos
     already reseeded per point), so the result is merged back into serial
@@ -298,7 +322,7 @@ def sweep(
         raise ValueError(f"workers must be >= 1, got {workers!r}")
     specs = _enumerate_grid(
         policies, models, fast_fractions, batch_sizes,
-        platform, chaos, trace, pressure,
+        platform, chaos, trace, pressure, insight,
     )
     if workers == 1 or len(specs) == 1:
         return SweepResult(points=[_run_point(spec) for spec in specs])

@@ -25,6 +25,7 @@ from repro.sim.channel import BandwidthChannel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
+    from repro.obs.insight import InsightCollector
     from repro.obs.trace import EventTracer
     from repro.sim.engine import Engine
 
@@ -65,6 +66,13 @@ class Machine:
             drives the tensor-recovery ladder.  ``None`` or a disabled
             config (the default: all rates zero) builds no engine and
             leaves every run byte-identical to a pre-RAS machine.
+        insight: optional :class:`repro.obs.insight.InsightCollector`.
+            When attached the migration engine notifies it of every
+            promote/demote/discard/materialize so per-tensor residency
+            timelines and churn analytics can be derived; the collector
+            emits no events and touches no counters, so traced/metered
+            output stays byte-identical.  ``None`` — the default — keeps
+            every hook site dormant behind one ``is None`` check.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class Machine:
         pressure: Optional[PressureConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         ras: Optional[RASConfig] = None,
+        insight: Optional["InsightCollector"] = None,
     ) -> None:
         self.platform = platform
         self.injector = injector
@@ -135,6 +144,10 @@ class Machine:
         if ras is not None and ras.enabled:
             self.ras = RasEngine(ras, self)
             self.migration.ras = self.ras
+        self.insight: Optional["InsightCollector"] = insight
+        if insight is not None:
+            insight.bind(self)
+            self.migration.insight = insight
         self._dram_cache: Optional[DRAMCache] = None
         self.engine: Optional["Engine"] = None
         #: whether the machine is currently serving work.  Failure episodes
@@ -192,6 +205,7 @@ class Machine:
         pressure: Optional[PressureConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         ras: Optional[RASConfig] = None,
+        insight: Optional["InsightCollector"] = None,
     ) -> "Machine":
         """Build a machine, optionally resizing the fast tier.
 
@@ -208,6 +222,7 @@ class Machine:
             pressure=pressure,
             metrics=metrics,
             ras=ras,
+            insight=insight,
         )
 
     @property

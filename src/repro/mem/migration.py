@@ -111,6 +111,12 @@ class MigrationEngine:
         #: submission and scrubs latent CEs on commit.  ``None`` keeps all
         #: RAS hook sites dormant (one ``is None`` check each).
         self.ras = None
+        #: optional :class:`repro.obs.insight.InsightCollector`, attached by
+        #: the machine: sees every promote/demote submission (for residency
+        #: flips at the transfer's landing instant) and every instant
+        #: discard/materialize tier change.  ``None`` — the default — keeps
+        #: each hook site one ``is None`` check.
+        self.insight = None
         self._pending: List[MigrationRecord] = []
         self._engine: Optional["Engine"] = None
 
@@ -305,6 +311,10 @@ class MigrationEngine:
                 urgent=urgent,
                 tag=None if tag is None else str(tag),
             )
+        if self.insight is not None:
+            self.insight.on_migration(
+                "promote", scheduled, transfer, page_size, tag, urgent, now
+            )
         return transfer, scheduled, skipped
 
     # ---------------------------------------------------------------- demote
@@ -394,6 +404,10 @@ class MigrationEngine:
                 dst="slow",
                 urgent=urgent,
                 tag=None if tag is None else str(tag),
+            )
+        if self.insight is not None:
+            self.insight.on_migration(
+                "demote", scheduled, transfer, page_size, tag, urgent, now
             )
         return transfer, scheduled
 
@@ -539,6 +553,8 @@ class MigrationEngine:
         self.fast.release(nbytes)
         run.device = DeviceKind.SLOW
         self.stats.counter("migration.discarded_bytes").add(nbytes)
+        if self.insight is not None:
+            self.insight.on_instant_flip("discard", run, nbytes, now)
 
     def materialize(self, run: PageTableEntry, now: float) -> bool:
         """Recreate a discarded run in fast memory without a copy.
@@ -560,6 +576,8 @@ class MigrationEngine:
         self.slow.release(nbytes)
         run.device = DeviceKind.FAST
         self.stats.counter("migration.materialized_bytes").add(nbytes)
+        if self.insight is not None:
+            self.insight.on_instant_flip("materialize", run, nbytes, now)
         return True
 
     # ------------------------------------------------------------- releasing

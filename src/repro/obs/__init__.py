@@ -26,11 +26,22 @@ from repro.obs.export import (
     canonical_digest,
     chrome_json,
     combine_chrome,
+    from_jsonl,
     to_chrome,
     to_jsonl,
     validate_chrome,
     write_chrome,
 )
+from repro.obs.insight import (
+    INSIGHT_SCHEMA,
+    InsightCollector,
+    InsightConfig,
+    insight_json,
+    join_stall_attribution,
+    validate_insight,
+    write_insight,
+)
+from repro.obs.html import render_insight_html, write_insight_html
 from repro.obs.query import Span, TraceQuery
 from repro.obs.metrics import (
     Counter,
@@ -60,10 +71,20 @@ __all__ = [
     "canonical_digest",
     "chrome_json",
     "combine_chrome",
+    "from_jsonl",
     "to_chrome",
     "to_jsonl",
     "validate_chrome",
     "write_chrome",
+    "INSIGHT_SCHEMA",
+    "InsightCollector",
+    "InsightConfig",
+    "insight_json",
+    "join_stall_attribution",
+    "validate_insight",
+    "write_insight",
+    "render_insight_html",
+    "write_insight_html",
     "Counter",
     "Gauge",
     "Histogram",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.trace import CATEGORIES, PHASES, TraceEvent
 
@@ -38,15 +38,38 @@ def to_chrome(
     events: Sequence[TraceEvent],
     pid: int = 0,
     process_name: str = "repro",
+    tids: Optional[Dict[str, int]] = None,
 ) -> Dict[str, Any]:
     """Events as a Chrome ``trace_event`` JSON object (dict form).
 
     Returns the ``{"traceEvents": [...], ...}`` object format so metadata
     (process/thread names, time unit) travels with the events.
+
+    ``tids`` optionally pins specific tracks to specific thread ids (the
+    serving layer passes its stable per-job assignment); the remaining
+    tracks receive the smallest unused ids in first-appearance order, so
+    no two tracks can ever share a tid.  A ``tids`` map that itself
+    assigns one id twice raises :class:`ValueError`.  ``None`` — the
+    default — reproduces the historical pure first-appearance numbering
+    byte-for-byte.
     """
     trace: List[Dict[str, Any]] = []
     tracks = _tracks_of(events)
-    tids = {track: index for index, track in enumerate(tracks)}
+    pinned = dict(tids) if tids else {}
+    if len(set(pinned.values())) != len(pinned):
+        raise ValueError(f"tid map assigns one tid to multiple tracks: {pinned!r}")
+    used = set(pinned.values())
+    tids = {}
+    next_tid = 0
+    for track in tracks:
+        if track in pinned:
+            tids[track] = pinned[track]
+        else:
+            while next_tid in used:
+                next_tid += 1
+            tids[track] = next_tid
+            used.add(next_tid)
+            next_tid += 1
     trace.append(
         {
             "name": "process_name",
@@ -151,6 +174,50 @@ def to_jsonl(events: Sequence[TraceEvent]) -> str:
 def canonical_digest(events: Sequence[TraceEvent]) -> str:
     """SHA-256 of the canonical JSONL — the golden-trace fingerprint."""
     return hashlib.sha256(to_jsonl(events).encode("utf-8")).hexdigest()
+
+
+def from_jsonl(text: str) -> List[TraceEvent]:
+    """Parse canonical JSONL back into events (the :func:`to_jsonl` inverse).
+
+    Round-trip stable: ``canonical_digest(from_jsonl(to_jsonl(events))) ==
+    canonical_digest(events)`` for any event list — :func:`to_jsonl`
+    already reduces args values to JSON-stable primitives, so re-export is
+    a fixed point.  Blank lines are skipped; a malformed line raises
+    :class:`ValueError` naming its line number.  Note the ring buffer's
+    ``dropped`` count does not travel through JSONL: an import only sees
+    the surviving window.
+    """
+    events: List[TraceEvent] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON ({exc})") from exc
+        if not isinstance(obj, dict):
+            raise ValueError(f"line {lineno}: event must be a JSON object")
+        missing = {"name", "cat", "ph", "ts", "dur", "track", "args"} - set(obj)
+        if missing:
+            raise ValueError(f"line {lineno}: missing keys {sorted(missing)}")
+        if obj["cat"] not in CATEGORIES:
+            raise ValueError(f"line {lineno}: unknown category {obj['cat']!r}")
+        if obj["ph"] not in PHASES:
+            raise ValueError(f"line {lineno}: unknown phase {obj['ph']!r}")
+        if not isinstance(obj["args"], dict):
+            raise ValueError(f"line {lineno}: args must be an object")
+        events.append(
+            TraceEvent(
+                name=obj["name"],
+                cat=obj["cat"],
+                ph=obj["ph"],
+                ts=obj["ts"],
+                dur=obj["dur"],
+                track=obj["track"],
+                args=dict(obj["args"]),
+            )
+        )
+    return events
 
 
 # ------------------------------------------------------------- validation

@@ -1,0 +1,290 @@
+"""Self-contained single-file HTML rendering of an insight artifact.
+
+:func:`render_insight_html` turns the canonical dict from
+:meth:`repro.obs.insight.InsightCollector.report` into one HTML file with
+every byte inline — CSS, a small table-sorting script, and server-side
+generated SVG charts — so the report opens from disk with no network access
+and survives artifact stores that strip sidecar files:
+
+* an **occupancy stacked timeline** (hot/warm/cold/other fast-tier bytes
+  over simulated time),
+* a **top-N tensor table** (click a header to re-sort client-side),
+* a **churn heatmap** (per-tensor migrated bytes per time bin).
+
+Rendering is deterministic: same artifact dict, same bytes out.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+#: Stacked-area palette: hot, warm, cold, other (unattributed occupancy).
+_COLORS = ("#d7263d", "#f4a259", "#4f9dde", "#c9c9c9")
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 68rem;
+       color: #1d2330; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { border: 1px solid #d5d9e0; padding: 0.3rem 0.5rem; text-align: right; }
+th { background: #eef1f5; cursor: pointer; user-select: none; }
+td:first-child, th:first-child { text-align: left; }
+.legend span { display: inline-block; margin-right: 1rem; font-size: 0.85rem; }
+.legend i { display: inline-block; width: 0.8rem; height: 0.8rem;
+            margin-right: 0.3rem; vertical-align: middle; }
+.meta { color: #5b6372; font-size: 0.85rem; }
+svg { background: #fafbfc; border: 1px solid #d5d9e0; }
+"""
+
+_SORT_JS = """
+document.querySelectorAll("table.sortable th").forEach(function (th, col) {
+  th.addEventListener("click", function () {
+    var table = th.closest("table");
+    var rows = Array.from(table.querySelectorAll("tbody tr"));
+    var dir = th.dataset.dir === "asc" ? -1 : 1;
+    th.dataset.dir = dir === 1 ? "asc" : "desc";
+    rows.sort(function (a, b) {
+      var x = a.children[col].dataset.v, y = b.children[col].dataset.v;
+      var nx = parseFloat(x), ny = parseFloat(y);
+      if (!isNaN(nx) && !isNaN(ny)) return dir * (nx - ny);
+      return dir * x.localeCompare(y);
+    });
+    rows.forEach(function (row) { table.querySelector("tbody").appendChild(row); });
+  });
+});
+"""
+
+
+def _fmt_bytes(value: float) -> str:
+    value = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    return f"{value:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _svg_occupancy(samples: Sequence[Sequence[float]], width: int = 960,
+                   height: int = 240) -> str:
+    """Stacked-area SVG of the hot/warm/cold/other occupancy samples."""
+    if len(samples) < 2:
+        return "<p class=\"meta\">Not enough occupancy samples to chart.</p>"
+    t0 = samples[0][0]
+    t1 = samples[-1][0]
+    span = (t1 - t0) or 1.0
+    top = max(sample[5] for sample in samples) or 1.0
+    pad = 4
+
+    def x_of(t: float) -> float:
+        return pad + (t - t0) / span * (width - 2 * pad)
+
+    def y_of(v: float) -> float:
+        return height - pad - v / top * (height - 2 * pad)
+
+    # Cumulative stacks per sample: hot, hot+warm, hot+warm+cold, +other.
+    stacks: List[List[float]] = []
+    for _, hot, warm, cold, other, _occ in samples:
+        stacks.append([hot, hot + warm, hot + warm + cold,
+                       hot + warm + cold + other])
+    parts: List[str] = []
+    lower = [0.0] * len(samples)
+    for layer in range(4):
+        upper = [stack[layer] for stack in stacks]
+        points = [
+            f"{x_of(samples[i][0]):.2f},{y_of(upper[i]):.2f}"
+            for i in range(len(samples))
+        ] + [
+            f"{x_of(samples[i][0]):.2f},{y_of(lower[i]):.2f}"
+            for i in range(len(samples) - 1, -1, -1)
+        ]
+        parts.append(
+            f'<polygon fill="{_COLORS[layer]}" fill-opacity="0.85" '
+            f'points="{" ".join(points)}"/>'
+        )
+        lower = upper
+    axis = (
+        f'<text x="{pad}" y="12" font-size="10">{_fmt_bytes(top)}</text>'
+        f'<text x="{pad}" y="{height - pad - 2}" font-size="10">'
+        f"t={t0:.4g}s → t={t1:.4g}s</text>"
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}">'
+        + "".join(parts)
+        + axis
+        + "</svg>"
+    )
+
+
+def _svg_heatmap(rows: Sequence[Tuple[str, Sequence[float]]], t0: float,
+                 t1: float, bins: int, width: int = 960) -> str:
+    """Per-tensor migrated-bytes heatmap; one row per tensor, one cell per bin."""
+    if not rows:
+        return "<p class=\"meta\">No migrations to map.</p>"
+    cell_h = 16
+    label_w = 220
+    height = cell_h * len(rows) + 20
+    cell_w = (width - label_w) / bins
+    peak = max((max(cells) for _, cells in rows), default=0.0) or 1.0
+    parts: List[str] = []
+    for r, (label, cells) in enumerate(rows):
+        y = r * cell_h
+        parts.append(
+            f'<text x="4" y="{y + cell_h - 4}" font-size="10">'
+            f"{_html.escape(label[:34])}</text>"
+        )
+        for c, value in enumerate(cells):
+            if value <= 0.0:
+                continue
+            alpha = 0.15 + 0.85 * (value / peak)
+            parts.append(
+                f'<rect x="{label_w + c * cell_w:.2f}" y="{y}" '
+                f'width="{cell_w:.2f}" height="{cell_h - 1}" '
+                f'fill="#7a1fa2" fill-opacity="{alpha:.3f}">'
+                f"<title>{_html.escape(label)}: {_fmt_bytes(value)}</title></rect>"
+            )
+    parts.append(
+        f'<text x="{label_w}" y="{height - 6}" font-size="10">'
+        f"t={t0:.4g}s → t={t1:.4g}s ({bins} bins)</text>"
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}">'
+        + "".join(parts)
+        + "</svg>"
+    )
+
+
+def _tensor_label(row: Dict[str, Any]) -> str:
+    label = f"{row['name']}#{row['tid']}"
+    if row["episode"]:
+        label += f".{row['episode']}"
+    if row["scope"] != "main":
+        label = f"{row['scope']}/{label}"
+    return label
+
+
+def render_insight_html(report: Dict[str, Any], top: int = 20,
+                        heat_bins: int = 48) -> str:
+    """Render the artifact as one self-contained HTML page."""
+    meta = report.get("meta", {})
+    title_bits = [str(meta[key]) for key in ("model", "policy") if key in meta]
+    title = "Insight report" + (f" — {' / '.join(title_bits)}" if title_bits else "")
+
+    tensors = sorted(
+        report["tensors"], key=lambda r: (-r["migrated_bytes"], -r["bytes_touched"],
+                                          r["scope"], r["tid"], r["episode"])
+    )
+    shown = tensors[:top]
+
+    # Churn heatmap over the sampled time span.
+    samples = report["occupancy"]
+    if samples:
+        t0, t1 = samples[0][0], samples[-1][0]
+    else:
+        t0, t1 = 0.0, max(
+            (e["finish"] for e in report["migrations"]), default=1.0
+        )
+    span = (t1 - t0) or 1.0
+    heat_rows: List[Tuple[str, List[float]]] = []
+    for row in shown:
+        if row["migrated_bytes"] <= 0:
+            continue
+        cells = [0.0] * heat_bins
+        for entry in row["lineage"]:
+            index = int((entry["t"] - t0) / span * heat_bins)
+            cells[min(max(index, 0), heat_bins - 1)] += entry["bytes"]
+        heat_rows.append((_tensor_label(row), cells))
+
+    table_rows: List[str] = []
+    for row in shown:
+        cells = [
+            (_tensor_label(row), _tensor_label(row)),
+            (row["kind"], row["kind"]),
+            (row["nbytes"], _fmt_bytes(row["nbytes"])),
+            (row["accesses"], str(row["accesses"])),
+            (row["bytes_touched"], _fmt_bytes(row["bytes_touched"])),
+            (row["migrated_bytes"], _fmt_bytes(row["migrated_bytes"])),
+            (row["thrash"], f"{row['thrash']:.3f}"),
+            (row["pingpong"], str(row["pingpong"])),
+            (row["wasted_prefetch_bytes"], _fmt_bytes(row["wasted_prefetch_bytes"])),
+            (row["stall"], f"{row['stall']:.6f}"),
+        ]
+        tds = "".join(
+            f'<td data-v="{_html.escape(str(sort_key))}">{_html.escape(text)}</td>'
+            for sort_key, text in cells
+        )
+        table_rows.append(f"<tr>{tds}</tr>")
+    headers = ("tensor", "kind", "size", "accesses", "touched", "migrated",
+               "thrash", "ping-pong", "wasted prefetch", "stall (s)")
+    table = (
+        '<table class="sortable"><thead><tr>'
+        + "".join(f"<th>{h}</th>" for h in headers)
+        + "</tr></thead><tbody>"
+        + "".join(table_rows)
+        + "</tbody></table>"
+    )
+
+    legend = "".join(
+        f'<span><i style="background:{color}"></i>{name}</span>'
+        for color, name in zip(_COLORS, ("hot", "warm", "cold", "other"))
+    )
+
+    totals = report["totals"]
+    totals_bits = "; ".join(
+        f"{key} = {_fmt_bytes(totals[key]) if key.endswith(('bytes', 'attributed')) else totals[key]}"
+        for key in sorted(totals)
+    )
+
+    serve_html = ""
+    serve = report.get("serve")
+    if serve:
+        alert_count = sum(1 for window in serve["windows"] if window["alert"])
+        rows = "".join(
+            f"<tr><td data-v=\"{w['t0']}\">{w['t0']:.4g}</td>"
+            f"<td data-v=\"{w['jobs']}\">{w['jobs']}</td>"
+            f"<td data-v=\"{w['attainment'] if w['attainment'] is not None else -1}\">"
+            f"{'' if w['attainment'] is None else format(w['attainment'], '.0%')}</td>"
+            f"<td data-v=\"{w['burn'] if w['burn'] is not None else -1}\">"
+            f"{'' if w['burn'] is None else format(w['burn'], '.2f')}</td>"
+            f"<td data-v=\"{int(w['alert'])}\">{'ALERT' if w['alert'] else ''}</td></tr>"
+            for w in serve["windows"]
+        )
+        serve_html = (
+            f"<h2>SLO burn-rate ({serve['jobs']} jobs, objective "
+            f"{serve['objective']:.0%}, {alert_count} alert windows)</h2>"
+            '<table class="sortable"><thead><tr><th>window start</th>'
+            "<th>jobs</th><th>attainment</th><th>burn</th><th></th>"
+            f"</tr></thead><tbody>{rows}</tbody></table>"
+            f'<p class="meta">Retained job traces (reservoir): '
+            f"{_html.escape(', '.join(serve['sampled_jobs']) or '(none)')}</p>"
+        )
+
+    embedded = json.dumps(report, sort_keys=True, separators=(",", ":"))
+    return (
+        "<!doctype html><html><head><meta charset=\"utf-8\">"
+        f"<title>{_html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{_html.escape(title)}</h1>"
+        f'<p class="meta">schema {_html.escape(report["schema"])}; '
+        f"{len(report['tensors'])} tensor episodes; "
+        f"{len(report['migrations'])} migration events; {totals_bits}</p>"
+        "<h2>Fast-tier occupancy (stacked)</h2>"
+        f'<p class="legend">{legend}</p>'
+        + _svg_occupancy(samples)
+        + f"<h2>Top tensors (by migrated bytes, showing {len(shown)} of "
+        f"{len(tensors)})</h2>"
+        + table
+        + "<h2>Churn heatmap</h2>"
+        + _svg_heatmap(heat_rows, t0, t1, heat_bins)
+        + serve_html
+        + f'<script type="application/json" id="insight-data">{embedded}</script>'
+        + f"<script>{_SORT_JS}</script>"
+        "</body></html>"
+    )
+
+
+def write_insight_html(report: Dict[str, Any], path: str, **kwargs: Any) -> None:
+    """Render and write the HTML report to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(render_insight_html(report, **kwargs))

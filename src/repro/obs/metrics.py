@@ -320,6 +320,17 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
         self._clock: Optional["Clock"] = None
+        self._help: Dict[str, str] = {}
+
+    # ---------------------------------------------------------------- help
+
+    def describe(self, name: str, text: str) -> None:
+        """Attach Prometheus ``# HELP`` text to the metric called ``name``.
+
+        Idempotent per name (last call wins); metrics without a description
+        expose their dotted name as the help string.
+        """
+        self._help[name] = text
 
     # -------------------------------------------------------------- clock
 
@@ -486,35 +497,45 @@ class MetricsRegistry:
         a ``_total`` counter and time series as their latest value — the
         full temporal shapes belong in the JSON exposition, not in a
         point-in-time scrape.
+
+        Every exposed family carries a ``# HELP`` line (the text set via
+        :meth:`describe`, defaulting to the dotted metric name) ahead of
+        its ``# TYPE`` line, and label values go through
+        :func:`escape_label_value`, both per the exposition-format spec.
         """
         lines: List[str] = []
+
+        def _head(flat: str, name: str, kind: str) -> None:
+            text = self._help.get(name, name)
+            lines.append(f"# HELP {flat} {_escape_help(text)}")
+            lines.append(f"# TYPE {flat} {kind}")
+
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             flat = _prom_name(namespace, name)
             if metric.kind == "counter":
-                lines.append(f"# TYPE {flat} counter")
+                _head(flat, name, "counter")
                 lines.append(f"{flat} {_prom_value(metric.value)}")
             elif metric.kind == "gauge":
-                lines.append(f"# TYPE {flat} gauge")
+                _head(flat, name, "gauge")
                 lines.append(f"{flat} {_prom_value(metric.value)}")
             elif metric.kind == "histogram":
-                lines.append(f"# TYPE {flat} histogram")
+                _head(flat, name, "histogram")
                 cumulative = 0
                 for index, bound in enumerate(metric.edges):
                     cumulative += metric.counts[index]
-                    lines.append(
-                        f'{flat}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
-                    )
+                    le = escape_label_value(_prom_value(bound))
+                    lines.append(f'{flat}_bucket{{le="{le}"}} {cumulative}')
                 lines.append(f'{flat}_bucket{{le="+Inf"}} {metric.count}')
                 lines.append(f"{flat}_sum {_prom_value(metric.sum)}")
                 lines.append(f"{flat}_count {metric.count}")
             elif metric.kind == "timeline":
-                lines.append(f"# TYPE {flat}_total counter")
+                _head(f"{flat}_total", name, "counter")
                 lines.append(f"{flat}_total {_prom_value(metric.total())}")
             else:  # series
                 last = metric.last()
                 if last is not None:
-                    lines.append(f"# TYPE {flat} gauge")
+                    _head(flat, name, "gauge")
                     lines.append(f"{flat} {_prom_value(last[1])}")
         return "\n".join(lines) + ("\n" if lines else "")
 
@@ -536,3 +557,20 @@ def _prom_value(value: float) -> str:
     if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format (0.0.4).
+
+    Backslash, double-quote, and line-feed are the three characters the
+    spec requires escaping inside ``label="..."``; everything else passes
+    through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: the spec escapes backslash and line-feed only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")

@@ -54,6 +54,7 @@ from repro.serve.arrivals import Arrival
 from repro.sim.engine import Engine, EventKind, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.insight import InsightCollector
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import EventTracer
 
@@ -326,6 +327,14 @@ class Server:
             machine.  A job whose recovery ladder exhausts fails alone
             (``serve.ue``) under the same restart budget as offline
             episodes; the machine itself stays up.
+        insight: optional :class:`~repro.obs.InsightCollector`.  Each job
+            attempt runs under its own collector scope (tensor keys are
+            ``(job-name, tid)``, so per-job tid namespaces never collide),
+            and every terminal job outcome feeds the windowed SLO
+            burn-rate aggregation — including permanently shed and
+            expired jobs, which never touched the machine but did miss
+            their SLO.  The server finalizes the collector at the end of
+            :meth:`run`.
     """
 
     def __init__(
@@ -340,6 +349,7 @@ class Server:
         tracer: Optional["EventTracer"] = None,
         metrics: Optional["MetricsRegistry"] = None,
         ras: Optional[RASConfig] = None,
+        insight: Optional["InsightCollector"] = None,
     ) -> None:
         self.config = config
         self.schedule = arrivals.schedule()
@@ -373,12 +383,27 @@ class Server:
                 pressure=governor,
                 metrics=metrics,
                 ras=ras,
+                insight=insight,
             )
-        elif tracer is not None and machine.tracer is None:
-            raise ValueError(
-                "pass the tracer to the Machine when supplying one explicitly"
-            )
+        else:
+            if tracer is not None and machine.tracer is None:
+                raise ValueError(
+                    "pass the tracer to the Machine when supplying one explicitly"
+                )
+            if insight is not None and machine.insight is None:
+                raise ValueError(
+                    "pass the insight collector to the Machine when supplying "
+                    "one explicitly"
+                )
         self.machine = machine
+        self.insight = machine.insight
+        # Stable per-job Chrome tids: 0 is the serve lifecycle track, jobs
+        # get 1..N in schedule (arrival) order — independent of dispatch
+        # interleaving, retries, and restarts, so reruns diff cleanly.
+        self._job_tids: Dict[str, int] = {"serve": 0}
+        for arrival in self.schedule:
+            if arrival.job_name not in self._job_tids:
+                self._job_tids[arrival.job_name] = len(self._job_tids)
         self.engine = Engine()
         self._backoff = random.Random(f"{config.seed}:backoff")
         self._queue: List[Job] = []
@@ -392,6 +417,15 @@ class Server:
     @property
     def _tracer(self) -> Optional["EventTracer"]:
         return self.machine.tracer
+
+    def job_tids(self) -> Dict[str, int]:
+        """Stable track→tid map for :func:`repro.obs.to_chrome`.
+
+        Tids are pinned by schedule order (``serve`` is 0), so two runs of
+        the same schedule export byte-identical Chrome JSON even when
+        dispatch interleaving differs.
+        """
+        return dict(self._job_tids)
 
     def _count(self, key: str, n: int = 1) -> None:
         self._counts[key] = self._counts.get(key, 0) + n
@@ -441,6 +475,8 @@ class Server:
             )
         engine.run()
         engine.ensure_quiescent()
+        if self.insight is not None:
+            self.insight.finalize(engine.now)
         latencies = sorted(
             job.latency for job in self._jobs if job.latency is not None
         )
@@ -494,6 +530,8 @@ class Server:
             job.finished_at = now
             self._count("serve.shed.permanent")
             self._mark("give-up", job, attempts=job.attempts)
+            if self.insight is not None:
+                self.insight.on_job_final(job, now)
 
     def _pump(self) -> None:
         """Dispatch queued jobs while slots are free and the machine is up."""
@@ -508,6 +546,8 @@ class Server:
                 dead.finished_at = now
                 self._count("serve.expired")
                 self._mark("expire", dead, deadline=dead.deadline)
+                if self.insight is not None:
+                    self.insight.on_job_final(dead, now)
             if job is None:
                 return
             self._dispatch(job)
@@ -525,12 +565,19 @@ class Server:
             else 0
         )
         remaining = template.steps - job.completed_steady
+        insight_scope = None
+        observers = ()
+        if self.insight is not None:
+            insight_scope = self.insight.scope(job.name)
+            observers = (insight_scope,)
         executor = Executor(
             template.build_graph(),
             self.machine,
             policy,
             engine=self.engine,
             track=job.name,
+            observers=observers,
+            tracer=insight_scope,
         )
         job.state = RUNNING
         job.dispatched_at = now
@@ -668,6 +715,13 @@ class Server:
             job.finished_at = now
             self._count("serve.infeasible")
             self._mark("infeasible", job)
+        if self.insight is not None:
+            if job.finished_at is not None:
+                # Terminal: close the scope and feed the SLO windows.
+                self.insight.on_job_final(job, now)
+            else:
+                # Restarting: close this attempt's tensor timelines only.
+                self.insight.on_attempt_end(job.name, now)
         self._pump()
 
     def _on_fault(self, event) -> None:

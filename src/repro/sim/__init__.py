@@ -31,7 +31,19 @@ from repro.sim.engine import (
     Timeout,
     WaitUntil,
 )
-from repro.sim.stats import Counter, Timeline, StatsRegistry
+#: Deprecated re-exports (``Counter``/``Timeline``/``StatsRegistry``) are
+#: resolved lazily so merely importing ``repro.sim`` does not trigger the
+#: shim's ``DeprecationWarning`` — only actually touching the old names does.
+_DEPRECATED = {"Counter", "Timeline", "StatsRegistry"}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        from repro.sim import stats
+
+        return getattr(stats, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Clock",

@@ -20,7 +20,16 @@ deprecation note in ``docs/INTERNALS.md``.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.metrics import Counter, MetricsRegistry, Timeline
+
+warnings.warn(
+    "repro.sim.stats is deprecated; import Counter/Timeline/MetricsRegistry "
+    "from repro.obs.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 #: Historical name of :class:`repro.obs.metrics.MetricsRegistry`.  A plain
 #: alias (not a subclass): registries constructed under either name are the

@@ -64,3 +64,41 @@ class TestSweep:
         )
         with pytest.raises(ValueError):
             grid.best_policy("lstm")
+
+
+class TestSweepInsight:
+    def test_insight_off_by_default(self):
+        grid = sweep(
+            policies=("sentinel",),
+            models=("dcgan",),
+            fast_fractions=(0.3,),
+            batch_sizes={"dcgan": 32},
+        )
+        assert all(p.insight is None for p in grid)
+
+    def test_insight_attaches_validated_reports(self):
+        from repro.obs import validate_insight
+
+        grid = sweep(
+            policies=("sentinel", "ial"),
+            models=("dcgan",),
+            fast_fractions=(0.3,),
+            batch_sizes={"dcgan": 32},
+            insight=True,
+        )
+        for point in grid:
+            assert point.ok
+            validate_insight(point.insight)
+            assert point.insight["meta"]["policy"] == point.policy
+            assert point.insight["meta"]["model"] == point.model
+
+    def test_insight_does_not_change_metrics(self):
+        kwargs = dict(
+            policies=("sentinel",),
+            models=("dcgan",),
+            fast_fractions=(0.3,),
+            batch_sizes={"dcgan": 32},
+        )
+        bare = sweep(**kwargs).points[0]
+        with_insight = sweep(insight=True, **kwargs).points[0]
+        assert with_insight.metrics.step_time == bare.metrics.step_time

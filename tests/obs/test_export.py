@@ -9,6 +9,7 @@ from repro.obs import (
     canonical_digest,
     chrome_json,
     combine_chrome,
+    from_jsonl,
     to_chrome,
     to_jsonl,
     validate_chrome,
@@ -73,6 +74,45 @@ class TestChromeExport:
         assert validate_chrome(combined) == 8
 
 
+class TestStableTids:
+    def test_pinned_tracks_keep_their_tids(self):
+        obj = to_chrome(small_trace(), tids={"prefetch": 7, "main": 2})
+        tids = {
+            row["args"]["name"]: row["tid"]
+            for row in obj["traceEvents"]
+            if row["name"] == "thread_name"
+        }
+        assert tids["prefetch"] == 7
+        assert tids["main"] == 2
+        # The unpinned track gets the smallest unused id.
+        assert tids["promote"] == 0
+
+    def test_default_numbering_unchanged_by_tids_none(self):
+        assert chrome_json(small_trace()) == chrome_json(
+            small_trace(), tids=None
+        )
+
+    def test_no_collision_between_pinned_and_assigned(self):
+        # Regression: pinning tid 0 used to let the first unpinned track
+        # also take 0 under pure first-appearance numbering.
+        obj = to_chrome(small_trace(), tids={"prefetch": 0})
+        tids = [
+            row["tid"]
+            for row in obj["traceEvents"]
+            if row["name"] == "thread_name"
+        ]
+        assert len(tids) == len(set(tids))
+
+    def test_duplicate_tid_values_rejected(self):
+        with pytest.raises(ValueError, match="tid map"):
+            to_chrome(small_trace(), tids={"a": 1, "b": 1})
+
+    def test_events_follow_their_pinned_track(self):
+        obj = to_chrome(small_trace(), tids={"promote": 5})
+        xfer = next(r for r in obj["traceEvents"] if r.get("name") == "xfer")
+        assert xfer["tid"] == 5
+
+
 class TestValidateChrome:
     def test_rejects_non_object(self):
         with pytest.raises(ValueError):
@@ -113,3 +153,52 @@ class TestJsonl:
         tracer.instant("x", "chaos", ts=0.0, tag=object())
         record = json.loads(to_jsonl(tracer.events))
         assert isinstance(record["args"]["tag"], str)
+
+
+class TestFromJsonl:
+    def test_round_trip_preserves_canonical_digest(self):
+        events = small_trace()
+        reimported = from_jsonl(to_jsonl(events))
+        assert canonical_digest(reimported) == canonical_digest(events)
+        # Re-export is a fixed point, not just digest-equal once.
+        assert to_jsonl(from_jsonl(to_jsonl(reimported))) == to_jsonl(events)
+
+    def test_zero_event_trace_round_trips(self):
+        assert from_jsonl(to_jsonl([])) == []
+        assert from_jsonl("") == []
+        assert canonical_digest(from_jsonl("")) == canonical_digest([])
+
+    def test_truncated_window_round_trips_surviving_events(self):
+        # A ring-overwritten trace exports only the surviving window; the
+        # dropped count does not travel, but the window itself is stable.
+        tracer = EventTracer(capacity=2)
+        for index in range(5):
+            tracer.instant("tick", "step", ts=float(index), n=index)
+        assert tracer.dropped == 3
+        events = tracer.events
+        assert len(events) == 2
+        reimported = from_jsonl(to_jsonl(events))
+        assert canonical_digest(reimported) == canonical_digest(events)
+        assert [e.args["n"] for e in reimported] == [3, 4]
+
+    def test_blank_lines_skipped(self):
+        text = "\n" + to_jsonl(small_trace()) + "\n\n"
+        assert len(from_jsonl(text)) == 4
+
+    def test_malformed_line_names_line_number(self):
+        text = to_jsonl(small_trace()) + "not json\n"
+        with pytest.raises(ValueError, match="line 5"):
+            from_jsonl(text)
+
+    def test_rejects_unknown_category_and_missing_keys(self):
+        with pytest.raises(ValueError, match="category"):
+            from_jsonl(
+                json.dumps(
+                    {
+                        "name": "x", "cat": "bogus", "ph": "i", "ts": 0.0,
+                        "dur": 0.0, "track": "main", "args": {},
+                    }
+                )
+            )
+        with pytest.raises(ValueError, match="missing keys"):
+            from_jsonl(json.dumps({"name": "x"}))

@@ -225,6 +225,52 @@ class TestExposition:
         assert counts == [1, 2, 3]  # cumulative, ending at total count
         assert 'h_bucket{le="+Inf"} 3' in text
 
+    def test_prometheus_help_lines(self):
+        registry = self.build()
+        text = registry.to_prometheus()
+        # Every TYPE line is preceded by a HELP line for the same family.
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split(" ")[2]
+                assert lines[index - 1].startswith(f"# HELP {family} ")
+        # Undescribed metrics fall back to their dotted name as help text.
+        assert "# HELP repro_migration_promotions migration.promotions" in text
+
+    def test_describe_overrides_help_text(self):
+        registry = MetricsRegistry()
+        registry.counter("migration.promotions").add(1)
+        registry.describe("migration.promotions", "Pages promoted to fast")
+        text = registry.to_prometheus()
+        assert (
+            "# HELP repro_migration_promotions Pages promoted to fast" in text
+        )
+
+    def test_help_text_escapes_backslash(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.describe("c", "path C:\\fast")
+        assert "# HELP repro_c path C:\\\\fast" in registry.to_prometheus()
+
+    def test_help_text_escapes_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.describe("c", "line one\nline two")
+        text = registry.to_prometheus()
+        assert "# HELP repro_c line one\\nline two" in text
+        # The exposition stays one-line-per-record: no physical line is a
+        # bare continuation of a help string.
+        assert all(
+            line.startswith(("#", "repro_")) for line in text.splitlines()
+        )
+
+    def test_timeline_help_names_the_total_family(self):
+        registry = MetricsRegistry()
+        registry.timeline("bw", bin_width=1.0).record(0.5, 100.0)
+        text = registry.to_prometheus()
+        assert "# HELP repro_bw_total bw" in text
+        assert "# TYPE repro_bw_total counter" in text
+
     def test_empty_registry_expositions(self):
         registry = MetricsRegistry()
         assert registry.to_prometheus() == ""
@@ -235,6 +281,45 @@ class TestExposition:
             "timelines": {},
             "series": {},
         }
+
+
+class TestLabelEscaping:
+    def test_backslash_escaped(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value("a\\b") == "a\\\\b"
+
+    def test_double_quote_escaped(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_newline_escaped(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        # Escaping order matters: a pre-escaped sequence must not be
+        # double-unescapable (\" must become \\\" not \\" -> ambiguous).
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+    def test_plain_values_untouched(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value("promote-0.5") == "promote-0.5"
+
+    def test_histogram_le_labels_pass_through_escaper(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", lo=1.0, hi=10.0, bins=1).observe(5.0)
+        text = registry.to_prometheus(namespace="")
+        for line in text.splitlines():
+            if line.startswith("h_bucket{"):
+                value = line.split('le="', 1)[1].split('"', 1)[0]
+                assert "\\" not in value  # plain floats need no escaping
+                float(value.replace("+Inf", "inf"))
 
 
 class TestStatsShim:

@@ -402,3 +402,108 @@ class TestUncorrectableErrors:
             e.args["reason"] == "ue-restart-budget-exhausted" for e in fails
         )
         assert query.filter(cat="ras").count() >= 1
+
+
+class TestInsight:
+    def _run(self, count=6, insight=None, tracer=None, **cfg_kwargs):
+        from repro.obs import InsightCollector
+
+        collector = insight if insight is not None else InsightCollector()
+        arrivals = burst(count, times=[0.01 * i for i in range(count)])
+        server = Server(
+            arrivals,
+            ServeConfig(slots=2, **cfg_kwargs),
+            tracer=tracer,
+            insight=collector,
+        )
+        report = server.run()
+        return server, report, collector
+
+    def test_job_tids_are_stable_and_unique(self):
+        server, _, _ = self._run()
+        tids = server.job_tids()
+        assert tids["serve"] == 0
+        assert len(set(tids.values())) == len(tids)
+        # Schedule order, not completion order.
+        job_names = [a.job_name for a in server.schedule]
+        assert [tids[name] for name in job_names] == list(
+            range(1, len(job_names) + 1)
+        )
+
+    def test_collector_finalized_with_serve_section(self):
+        _, report, collector = self._run()
+        artifact = collector.report()
+        assert report.completed > 0
+        serve_section = artifact["serve"]
+        assert serve_section["jobs"] == report.total_jobs
+        ok = sum(w["ok"] for w in serve_section["windows"])
+        assert ok == report.slo_met
+
+    def test_every_job_scope_is_closed(self):
+        _, _, collector = self._run()
+        assert collector._live == {}
+        artifact = collector.report()
+        scopes = {row["scope"] for row in artifact["tensors"]}
+        assert scopes  # per-job scopes, never "main"
+        assert "main" not in scopes
+        for row in artifact["tensors"]:
+            assert row["free"] is not None
+
+    def test_shed_and_expired_jobs_count_in_slo_windows(self):
+        from repro.obs import InsightCollector
+
+        collector = InsightCollector()
+        # Simultaneous burst against a single slot and a queue bound of 1:
+        # most jobs shed permanently without ever touching the machine.
+        arrivals = burst(12, times=[0.0] * 12)
+        server = Server(
+            arrivals,
+            ServeConfig(slots=1, queue_limit=1, max_attempts=1),
+            insight=collector,
+        )
+        report = server.run()
+        assert report.counts.get("serve.shed.permanent", 0) > 0
+        serve_section = collector.report()["serve"]
+        assert serve_section["jobs"] == report.total_jobs
+
+    def test_reservoir_bounds_trace_retention(self):
+        from repro.obs import InsightCollector, InsightConfig
+
+        tracer = EventTracer()
+        collector = InsightCollector(InsightConfig(reservoir_size=2))
+        server, report, _ = self._run(count=8, insight=collector, tracer=tracer)
+        sampled = collector.report()["serve"]["sampled_jobs"]
+        assert len(sampled) == 2
+        retained = collector.retained_events(tracer.events)
+        job_tracks = {
+            event.track
+            for event in retained
+            if event.track in {a.job_name for a in server.schedule}
+        }
+        assert job_tracks <= set(sampled)
+        # Machine-level tracks survive the filter untouched.
+        serve_lane = [e for e in tracer.events if e.track == "serve"]
+        assert [e for e in retained if e.track == "serve"] == serve_lane
+
+    def test_insight_does_not_perturb_serve_report(self):
+        arrivals = burst(4, times=[0.01 * i for i in range(4)])
+        bare = Server(arrivals, ServeConfig(slots=2)).run()
+        from repro.obs import InsightCollector
+
+        arrivals2 = burst(4, times=[0.01 * i for i in range(4)])
+        with_insight = Server(
+            arrivals2, ServeConfig(slots=2), insight=InsightCollector()
+        ).run()
+        assert with_insight.to_json() == bare.to_json()
+
+    def test_explicit_machine_requires_insight_on_machine(self):
+        from repro.obs import InsightCollector
+
+        machine = Machine.for_platform(OPTANE_HM, fast_capacity=1 << 24)
+        with pytest.raises(ValueError, match="insight"):
+            Server(
+                burst(1),
+                ServeConfig(),
+                machine=machine,
+                insight=InsightCollector(),
+            )

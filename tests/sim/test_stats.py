@@ -111,3 +111,45 @@ class TestStatsRegistry:
         stats.reset()
         assert stats.counter("a").value == 0.0
         assert stats.timeline("t").total() == 0.0
+
+
+class TestDeprecationShim:
+    def test_import_emits_deprecation_warning(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.sim.stats", None)
+        with pytest.warns(DeprecationWarning, match="repro.sim.stats is deprecated"):
+            importlib.import_module("repro.sim.stats")
+
+    def test_shim_reexports_match_metrics_module(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.obs.metrics import (
+                Counter as NewCounter,
+                MetricsRegistry,
+                Timeline as NewTimeline,
+            )
+            from repro.sim import stats
+
+        assert stats.Counter is NewCounter
+        assert stats.Timeline is NewTimeline
+        assert stats.StatsRegistry is MetricsRegistry
+        assert stats.__all__ == ["Counter", "Timeline", "StatsRegistry"]
+
+    def test_lazy_package_reexport_still_works(self):
+        # repro.sim resolves the deprecated names lazily (PEP 562), so
+        # importing the package alone stays warning-free while attribute
+        # access keeps the historical spelling alive.
+        import warnings
+
+        import repro.sim
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert repro.sim.Counter is Counter
+            assert repro.sim.StatsRegistry is StatsRegistry
+        with pytest.raises(AttributeError):
+            repro.sim.not_a_name
