@@ -18,6 +18,8 @@ Commands:
 * ``insight``    — tensor-level insight: residency timelines, heat,
   ping-pong/thrash analytics, stall attribution, HTML report.
 * ``bench``      — attribution benchmark + step-time regression gate.
+* ``tournament`` — ranked leaderboard over {model x policy x admission
+  controller x pressure governor} combos (byte-stable JSON artifact).
 * ``models``     — list the model zoo.
 """
 
@@ -31,6 +33,7 @@ from repro.baselines.registry import CPU_ONLY, GPU_ONLY, POLICIES
 from repro.baselines.vdnn import UnsupportedModelError
 from repro.chaos import ChaosConfig
 from repro.harness.report import (
+    format_admission,
     format_counters,
     format_pressure,
     format_table,
@@ -151,6 +154,56 @@ def _add_pressure_flags(parser) -> None:
         help="fast frames reserved for the urgent demand lane (governor "
         "reserve pool)",
     )
+
+
+def _add_admission_flags(parser, flag: str = "--admission") -> None:
+    """Attach migration-admission controller flags to a subcommand.
+
+    ``flag`` is overridable because ``serve`` already owns ``--admission``
+    for its *job* admission policy; there the migration-level flags are
+    ``--migration-admission``/``--migration-admission-args``.
+    """
+    from repro.mem.admission import CONTROLLERS
+
+    parser.add_argument(
+        flag,
+        choices=sorted(CONTROLLERS),
+        default=None,
+        dest=flag.lstrip("-").replace("-", "_"),
+        help="migration admission controller screening non-urgent "
+        "promotions/demotions (unset = no controller, byte-identical "
+        "to pre-admission builds)",
+    )
+    parser.add_argument(
+        f"{flag}-args",
+        metavar="K=V[,K=V...]",
+        default=None,
+        dest=flag.lstrip("-").replace("-", "_") + "_args",
+        help="controller constructor overrides, e.g. "
+        "stall_target=0.05,cooldown=0.1",
+    )
+
+
+def _admission_from(args, attr: str = "admission"):
+    """Resolve the admission flags to ``(name, kwargs-or-None)``.
+
+    Raises ``SystemExit`` via argparse error semantics when ``-args`` is
+    given without a controller name.
+    """
+    name = getattr(args, attr, None)
+    raw = getattr(args, f"{attr}_args", None)
+    if raw and name is None:
+        raise SystemExit(
+            f"error: --{attr.replace('_', '-')}-args requires "
+            f"--{attr.replace('_', '-')}"
+        )
+    if name is None:
+        return None, None
+    if not raw:
+        return name, None
+    from repro.mem.admission import parse_admission_args
+
+    return name, parse_admission_args(raw)
 
 
 def _ras_from(args):
@@ -284,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_insight_flags(run)
     _add_pressure_flags(run)
     _add_ras_flags(run)
+    _add_admission_flags(run)
 
     compare = sub.add_parser("compare", help="all applicable policies on one model")
     compare.add_argument("model", choices=sorted(MODELS))
@@ -375,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
         "canonical JSON artifact per point into DIR",
     )
     _add_pressure_flags(grid)
+    _add_admission_flags(grid)
 
     pressure = sub.add_parser(
         "pressure",
@@ -494,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_insight_flags(serve)
     _add_ras_flags(serve)
+    _add_admission_flags(serve, flag="--migration-admission")
 
     trace = sub.add_parser(
         "trace", help="run one simulation under event tracing and export it"
@@ -654,6 +710,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock repeats per (model, path) measurement",
     )
 
+    from repro.mem.admission import CONTROLLERS
+
+    tournament = sub.add_parser(
+        "tournament",
+        help="rank {model x policy x admission x governor} combos on a "
+        "byte-stable leaderboard",
+    )
+    tournament.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        choices=sorted(MODELS),
+        help="zoo models to run (default: dcgan lstm mobilenet resnet32)",
+    )
+    tournament.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        choices=sorted(POLICIES),
+        help="placement policies to rank (default: sentinel ial autotm)",
+    )
+    tournament.add_argument(
+        "--admissions",
+        nargs="+",
+        default=None,
+        choices=sorted(CONTROLLERS),
+        help="admission controllers to rank (default: every registered one)",
+    )
+    tournament.add_argument(
+        "--governor",
+        choices=("off", "on", "both"),
+        default="both",
+        help="pressure-governor axis: off/on pins one setting, both runs "
+        "the full axis",
+    )
+    tournament.add_argument(
+        "--fast-fraction",
+        type=float,
+        default=0.2,
+        help="fast memory as a fraction of each model's peak",
+    )
+    tournament.add_argument("--platform", type=_platform, default=OPTANE_HM)
+    tournament.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="cells to run in parallel (multiprocessing); merged "
+        "deterministically, byte-identical to --workers 1",
+    )
+    tournament.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the canonical tournament artifact JSON to PATH "
+        "(byte-identical across reruns)",
+    )
+
     sub.add_parser("models", help="list the model zoo")
     sub.add_parser("features", help="print Table I (design comparison)")
     return parser
@@ -669,6 +782,7 @@ def _cmd_run(args) -> int:
 
         tracer = EventTracer()
     collector = _insight_from(args)
+    admission, admission_args = _admission_from(args)
     metrics = run_policy(
         args.policy,
         model=args.model,
@@ -681,6 +795,8 @@ def _cmd_run(args) -> int:
         pressure=_pressure_from(args),
         ras=_ras_from(args),
         insight=collector,
+        admission=admission,
+        admission_args=admission_args,
     )
     rows = [
         ("step time (s)", f"{metrics.step_time:.4f}"),
@@ -695,7 +811,7 @@ def _cmd_run(args) -> int:
     rows += [
         (f"extras.{key}", f"{value:g}")
         for key, value in metrics.extras.items()
-        if not key.startswith(("pressure.", "migration.relocated"))
+        if not key.startswith(("pressure.", "migration.relocated", "admission."))
     ]
     print(
         format_table(
@@ -707,6 +823,9 @@ def _cmd_run(args) -> int:
     if any(key.startswith("pressure.") for key in metrics.extras):
         print()
         print(format_pressure(metrics.extras))
+    if any(key.startswith("admission.") for key in metrics.extras):
+        print()
+        print(format_admission(metrics.extras))
     if tracer is not None:
         from repro.obs import write_chrome
 
@@ -846,6 +965,7 @@ def _cmd_experiment(args) -> int:
 def _cmd_grid(args) -> int:
     from repro.harness.sweeps import sweep
 
+    admission, admission_args = _admission_from(args)
     result = sweep(
         policies=args.policies,
         models=args.models,
@@ -856,6 +976,8 @@ def _cmd_grid(args) -> int:
         pressure=_pressure_from(args),
         workers=args.workers,
         insight=args.insight is not None,
+        admission=admission,
+        admission_args=admission_args,
     )
     print(result.to_table(value=args.value))
     failures = [p for p in result if not p.ok]
@@ -1090,6 +1212,9 @@ def _cmd_serve(args) -> int:
         episodes=episodes,
     )
     collector = _insight_from(args)
+    migration_admission, migration_admission_args = _admission_from(
+        args, attr="migration_admission"
+    )
     server = Server(
         PoissonArrivals(
             rate=rate, horizon=horizon, templates=mix, seed=args.seed
@@ -1100,6 +1225,8 @@ def _cmd_serve(args) -> int:
         tracer=tracer,
         ras=_ras_from(args),
         insight=collector,
+        migration_admission=migration_admission,
+        migration_admission_args=migration_admission_args,
     )
     report = server.run()
     print(
@@ -1133,6 +1260,46 @@ def _cmd_serve(args) -> int:
                 meta={"scenario": args.scenario, "seed": args.seed}
             ),
         )
+    return 0
+
+
+def _cmd_tournament(args) -> int:
+    from repro.harness.tournament import (
+        DEFAULT_ADMISSIONS,
+        DEFAULT_MODELS,
+        DEFAULT_POLICIES,
+        format_leaderboard,
+        run_tournament,
+        tournament_json,
+    )
+
+    governors = {"off": (False,), "on": (True,), "both": (False, True)}
+    result = run_tournament(
+        models=tuple(args.models) if args.models else DEFAULT_MODELS,
+        policies=tuple(args.policies) if args.policies else DEFAULT_POLICIES,
+        admissions=(
+            tuple(args.admissions) if args.admissions else DEFAULT_ADMISSIONS
+        ),
+        governors=governors[args.governor],
+        fast_fraction=args.fast_fraction,
+        platform=args.platform,
+        workers=args.workers,
+    )
+    print(format_leaderboard(result))
+    failures = [
+        cell for cell in result["cells"] if cell.get("failure") is not None
+    ]
+    if failures:
+        print(
+            "\nfailed cells: "
+            + ", ".join(
+                f"{c['policy']}/{c['model']} ({c['failure']})" for c in failures
+            )
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(tournament_json(result))
+        print(f"artifact: {args.json}")
     return 0
 
 
@@ -1452,6 +1619,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "critpath": _cmd_critpath,
         "insight": _cmd_insight,
         "bench": _cmd_bench,
+        "tournament": _cmd_tournament,
     }
     return handlers[args.command](args)
 

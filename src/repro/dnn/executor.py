@@ -444,6 +444,12 @@ class Executor:
             self._metrics.series("executor.fast_used").sample(
                 machine.fast.used, ts=clock.now
             )
+        if machine.migration.admission is not None:
+            # Online feedback: each step's stall share is the live proxy
+            # for the critical path's migration_stall attribution.
+            machine.migration.admission.on_step(
+                step, result.duration, result.stall_time
+            )
         for observer in self.observers:
             observer.on_step_end(step, result)
         self._steps_run += 1

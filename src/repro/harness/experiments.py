@@ -66,6 +66,69 @@ def _cfg(**overrides) -> SentinelConfig:
     return SentinelConfig(warmup_steps=EXPERIMENT_WARMUP_STEPS, **overrides)
 
 
+# ------------------------------------------------------- pooled experiments
+
+#: Marker for grid points whose policy cannot run the model (Table V /
+#: Figure 12 record these as misses rather than failing the experiment).
+_UNSUPPORTED = "__unsupported__"
+
+
+def _indexed(func, item):
+    index, payload = item
+    return index, func(payload)
+
+
+def _pooled(func, payloads: Sequence, workers: int) -> List:
+    """Order-preserving parallel map for the figure experiments.
+
+    Same determinism contract as :func:`repro.harness.sweeps.sweep`:
+    every payload is an isolated simulation, workers mirror the parent's
+    scalar/vectorized accounting flag, and results merge back in
+    enumeration order — so ``workers > 1`` is byte-identical to serial.
+    ``func`` must be a module-level function (the pool pickles it).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    payloads = list(payloads)
+    if workers == 1 or len(payloads) <= 1:
+        return [func(payload) for payload in payloads]
+
+    import multiprocessing
+    from functools import partial
+
+    from repro import accel
+    from repro.harness.sweeps import _init_worker
+
+    merged: List = [None] * len(payloads)
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        processes=min(workers, len(payloads)),
+        initializer=_init_worker,
+        initargs=(accel.scalar_enabled(),),
+    ) as pool:
+        for index, value in pool.imap_unordered(
+            partial(_indexed, func), list(enumerate(payloads))
+        ):
+            merged[index] = value
+    return merged
+
+
+def _run_policy_task(kwargs: Dict) -> object:
+    """One :func:`run_policy` call; unsupported combos become a marker."""
+    try:
+        return run_policy(**kwargs)
+    except UnsupportedModelError:
+        return _UNSUPPORTED
+
+
+def _max_batch_task(kwargs: Dict) -> object:
+    """One :func:`max_batch_size` probe; unsupported combos become a marker."""
+    try:
+        return max_batch_size(**kwargs)
+    except UnsupportedModelError:
+        return _UNSUPPORTED
+
+
 # --------------------------------------------------------------------- E1
 
 def characterization(model: str = "resnet32", batch_size: Optional[int] = None) -> Dict:
@@ -179,17 +242,26 @@ def _page_level_false_sharing(graph, threshold: int) -> Dict[str, int]:
 
 # --------------------------------------------------------------------- E2
 
-def table3_models(models: Sequence[str] = CPU_SMALL_MODELS) -> Dict:
-    """Table III: model configurations and Sentinel's overhead accounting."""
+def table3_models(models: Sequence[str] = CPU_SMALL_MODELS, workers: int = 1) -> Dict:
+    """Table III: model configurations and Sentinel's overhead accounting.
+
+    ``workers > 1`` fans the per-model runs over a process pool via
+    :func:`_pooled` — byte-identical to serial.
+    """
+    results = _pooled(
+        _run_policy_task,
+        [
+            {"policy_name": SENTINEL_CPU, "model": name, "fast_fraction": 0.2}
+            for name in models
+        ],
+        workers,
+    )
     rows = []
     records = []
-    for name in models:
+    for name, metrics in zip(models, results):
         spec = MODELS[name]
         graph = spec.build(scale="small")
         peak = graph.peak_memory_bytes()
-        metrics = run_policy(
-            SENTINEL_CPU, graph=spec.build(scale="small"), fast_fraction=0.2
-        )
         slowdown = metrics.extras.get("profiling_step_time", 0.0) / metrics.step_time
         record = {
             "model": name,
@@ -239,17 +311,29 @@ def fig5_interval_sweep(
     model: str = "resnet32",
     fast_fraction: float = 0.2,
     lengths: Sequence[int] = tuple(range(1, 13)),
+    workers: int = 1,
 ) -> Dict:
-    """Figure 5: step time as a function of the migration interval length."""
-    points: List[Tuple[int, float]] = []
-    for length in lengths:
-        metrics = run_policy(
-            SENTINEL_CPU,
-            model=model,
-            fast_fraction=fast_fraction,
-            sentinel_config=_cfg(fixed_interval_length=length),
-        )
-        points.append((length, metrics.step_time))
+    """Figure 5: step time as a function of the migration interval length.
+
+    ``workers > 1`` fans the per-length runs over a process pool via
+    :func:`_pooled` — byte-identical to serial.
+    """
+    results = _pooled(
+        _run_policy_task,
+        [
+            {
+                "policy_name": SENTINEL_CPU,
+                "model": model,
+                "fast_fraction": fast_fraction,
+                "sentinel_config": _cfg(fixed_interval_length=length),
+            }
+            for length in lengths
+        ],
+        workers,
+    )
+    points: List[Tuple[int, float]] = [
+        (length, metrics.step_time) for length, metrics in zip(lengths, results)
+    ]
     best = min(points, key=lambda p: p[1])
     worst = max(points, key=lambda p: p[1])
     variance = worst[1] / best[1] - 1.0
@@ -315,16 +399,30 @@ def fig7_speedup(
 # --------------------------------------------------------------------- E5
 
 def table4_migrated(
-    models: Sequence[str] = CPU_SMALL_MODELS, fast_fraction: float = 0.2
+    models: Sequence[str] = CPU_SMALL_MODELS,
+    fast_fraction: float = 0.2,
+    workers: int = 1,
 ) -> Dict:
-    """Table IV: migrated bytes per training step per policy."""
+    """Table IV: migrated bytes per training step per policy.
+
+    ``workers > 1`` fans the (model, policy) grid over a process pool via
+    :func:`_pooled` — byte-identical to serial.
+    """
+    policies = ("ial", "autotm", SENTINEL_CPU)
+    results = _pooled(
+        _run_policy_task,
+        [
+            {"policy_name": policy, "model": name, "fast_fraction": fast_fraction}
+            for name in models
+            for policy in policies
+        ],
+        workers,
+    )
     rows = []
     records = {}
+    grid = iter(results)
     for name in models:
-        row = {}
-        for policy in ("ial", "autotm", SENTINEL_CPU):
-            metrics = run_policy(policy, model=name, fast_fraction=fast_fraction)
-            row[policy] = metrics.migrated_bytes
+        row = {policy: next(grid).migrated_bytes for policy in policies}
         records[name] = row
         rows.append(
             (
@@ -344,18 +442,37 @@ def table4_migrated(
 
 # --------------------------------------------------------------------- E6
 
-def fig8_large_batch(models: Sequence[str] = CPU_LARGE_MODELS) -> Dict:
-    """Figure 8: large-batch training, normalized by first-touch NUMA."""
+def fig8_large_batch(
+    models: Sequence[str] = CPU_LARGE_MODELS, workers: int = 1
+) -> Dict:
+    """Figure 8: large-batch training, normalized by first-touch NUMA.
+
+    ``workers > 1`` fans the (model, policy) grid over a process pool via
+    :func:`_pooled` — byte-identical to serial.
+    """
+    policies = ("first-touch", "memory-mode", "autotm", SENTINEL_CPU)
+    results = _pooled(
+        _run_policy_task,
+        [
+            {
+                "policy_name": policy,
+                "model": name,
+                "scale": "large",
+                "fast_capacity": FIG8_DRAM_BYTES,
+            }
+            for name in models
+            for policy in policies
+        ],
+        workers,
+    )
     rows = []
     records = {}
+    grid = iter(results)
     for name in models:
         graph_peak = build_model(name, scale="large").peak_memory_bytes()
         row = {"peak_bytes": graph_peak}
-        for policy in ("first-touch", "memory-mode", "autotm", SENTINEL_CPU):
-            metrics = run_policy(
-                policy, model=name, scale="large", fast_capacity=FIG8_DRAM_BYTES
-            )
-            row[policy] = metrics.step_time
+        for policy in policies:
+            row[policy] = next(grid).step_time
         records[name] = row
         base = row["first-touch"]
         rows.append(
@@ -453,47 +570,77 @@ def fig10_sensitivity(
 
 # --------------------------------------------------------------------- E9
 
+def _fig11_depth_task(spec: Tuple[int, int, float]) -> Dict:
+    """One Figure-11 depth: the whole binary search for one ResNet variant.
+
+    The search is sequential by nature (each probe depends on the last),
+    so the pooled mode parallelizes across depths, not within one.
+    """
+    from repro.models.resnet import build_resnet
+
+    depth, batch_size, tolerance = spec
+    graph = build_resnet(depth, batch_size)
+    peak = graph.peak_memory_bytes()
+    fast = run_policy("fast-only", graph=build_resnet(depth, batch_size))
+    target = fast.step_time * tolerance
+
+    def ok(fraction: float) -> bool:
+        metrics = run_policy(
+            SENTINEL_CPU,
+            graph=build_resnet(depth, batch_size),
+            fast_fraction=fraction,
+        )
+        return metrics.step_time <= target
+
+    low, high = 0.05, 1.0
+    if ok(low):
+        high = low
+    else:
+        while high - low > 0.05:
+            mid = (low + high) / 2
+            if ok(mid):
+                high = mid
+            else:
+                low = mid
+    return {
+        "depth": depth,
+        "peak_bytes": peak,
+        "min_fraction": high,
+        "min_fast_bytes": int(peak * high),
+    }
+
+
 def fig11_resnet_scaling(
     depths: Sequence[int] = (20, 32, 44, 56, 110),
     batch_size: int = 1024,
     tolerance: float = 1.10,
+    workers: int = 1,
 ) -> Dict:
-    """Figure 11: minimum fast memory for fast-only-parity vs ResNet depth."""
-    from repro.models.resnet import build_resnet
+    """Figure 11: minimum fast memory for fast-only-parity vs ResNet depth.
 
+    ``workers > 1`` fans the per-depth searches over a process pool via
+    :func:`_pooled` — byte-identical to serial.
+    """
+    found = _pooled(
+        _fig11_depth_task,
+        [(depth, batch_size, tolerance) for depth in depths],
+        workers,
+    )
     rows = []
     records = []
-    for depth in depths:
-        graph = build_resnet(depth, batch_size)
-        peak = graph.peak_memory_bytes()
-        fast = run_policy("fast-only", graph=build_resnet(depth, batch_size))
-        target = fast.step_time * tolerance
-
-        def ok(fraction: float) -> bool:
-            metrics = run_policy(
-                SENTINEL_CPU,
-                graph=build_resnet(depth, batch_size),
-                fast_fraction=fraction,
-            )
-            return metrics.step_time <= target
-
-        low, high = 0.05, 1.0
-        if ok(low):
-            high = low
-        else:
-            while high - low > 0.05:
-                mid = (low + high) / 2
-                if ok(mid):
-                    high = mid
-                else:
-                    low = mid
-        min_fraction = high
+    for point in found:
+        peak = point["peak_bytes"]
+        min_fraction = point["min_fraction"]
         records.append(
-            {"depth": depth, "peak_bytes": peak, "min_fast_bytes": int(peak * min_fraction)}
+            {
+                "depth": point["depth"],
+                "peak_bytes": peak,
+                "min_fast_bytes": point["min_fast_bytes"],
+            }
         )
         rows.append(
-            (f"resnet{depth}", f"{gib(peak):.2f}", f"{gib(peak * min_fraction):.2f}",
-             f"{min_fraction:.0%}")
+            (f"resnet{point['depth']}", f"{gib(peak):.2f}",
+             f"{gib(peak * min_fraction):.2f}", f"{min_fraction:.0%}")
         )
     text = format_table(
         ("model", "peak GiB", "min fast GiB", "fraction"),
@@ -505,8 +652,12 @@ def fig11_resnet_scaling(
 
 # -------------------------------------------------------------------- E10
 
-def table5_max_batch(models: Sequence[str] = GPU_MODELS) -> Dict:
-    """Table V: maximum trainable batch size per policy on the GPU platform."""
+def table5_max_batch(models: Sequence[str] = GPU_MODELS, workers: int = 1) -> Dict:
+    """Table V: maximum trainable batch size per policy on the GPU platform.
+
+    ``workers > 1`` fans the (model, policy) probes over a process pool
+    via :func:`_pooled` — byte-identical to serial.
+    """
     policies = ("fast-only", "vdnn", "autotm", "swapadvisor", "capuchin", SENTINEL_GPU)
     labels = {
         "fast-only": "TensorFlow",
@@ -516,21 +667,34 @@ def table5_max_batch(models: Sequence[str] = GPU_MODELS) -> Dict:
         "capuchin": "Capuchin",
         SENTINEL_GPU: "Sentinel-GPU",
     }
+    results = _pooled(
+        _max_batch_task,
+        [
+            {
+                "policy_name": policy,
+                "model": name,
+                "platform": GPU_HM,
+                "sentinel_config": _cfg(),
+            }
+            for name in models
+            for policy in policies
+        ],
+        workers,
+    )
     rows = []
     records: Dict[str, Dict[str, object]] = {}
+    grid = iter(results)
     for name in models:
         row: Dict[str, object] = {}
         cells = [name]
         for policy in policies:
-            try:
-                batch = max_batch_size(
-                    policy, name, GPU_HM, sentinel_config=_cfg()
-                )
-                row[policy] = batch
-                cells.append(str(batch))
-            except UnsupportedModelError:
+            batch = next(grid)
+            if batch == _UNSUPPORTED:
                 row[policy] = None
                 cells.append("x")
+            else:
+                row[policy] = batch
+                cells.append(str(batch))
         records[name] = row
         rows.append(tuple(cells))
     text = format_table(
@@ -546,27 +710,42 @@ def table5_max_batch(models: Sequence[str] = GPU_MODELS) -> Dict:
 def fig12_gpu_throughput(
     models: Sequence[str] = GPU_MODELS,
     batches: Optional[Dict[str, Tuple[int, ...]]] = None,
+    workers: int = 1,
 ) -> Dict:
-    """Figure 12: training throughput on GPU, normalized by Unified Memory."""
+    """Figure 12: training throughput on GPU, normalized by Unified Memory.
+
+    ``workers > 1`` fans the (model, batch, policy) grid over a process
+    pool via :func:`_pooled` — byte-identical to serial.
+    """
     batches = batches if batches is not None else GPU_BATCHES
     policies = ("unified-memory", "vdnn", "autotm", "swapadvisor", "capuchin", SENTINEL_GPU)
+    results = _pooled(
+        _run_policy_task,
+        [
+            {
+                "policy_name": policy,
+                "model": name,
+                "batch_size": batch,
+                "platform": GPU_HM,
+                "sentinel_config": _cfg(),
+            }
+            for name in models
+            for batch in batches[name]
+            for policy in policies
+        ],
+        workers,
+    )
     rows = []
     records: Dict[Tuple[str, int], Dict[str, Optional[float]]] = {}
+    grid = iter(results)
     for name in models:
         for batch in batches[name]:
             row: Dict[str, Optional[float]] = {}
             for policy in policies:
-                try:
-                    metrics = run_policy(
-                        policy,
-                        model=name,
-                        batch_size=batch,
-                        platform=GPU_HM,
-                        sentinel_config=_cfg(),
-                    )
-                    row[policy] = metrics.throughput
-                except UnsupportedModelError:
-                    row[policy] = None
+                metrics = next(grid)
+                row[policy] = (
+                    None if metrics == _UNSUPPORTED else metrics.throughput
+                )
             records[(name, batch)] = row
             base = row["unified-memory"] or 1.0
             rows.append(

@@ -240,6 +240,40 @@ def format_pressure(extras: "dict[str, float]", title: str = "pressure") -> str:
     return "\n".join(lines)
 
 
+def format_admission(extras: "dict[str, float]", title: str = "admission") -> str:
+    """Render the migration admission controller's section of a run summary.
+
+    Headline admit/deny/defer totals first (printed even when zero, so
+    runs diff line by line), then every per-reason counter
+    (``admission.denied.<reason>`` / ``admission.deferred.<reason>``) in
+    sorted order.
+    """
+    headline = (
+        ("admitted", "admission.admitted", "count"),
+        ("admitted bytes", "admission.admitted_bytes", "mib"),
+        ("denied bytes", "admission.denied_bytes", "mib"),
+        ("deferred bytes", "admission.deferred_bytes", "mib"),
+    )
+    controller = extras.get("admission.controller")
+    lines = [f"{title}:" if controller is None else f"{title} ({controller}):"]
+    width = max(len(label) for label, _, _ in headline)
+    for label, key, kind in headline:
+        value = extras.get(key, 0)
+        if kind == "mib":
+            rendered = f"{mib(value):.4g} MiB"
+        else:
+            rendered = str(int(value))
+        lines.append(f"  {label.ljust(width)} = {rendered}")
+    reasons = sorted(
+        key
+        for key in extras
+        if key.startswith(("admission.denied.", "admission.deferred."))
+    )
+    for key in reasons:
+        lines.append(f"  {key.removeprefix('admission.')} = {int(extras[key])}")
+    return "\n".join(lines)
+
+
 def format_serve(report, title: str = "serving report") -> str:
     """Render a :class:`repro.serve.ServeReport` as a stable text block.
 
@@ -373,7 +407,9 @@ def format_insight(report, top: int = 10, title: str = "tensor insight") -> str:
 
 def format_summary(metrics) -> str:
     """Render one run's headline metrics, with a pressure section when
-    the run carried a governor (``pressure.*`` keys in its extras)."""
+    the run carried a governor (``pressure.*`` keys in its extras) and an
+    admission section when it carried a migration admission controller
+    (``admission.*`` keys)."""
     rows = [
         ("model", metrics.model),
         ("policy", metrics.policy),
@@ -393,6 +429,8 @@ def format_summary(metrics) -> str:
     parts = [format_table(("metric", "value"), rows)]
     if any(key.startswith("pressure.") for key in metrics.extras):
         parts.append(format_pressure(metrics.extras))
+    if any(key.startswith("admission.") for key in metrics.extras):
+        parts.append(format_admission(metrics.extras))
     return "\n\n".join(parts)
 
 

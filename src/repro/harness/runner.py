@@ -23,6 +23,7 @@ from repro.core.runtime import SentinelConfig, SentinelPolicy
 from repro.dnn.executor import Executor
 from repro.dnn.graph import Graph
 from repro.errors import MemoryPressureError
+from repro.mem.admission import make_admission
 from repro.mem.machine import Machine
 from repro.mem.platforms import Platform
 from repro.mem.pressure import PressureConfig
@@ -95,6 +96,8 @@ def run_policy(
     metrics: Optional["MetricsRegistry"] = None,
     ras: Optional[RASConfig] = None,
     insight: Optional["InsightCollector"] = None,
+    admission: Optional[object] = None,
+    admission_args: Optional[Dict[str, object]] = None,
 ) -> RunMetrics:
     """Run one policy on one workload and return steady-state metrics.
 
@@ -137,6 +140,16 @@ def run_policy(
     is ready afterwards.  The default ``None`` keeps every hook dormant and
     the run — including any attached tracer/metrics — byte-identical to an
     insight-free build.
+
+    ``admission`` attaches a migration admission controller to the
+    machine: either a registered name (``"always"``, ``"benefit-cost"``,
+    ``"feedback"``) built fresh per run with ``admission_args`` as
+    constructor kwargs, or an already-constructed
+    :class:`~repro.mem.admission.AdmissionController` instance.  The
+    default ``None`` keeps both engine gate sites dormant; ``"always"``
+    admits everything and leaves traces and metrics byte-identical to
+    ``None`` (admission counters land in extras only when a controller is
+    attached).
     """
     if (graph is None) == (model is None):
         raise ValueError("provide exactly one of graph= or model=")
@@ -152,6 +165,11 @@ def run_policy(
         fast_capacity = max(
             platform.page_size, int(graph.peak_memory_bytes() * fast_fraction)
         )
+    controller = admission
+    if isinstance(admission, str):
+        controller = make_admission(admission, **(admission_args or {}))
+    elif admission_args:
+        raise ValueError("admission_args= requires admission= to be a name")
     injector = FaultInjector(chaos) if chaos is not None else None
     machine = Machine.for_platform(
         platform,
@@ -162,6 +180,7 @@ def run_policy(
         metrics=metrics,
         ras=ras,
         insight=insight,
+        admission=controller,
     )
 
     policy = make_policy(policy_name, sentinel_config=_sentinel_config(sentinel_config))
@@ -240,6 +259,12 @@ def run_policy(
         extras["ras.remat_time"] = machine.ras.remat_time
         extras["ras.refetch_time"] = machine.ras.refetch_time
         extras["ras.scrub_swept_bytes"] = machine.ras.scrub_swept_bytes
+    if machine.admission is not None:
+        # Only with a controller attached: admission-free runs keep metrics
+        # bit-identical to runs predating the subsystem.
+        extras["admission.controller"] = machine.admission.name
+        for key, value in sorted(machine.stats.counters("admission.").items()):
+            extras[key] = value
     if insight is not None:
         # Only with a collector attached: insight-free runs keep metrics
         # bit-identical to runs predating the subsystem.

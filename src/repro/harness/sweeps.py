@@ -154,6 +154,10 @@ class _PointSpec:
     trace: bool
     pressure: Optional[PressureConfig]
     insight: bool = False
+    #: admission controller name (built fresh in the running process —
+    #: controllers are stateful, so instances must never cross points).
+    admission: Optional[str] = None
+    admission_args: Optional[Dict[str, object]] = None
 
 
 def _enumerate_grid(
@@ -166,6 +170,8 @@ def _enumerate_grid(
     trace: bool,
     pressure: Optional[PressureConfig],
     insight: bool = False,
+    admission: Optional[str] = None,
+    admission_args: Optional[Dict[str, object]] = None,
 ) -> List[_PointSpec]:
     """The grid in serial order — a pure function of the sweep arguments.
 
@@ -198,6 +204,8 @@ def _enumerate_grid(
                         trace=trace,
                         pressure=pressure,
                         insight=insight,
+                        admission=admission,
+                        admission_args=admission_args,
                     )
                 )
                 if policy in ("slow-only", "fast-only"):
@@ -232,6 +240,8 @@ def _run_point(spec: _PointSpec) -> SweepPoint:
             tracer=tracer,
             pressure=spec.pressure,
             insight=collector,
+            admission=spec.admission,
+            admission_args=spec.admission_args,
         )
         report = None
         if collector is not None:
@@ -279,6 +289,8 @@ def sweep(
     pressure: Optional[PressureConfig] = None,
     workers: int = 1,
     insight: bool = False,
+    admission: Optional[str] = None,
+    admission_args: Optional[Dict[str, object]] = None,
 ) -> SweepResult:
     """Run the cartesian product and collect every outcome.
 
@@ -307,6 +319,12 @@ def sweep(
     before finalize keep ``None``).  Timing is unaffected either way —
     insight observes the simulation, it never prices anything.
 
+    With ``admission`` given (a registered controller name, see
+    :data:`repro.mem.admission.CONTROLLERS`), every point runs with a
+    *fresh* controller built from ``admission_args`` — controllers are
+    stateful, so instances are constructed in the running process rather
+    than shared across points.
+
     With ``workers > 1`` the grid points run on a multiprocessing pool.
     Every point is an isolated simulation keyed by its own spec (chaos
     already reseeded per point), so the result is merged back into serial
@@ -323,6 +341,7 @@ def sweep(
     specs = _enumerate_grid(
         policies, models, fast_fractions, batch_sizes,
         platform, chaos, trace, pressure, insight,
+        admission, admission_args,
     )
     if workers == 1 or len(specs) == 1:
         return SweepResult(points=[_run_point(spec) for spec in specs])

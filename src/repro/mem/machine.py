@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.mem.admission import AdmissionController
+from repro.mem.admission import describe_counters as describe_admission_counters
 from repro.mem.cache import DRAMCache
 from repro.mem.devices import DeviceKind, MemoryDevice
 from repro.mem.faults import FaultHandler
@@ -73,6 +75,13 @@ class Machine:
             emits no events and touches no counters, so traced/metered
             output stays byte-identical.  ``None`` — the default — keeps
             every hook site dormant behind one ``is None`` check.
+        admission: optional
+            :class:`repro.mem.admission.AdmissionController`.  When
+            attached, every non-urgent promote/demote request is screened
+            before submission (urgent demand migrations bypass it by
+            contract).  ``None`` — the default — keeps both gate sites
+            dormant; :class:`~repro.mem.admission.AlwaysAdmit` admits
+            everything and stays trace-byte-identical to ``None``.
     """
 
     def __init__(
@@ -84,6 +93,7 @@ class Machine:
         metrics: Optional[MetricsRegistry] = None,
         ras: Optional[RASConfig] = None,
         insight: Optional["InsightCollector"] = None,
+        admission: Optional["AdmissionController"] = None,
     ) -> None:
         self.platform = platform
         self.injector = injector
@@ -148,6 +158,10 @@ class Machine:
         if insight is not None:
             insight.bind(self)
             self.migration.insight = insight
+        self.admission: Optional["AdmissionController"] = admission
+        if admission is not None:
+            self.migration.admission = admission
+            describe_admission_counters(self.stats)
         self._dram_cache: Optional[DRAMCache] = None
         self.engine: Optional["Engine"] = None
         #: whether the machine is currently serving work.  Failure episodes
@@ -206,6 +220,7 @@ class Machine:
         metrics: Optional[MetricsRegistry] = None,
         ras: Optional[RASConfig] = None,
         insight: Optional["InsightCollector"] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> "Machine":
         """Build a machine, optionally resizing the fast tier.
 
@@ -223,6 +238,7 @@ class Machine:
             metrics=metrics,
             ras=ras,
             insight=insight,
+            admission=admission,
         )
 
     @property

@@ -38,6 +38,7 @@ from repro.sim.channel import BandwidthChannel, Transfer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.chaos import FaultInjector
+    from repro.mem.admission import AdmissionController
     from repro.mem.pressure import PressureGovernor
     from repro.obs.trace import EventTracer
     from repro.sim.engine import Engine, Event
@@ -117,6 +118,13 @@ class MigrationEngine:
         #: discard/materialize tier change.  ``None`` — the default — keeps
         #: each hook site one ``is None`` check.
         self.insight = None
+        #: optional :class:`repro.mem.admission.AdmissionController`,
+        #: attached by the machine: screens every non-urgent
+        #: promote/demote request (urgent demand migrations bypass it by
+        #: contract).  ``None`` keeps both gate sites one ``is None``
+        #: check; :class:`~repro.mem.admission.AlwaysAdmit` admits
+        #: everything and stays trace-byte-identical to ``None``.
+        self.admission: Optional["AdmissionController"] = None
         self._pending: List[MigrationRecord] = []
         self._engine: Optional["Engine"] = None
 
@@ -220,6 +228,9 @@ class MigrationEngine:
                 # Above the high watermark: the whole background request
                 # comes back as skipped — the established leave-in-slow
                 # (Case 2) signal, so every caller already degrades.
+                return None, [], eligible
+        if eligible and self.admission is not None and not urgent:
+            if not self._screen("promote", eligible, now, tag, self.promote_channel):
                 return None, [], eligible
         if eligible and self.injector is not None:
             now, refused = self._admit(now, urgent)
@@ -347,6 +358,11 @@ class MigrationEngine:
             eligible.append(run)
         if not eligible:
             return None, eligible
+        if self.admission is not None and not urgent:
+            if not self._screen("demote", eligible, now, tag, self.demote_channel):
+                # The runs simply stay on fast memory, as with an injected
+                # refusal: the caller's next capacity check sees no room.
+                return None, []
         if self.injector is not None:
             now, refused = self._admit(now, urgent)
             if refused:
@@ -410,6 +426,71 @@ class MigrationEngine:
                 "demote", scheduled, transfer, page_size, tag, urgent, now
             )
         return transfer, scheduled
+
+    # ------------------------------------------------------------ admission
+
+    def _screen(
+        self,
+        kind: str,
+        eligible: List[PageTableEntry],
+        now: float,
+        tag: object,
+        channel: BandwidthChannel,
+    ) -> bool:
+        """Admission-controller gate for one background request.
+
+        Builds the typed :class:`~repro.mem.admission.MigrationRequest`
+        from state the engine already holds (profiling counts on the page
+        table, channel backlog, pending records), so no call site had to
+        learn new plumbing.  Admitted requests bump counters only; denied
+        and deferred requests additionally emit an ``admission``-category
+        trace instant — which is what keeps ``AlwaysAdmit`` byte-identical
+        to no controller at all.
+        """
+        from repro.mem.admission import DENY, MigrationRequest
+
+        page_size = self.page_table.page_size
+        npages = sum(run.npages for run in eligible)
+        nbytes = npages * page_size
+        request = MigrationRequest(
+            kind=kind,
+            nbytes=nbytes,
+            nruns=len(eligible),
+            tag=None if tag is None else str(tag),
+            now=now,
+            vpns=tuple(run.vpn for run in eligible),
+            heat=sum(run.accesses for run in eligible) / max(1, npages),
+            in_flight_bytes=self.in_flight_bytes(now),
+            backlog=channel.backlog_at(now),
+        )
+        decision = self.admission.decide(request)
+        if decision.admitted:
+            self.stats.counter("admission.admitted").add(1)
+            self.stats.counter("admission.admitted_bytes").add(nbytes)
+            self.admission.on_admitted(request)
+            return True
+        noun = "denied" if decision.verdict == DENY else "deferred"
+        reason_key = f"admission.{noun}.{decision.reason}"
+        self.stats.describe(
+            reason_key,
+            f"Background {kind} requests {noun} by the admission "
+            f"controller (reason: {decision.reason}).",
+        )
+        self.stats.counter(reason_key).add(1)
+        self.stats.counter(f"admission.{noun}_bytes").add(nbytes)
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"admission-{decision.verdict}",
+                "admission",
+                ts=now,
+                track="admission",
+                kind=kind,
+                reason=decision.reason,
+                nbytes=nbytes,
+                runs=len(eligible),
+                tag=None if tag is None else str(tag),
+            )
+        return False
 
     # ------------------------------------------------------- fault handling
 
@@ -482,6 +563,29 @@ class MigrationEngine:
 
     # ------------------------------------------------------------- per-run
 
+    def _submit_each(
+        self,
+        kind: str,
+        runs: Sequence[PageTableEntry],
+        now: float,
+        tag: object,
+        urgent: bool,
+    ) -> List[Transfer]:
+        """Shared per-run submission loop behind the ``*_each`` helpers.
+
+        Each run gets its own submission — and therefore its own
+        completion time, admission decision, and injected-fault draws — so
+        an access racing the queue waits only for *its* data; batching
+        would make it wait for the whole convoy.
+        """
+        submit = self.promote if kind == "promote" else self.demote
+        transfers: List[Transfer] = []
+        for run in runs:
+            transfer = submit([run], now, tag=tag, urgent=urgent)[0]
+            if transfer is not None:
+                transfers.append(transfer)
+        return transfers
+
     def promote_each(
         self,
         runs: Sequence[PageTableEntry],
@@ -489,18 +593,8 @@ class MigrationEngine:
         tag: object = None,
         urgent: bool = False,
     ) -> List[Transfer]:
-        """Promote runs as individual submissions.
-
-        Each run then has its own completion time, so an access racing the
-        queue waits only for *its* data — batching would make it wait for
-        the whole convoy.
-        """
-        transfers: List[Transfer] = []
-        for run in runs:
-            transfer, _, _ = self.promote([run], now, tag=tag, urgent=urgent)
-            if transfer is not None:
-                transfers.append(transfer)
-        return transfers
+        """Promote runs as individual submissions (see :meth:`_submit_each`)."""
+        return self._submit_each("promote", runs, now, tag, urgent)
 
     def demote_each(
         self,
@@ -509,13 +603,8 @@ class MigrationEngine:
         tag: object = None,
         urgent: bool = False,
     ) -> List[Transfer]:
-        """Demote runs as individual submissions (see :meth:`promote_each`)."""
-        transfers: List[Transfer] = []
-        for run in runs:
-            transfer, _ = self.demote([run], now, tag=tag, urgent=urgent)
-            if transfer is not None:
-                transfers.append(transfer)
-        return transfers
+        """Demote runs as individual submissions (see :meth:`_submit_each`)."""
+        return self._submit_each("demote", runs, now, tag, urgent)
 
     # ------------------------------------------------------------ relocation
 

@@ -41,6 +41,7 @@ CATEGORIES = frozenset(
         "cluster",
         "serve",
         "ras",
+        "admission",
     }
 )
 

@@ -335,6 +335,14 @@ class Server:
             expired jobs, which never touched the machine but did miss
             their SLO.  The server finalizes the collector at the end of
             :meth:`run`.
+        migration_admission: optional *migration* admission controller for
+            the built machine — either an
+            :class:`~repro.mem.admission.AdmissionController` instance or
+            a registered controller name (see
+            :data:`repro.mem.admission.CONTROLLERS`), built with
+            ``migration_admission_args``.  Distinct from ``config.admission``,
+            which decides which *jobs* enter the queue; this decides which
+            *tensor migrations* the machine performs.
     """
 
     def __init__(
@@ -350,6 +358,8 @@ class Server:
         metrics: Optional["MetricsRegistry"] = None,
         ras: Optional[RASConfig] = None,
         insight: Optional["InsightCollector"] = None,
+        migration_admission: Optional[object] = None,
+        migration_admission_args: Optional[Dict[str, object]] = None,
     ) -> None:
         self.config = config
         self.schedule = arrivals.schedule()
@@ -376,6 +386,18 @@ class Server:
                     platform.page_size, int(reference * fast_fraction)
                 )
             governor = DEFAULT_CLUSTER_PRESSURE if pressure is _UNSET else pressure
+            controller = migration_admission
+            if isinstance(migration_admission, str):
+                from repro.mem.admission import make_admission as make_migration
+
+                controller = make_migration(
+                    migration_admission, **(migration_admission_args or {})
+                )
+            elif migration_admission_args:
+                raise ValueError(
+                    "migration_admission_args= requires migration_admission= "
+                    "to be a controller name"
+                )
             machine = Machine.for_platform(
                 platform,
                 fast_capacity=fast_capacity,
@@ -384,6 +406,7 @@ class Server:
                 metrics=metrics,
                 ras=ras,
                 insight=insight,
+                admission=controller,
             )
         else:
             if tracer is not None and machine.tracer is None:
@@ -394,6 +417,11 @@ class Server:
                 raise ValueError(
                     "pass the insight collector to the Machine when supplying "
                     "one explicitly"
+                )
+            if migration_admission is not None and machine.admission is None:
+                raise ValueError(
+                    "pass the admission controller to the Machine when "
+                    "supplying one explicitly"
                 )
         self.machine = machine
         self.insight = machine.insight

@@ -443,3 +443,68 @@ class TestBenchCommand:
         assert "baseline updated" in capsys.readouterr().out
         refreshed = json.loads(baseline.read_text())
         assert refreshed["models"]["dcgan"]["median_step_time"] > 1e-3
+
+
+class TestAdmissionCommands:
+    def test_admission_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "dcgan", "sentinel", "--admission", "feedback",
+             "--admission-args", "stall_target=0.05"]
+        )
+        assert args.admission == "feedback"
+        assert args.admission_args == "stall_target=0.05"
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "dcgan", "sentinel", "--admission", "magic"]
+            )
+
+    def test_args_without_controller_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "dcgan", "sentinel", "--admission-args", "x=1"])
+
+    def test_run_prints_admission_section(self, capsys):
+        assert main(
+            ["run", "dcgan", "sentinel", "--fast-fraction", "0.2",
+             "--admission", "feedback"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "admission (feedback):" in out
+        assert "admitted bytes" in out
+
+    def test_run_without_flag_prints_no_admission_section(self, capsys):
+        assert main(["run", "lstm", "slow-only", "--batch", "8"]) == 0
+        assert "admission" not in capsys.readouterr().out
+
+    def test_serve_migration_admission_flag(self, capsys):
+        assert main(
+            ["serve", "--scenario", "steady", "--horizon", "20",
+             "--migration-admission", "benefit-cost"]
+        ) == 0
+        assert "serving" in capsys.readouterr().out
+
+
+class TestTournamentCommand:
+    def test_leaderboard_and_artifact(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "tournament.json"
+        argv = [
+            "tournament", "--models", "dcgan", "--policies", "sentinel",
+            "--admissions", "always", "feedback", "--governor", "off",
+            "--json", str(artifact),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tournament leaderboard" in out
+        assert "feedback" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "tournament/v1"
+        first = artifact.read_bytes()
+        assert main(argv) == 0
+        assert artifact.read_bytes() == first  # byte-identical rerun
+
+    def test_unknown_admission_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tournament", "--admissions", "magic"])

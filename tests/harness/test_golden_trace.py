@@ -19,6 +19,9 @@ To refresh the golden after an intentional change::
 
 from pathlib import Path
 
+import pytest
+
+from repro import accel
 from repro.chaos import ChaosConfig
 from repro.harness.runner import run_policy
 from repro.obs import EventTracer, canonical_digest, to_jsonl
@@ -82,3 +85,57 @@ class TestGoldenTrace:
         # ...while the registry itself saw the run in detail.
         assert registry.histogram("executor.step_time").count > 0
         assert registry.counter("migration.promoted_bytes").value > 0
+
+
+class TestAdmissionByteIdentity:
+    """`AlwaysAdmit` is contractually byte-identical to no controller.
+
+    The zoo-wide differential pins the admission gate's disabled/default
+    contract on both accounting paths: a run with ``admission="always"``
+    must reproduce the exact trace digest of an admission-unset run — the
+    gate admits everything, consumes no randomness, and emits trace
+    events only on deny/defer.  dcgan is additionally anchored to the
+    checked-in golden digest, so the gate cannot drift together with the
+    baseline.
+    """
+
+    ZOO = (
+        ("sentinel", "dcgan", 0.2),
+        ("sentinel", "lstm", 0.4),
+        ("ial", "mobilenet", 0.3),
+        ("autotm", "resnet32", 0.4),
+    )
+
+    def digest(self, policy, model, fraction, admission, scalar, **args):
+        tracer = EventTracer()
+        with accel.scalar_path(scalar):
+            run_policy(
+                policy,
+                model=model,
+                fast_fraction=fraction,
+                tracer=tracer,
+                admission=admission,
+                admission_args=args or None,
+            )
+        return canonical_digest(tracer.events)
+
+    @pytest.mark.parametrize("scalar", (False, True), ids=("vec", "scalar"))
+    @pytest.mark.parametrize("policy,model,fraction", ZOO)
+    def test_always_admit_matches_unset(self, policy, model, fraction, scalar):
+        unset = self.digest(policy, model, fraction, None, scalar)
+        always = self.digest(policy, model, fraction, "always", scalar)
+        assert always == unset
+
+    @pytest.mark.parametrize("scalar", (False, True), ids=("vec", "scalar"))
+    def test_always_admit_matches_checked_in_golden(self, scalar):
+        golden = (GOLDEN_DIR / "dcgan_sentinel_trace.sha256").read_text().strip()
+        assert self.digest("sentinel", MODEL, 0.2, "always", scalar) == golden
+
+    def test_active_controller_changes_the_run(self):
+        # Sanity check on the differential's power: a controller that
+        # actually denies migrations must move the digest.
+        unset = self.digest("sentinel", MODEL, 0.2, None, False)
+        feedback = self.digest(
+            "sentinel", MODEL, 0.2, "feedback", False, stall_target=0.01
+        )
+        assert feedback != unset

@@ -1,0 +1,103 @@
+"""Property tests for the feedback controller's anti-ping-pong contract.
+
+A ping-pong promotion is a promote admitted within the cooldown window of
+a demote of the same page — exactly the migration the insight layer flags
+as thrash.  On an adversarial alternating demote/promote trace, whatever
+the vpns and gaps drawn:
+
+* :class:`FeedbackController` admits **zero** ping-pong promotions (the
+  per-tensor cooldown is a hard gate), so it never admits more than
+  :class:`AlwaysAdmit`;
+* whenever the trace contains at least one within-cooldown re-promotion,
+  the reduction is **strict** — feedback admits strictly fewer ping-pongs
+  than always.
+
+Driven directly through ``decide``/``on_admitted`` with synthetic
+:class:`MigrationRequest` objects, so the property is about the
+controller, not the simulator around it.
+
+Skipped wholesale when hypothesis is unavailable (it is an optional test
+dependency; the simulator itself never imports it).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.mem.admission import (  # noqa: E402
+    AlwaysAdmit,
+    FeedbackController,
+    MigrationRequest,
+)
+
+PAGE = 4096
+COOLDOWN = 0.5
+
+
+def request(kind, vpn, now):
+    return MigrationRequest(
+        kind=kind,
+        nbytes=PAGE,
+        nruns=1,
+        tag="prefetch",
+        now=now,
+        vpns=(vpn,),
+        heat=0.0,
+        in_flight_bytes=0,
+        backlog=0.0,
+    )
+
+
+# One adversarial event: a vpn is demoted, then re-promoted ``gap``
+# seconds later.  Gaps straddle the cooldown so traces mix thrashing
+# pairs (gap < COOLDOWN) with legitimate re-promotions (gap >= COOLDOWN).
+pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),  # vpn (collisions intended)
+        st.floats(min_value=0.01, max_value=2 * COOLDOWN),  # re-promote gap
+        st.floats(min_value=0.0, max_value=1.0),  # spacing to next pair
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def replay(controller, trace):
+    """Run the alternating trace; count admitted ping-pong promotions."""
+    now = 0.0
+    pingpongs = 0
+    demoted_at = {}
+    for vpn, gap, spacing in trace:
+        demote = request("demote", vpn, now)
+        if controller.decide(demote).admitted:
+            controller.on_admitted(demote)
+            demoted_at[vpn] = now
+        promote = request("promote", vpn, now + gap)
+        if controller.decide(promote).admitted:
+            controller.on_admitted(promote)
+            last = demoted_at.get(vpn)
+            if last is not None and (now + gap) - last < COOLDOWN:
+                pingpongs += 1
+        now += gap + spacing
+    return pingpongs
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=pairs)
+def test_feedback_never_admits_a_pingpong(trace):
+    assert replay(FeedbackController(cooldown=COOLDOWN), trace) == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=pairs)
+def test_feedback_reduces_pingpong_vs_always_admit(trace):
+    always = replay(AlwaysAdmit(), trace)
+    feedback = replay(FeedbackController(cooldown=COOLDOWN), trace)
+    assert feedback <= always
+    if any(gap < COOLDOWN for _, gap, _ in trace):
+        # The trace provably contains a within-cooldown re-promotion
+        # (every demote is admitted by both controllers), so the
+        # reduction must be strict.
+        assert feedback < always
